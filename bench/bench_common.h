@@ -1,0 +1,327 @@
+#ifndef QFCARD_BENCH_BENCH_COMMON_H_
+#define QFCARD_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the paper-reproduction bench binaries. All sizes honor
+// QFCARD_SCALE (smoke / default / full): the paper's counts (580k rows, 100k
+// training queries, ...) are the "full" setting; "default" is sized for a
+// single CPU core.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qfcard.h"
+
+namespace qfcard::bench {
+
+inline int ForestRows() {
+  return static_cast<int>(common::ScalePick(5000, 25000, 580000));
+}
+inline int ForestAttrs() {
+  return static_cast<int>(common::ScalePick(8, 12, 55));
+}
+inline int TrainQueries() {
+  return static_cast<int>(common::ScalePick(800, 5000, 100000));
+}
+inline int TestQueries() {
+  return static_cast<int>(common::ScalePick(300, 1500, 25000));
+}
+inline int MaxQueryAttrs() {
+  return static_cast<int>(common::ScalePick(5, 8, 55));
+}
+/// Per-attribute entries n for conjunctive/complex (paper default 64; the
+/// reduced default keeps GB training tractable on one core).
+inline int DefaultPartitions() {
+  return static_cast<int>(common::ScalePick(16, 32, 64));
+}
+
+inline ml::GbmParams DefaultGbm() {
+  ml::GbmParams params;
+  params.num_trees = static_cast<int>(common::ScalePick(60, 150, 300));
+  params.max_depth = 6;
+  params.learning_rate = 0.1;
+  params.early_stopping_rounds = 15;
+  return params;
+}
+
+inline ml::NnParams DefaultNn() {
+  ml::NnParams params;
+  params.hidden = {64, 32};
+  params.max_steps = static_cast<int>(common::ScalePick(600, 2500, 12000));
+  params.max_epochs = 200;
+  params.early_stopping_rounds = 8;
+  return params;
+}
+
+inline ml::MscnParams DefaultMscn() {
+  ml::MscnParams params;
+  params.hidden = 32;
+  params.max_steps = static_cast<int>(common::ScalePick(400, 1800, 8000));
+  params.max_epochs = 200;
+  params.early_stopping_rounds = 8;
+  return params;
+}
+
+inline featurize::ConjunctionOptions DefaultConjOptions(
+    bool attr_sel = true, int partitions = 0) {
+  featurize::ConjunctionOptions opts;
+  opts.max_partitions = partitions > 0 ? partitions : DefaultPartitions();
+  opts.append_attr_selectivity = attr_sel;
+  return opts;
+}
+
+inline std::unique_ptr<ml::Model> MakeModel(const std::string& kind) {
+  if (kind == "GB") return std::make_unique<ml::GradientBoosting>(DefaultGbm());
+  if (kind == "NN") return std::make_unique<ml::FeedForwardNet>(DefaultNn());
+  if (kind == "Linear") return std::make_unique<ml::LinearRegression>();
+  return nullptr;
+}
+
+/// The forest table plus labeled conjunctive and mixed workloads, built once
+/// per bench process.
+struct ForestBundle {
+  storage::Catalog catalog;
+  const storage::Table* forest = nullptr;
+  featurize::FeatureSchema schema;
+  std::vector<workload::LabeledQuery> conj_train;
+  std::vector<workload::LabeledQuery> conj_test;
+  std::vector<workload::LabeledQuery> mixed_train;
+  std::vector<workload::LabeledQuery> mixed_test;
+};
+
+inline ForestBundle MakeForestBundle(bool need_conj = true,
+                                     bool need_mixed = true) {
+  ForestBundle bundle;
+  workload::ForestOptions fopts;
+  fopts.num_rows = ForestRows();
+  fopts.num_attributes = ForestAttrs();
+  QFCARD_CHECK_OK(bundle.catalog.AddTable(workload::MakeForestTable(fopts)));
+  bundle.forest = bundle.catalog.GetTable("forest").value();
+  bundle.schema = featurize::FeatureSchema::FromTable(*bundle.forest);
+
+  const int n_train = TrainQueries();
+  const int n_test = TestQueries();
+  eval::Timer timer;
+  if (need_conj) {
+    common::Rng rng(1001);
+    const std::vector<query::Query> queries =
+        workload::GeneratePredicateWorkload(
+            *bundle.forest, 2 * (n_train + n_test),
+            workload::ConjunctiveWorkloadOptions(MaxQueryAttrs()), rng);
+    std::vector<workload::LabeledQuery> labeled =
+        workload::LabelOnTable(*bundle.forest, queries, true).value();
+    const size_t test_size =
+        std::min<size_t>(static_cast<size_t>(n_test), labeled.size() / 4);
+    bundle.conj_test.assign(labeled.end() - static_cast<long>(test_size),
+                            labeled.end());
+    labeled.resize(labeled.size() - test_size);
+    if (labeled.size() > static_cast<size_t>(n_train)) {
+      labeled.resize(static_cast<size_t>(n_train));
+    }
+    bundle.conj_train = std::move(labeled);
+  }
+  if (need_mixed) {
+    common::Rng rng(2002);
+    const std::vector<query::Query> queries =
+        workload::GeneratePredicateWorkload(
+            *bundle.forest, 2 * (n_train + n_test),
+            workload::MixedWorkloadOptions(MaxQueryAttrs()), rng);
+    std::vector<workload::LabeledQuery> labeled =
+        workload::LabelOnTable(*bundle.forest, queries, true).value();
+    const size_t test_size =
+        std::min<size_t>(static_cast<size_t>(n_test), labeled.size() / 4);
+    bundle.mixed_test.assign(labeled.end() - static_cast<long>(test_size),
+                             labeled.end());
+    labeled.resize(labeled.size() - test_size);
+    if (labeled.size() > static_cast<size_t>(n_train)) {
+      labeled.resize(static_cast<size_t>(n_train));
+    }
+    bundle.mixed_train = std::move(labeled);
+  }
+  std::printf(
+      "[setup] forest %d rows x %d attrs; conj %zu/%zu mixed %zu/%zu "
+      "(train/test), %.1fs\n\n",
+      ForestRows(), ForestAttrs(), bundle.conj_train.size(),
+      bundle.conj_test.size(), bundle.mixed_train.size(),
+      bundle.mixed_test.size(), timer.Seconds());
+  return bundle;
+}
+
+/// Builds the four paper QFTs over `schema` keyed by label.
+inline std::unique_ptr<featurize::Featurizer> MakeQft(
+    const std::string& label, const featurize::FeatureSchema& schema,
+    bool attr_sel = true, int partitions = 0) {
+  const featurize::ConjunctionOptions opts =
+      DefaultConjOptions(attr_sel, partitions);
+  if (label == "simple") {
+    return featurize::MakeFeaturizer(featurize::QftKind::kSimple, schema);
+  }
+  if (label == "range") {
+    return featurize::MakeFeaturizer(featurize::QftKind::kRange, schema);
+  }
+  if (label == "conjunctive" || label == "conj") {
+    return featurize::MakeFeaturizer(featurize::QftKind::kConjunctive, schema,
+                                     opts);
+  }
+  if (label == "complex" || label == "comp") {
+    return featurize::MakeFeaturizer(featurize::QftKind::kComplex, schema,
+                                     opts);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// IMDb / JOB-light helpers
+// ---------------------------------------------------------------------------
+
+inline int ImdbTitles() {
+  return static_cast<int>(common::ScalePick(4000, 15000, 150000));
+}
+inline int LocalTrainQueries() {
+  return static_cast<int>(common::ScalePick(400, 1500, 20000));
+}
+/// Bound on distinct sub-schemas kept for local-model experiments.
+inline int MaxSubSchemas() {
+  return static_cast<int>(common::ScalePick(3, 6, 32));
+}
+
+struct ImdbBundle {
+  workload::ImdbDatabase db;
+  std::vector<query::Query> test_queries;  // JOB-light-like
+  std::vector<double> test_cards;
+  // Distinct sub-schemas of the test queries (most frequent first).
+  std::vector<std::vector<std::string>> subschemas;
+};
+
+inline std::vector<std::string> TablesOf(const query::Query& q) {
+  std::vector<std::string> tables;
+  for (const query::TableRef& ref : q.tables) tables.push_back(ref.name);
+  return tables;
+}
+
+inline ImdbBundle MakeImdbBundle(int max_tables = 4) {
+  ImdbBundle bundle;
+  workload::ImdbOptions iopts;
+  iopts.num_titles = ImdbTitles();
+  bundle.db = workload::MakeImdbDatabase(iopts);
+
+  eval::Timer timer;
+  common::Rng rng(3003);
+  workload::JobLightOptions jopts;
+  jopts.count = 70;
+  jopts.max_tables = max_tables;
+  std::vector<query::Query> raw =
+      workload::MakeJobLightWorkload(bundle.db, jopts, rng);
+
+  // Keep queries from the most frequent sub-schemas only (bounds the number
+  // of local models trained at reduced scale).
+  std::map<std::string, int> freq;
+  for (const query::Query& q : raw) ++freq[query::SubSchemaKey(TablesOf(q))];
+  std::vector<std::pair<int, std::string>> ranked;
+  for (const auto& [key, count] : freq) ranked.push_back({count, key});
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::map<std::string, bool> keep;
+  for (size_t i = 0;
+       i < ranked.size() && static_cast<int>(i) < MaxSubSchemas(); ++i) {
+    keep[ranked[i].second] = true;
+  }
+  std::map<std::string, std::vector<std::string>> kept_tables;
+  for (query::Query& q : raw) {
+    const std::string key = query::SubSchemaKey(TablesOf(q));
+    if (!keep.count(key)) continue;
+    kept_tables[key] = TablesOf(q);
+    bundle.test_queries.push_back(std::move(q));
+  }
+  for (const auto& [key, tables] : kept_tables) {
+    bundle.subschemas.push_back(tables);
+  }
+  for (const query::Query& q : bundle.test_queries) {
+    bundle.test_cards.push_back(static_cast<double>(
+        query::JoinExecutor::Count(bundle.db.catalog, q).value()));
+  }
+  std::printf(
+      "[setup] imdb %d titles; %zu JOB-light-like test queries over %zu "
+      "sub-schemas, %.1fs\n\n",
+      ImdbTitles(), bundle.test_queries.size(), bundle.subschemas.size(),
+      timer.Seconds());
+  return bundle;
+}
+
+/// Local single-table training workload over a materialized sub-schema join
+/// (key columns excluded from predicates), labeled by scanning the
+/// materialization.
+inline std::pair<std::vector<query::Query>, std::vector<double>>
+MakeLocalTraining(const storage::Table& mat, int count, uint64_t seed,
+                  int max_attrs = 4) {
+  workload::PredicateGenOptions gen;
+  gen.max_attrs = max_attrs;
+  gen.max_not_equals = 1;
+  for (int c = 0; c < mat.num_columns(); ++c) {
+    const std::string& name = mat.column(c).name();
+    if (name.size() >= 3 && name.substr(name.size() - 3) == ".id") continue;
+    if (name.find("movie_id") != std::string::npos) continue;
+    gen.allowed_attrs.push_back(c);
+  }
+  common::Rng rng(seed);
+  const std::vector<query::Query> queries =
+      workload::GeneratePredicateWorkload(mat, count, gen, rng);
+  const std::vector<workload::LabeledQuery> labeled =
+      workload::LabelOnTable(mat, queries, true).value();
+  std::pair<std::vector<query::Query>, std::vector<double>> out;
+  for (const workload::LabeledQuery& lq : labeled) {
+    out.first.push_back(lq.query);
+    out.second.push_back(lq.card);
+  }
+  return out;
+}
+
+/// Lifts a single-table query over a materialized sub-schema join (columns
+/// named "<table>.<col>") back to a catalog-level join query over `tables`.
+inline common::StatusOr<query::Query> LiftLocalQuery(
+    const workload::ImdbDatabase& db, const std::vector<std::string>& tables,
+    const storage::Table& mat, const query::Query& local) {
+  query::Query out;
+  for (const std::string& t : tables) {
+    out.tables.push_back(query::TableRef{t, t});
+  }
+  QFCARD_RETURN_IF_ERROR(db.graph.PopulateJoins(db.catalog, out));
+  for (const query::CompoundPredicate& cp : local.predicates) {
+    const std::string& name = mat.column(cp.col.column).name();
+    const size_t dot = name.find('.');
+    if (dot == std::string::npos) {
+      return common::Status::Internal("materialized column without prefix");
+    }
+    const std::string table_name = name.substr(0, dot);
+    const std::string col_name = name.substr(dot + 1);
+    int slot = -1;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (tables[t] == table_name) slot = static_cast<int>(t);
+    }
+    if (slot < 0) return common::Status::Internal("unknown table prefix");
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* base,
+                            db.catalog.GetTable(table_name));
+    QFCARD_ASSIGN_OR_RETURN(const int col, base->ColumnIndex(col_name));
+    query::CompoundPredicate rebased = cp;
+    rebased.col = query::ColumnRef{slot, col};
+    for (query::ConjunctiveClause& clause : rebased.disjuncts) {
+      for (query::SimplePredicate& p : clause.preds) p.col = rebased.col;
+    }
+    out.predicates.push_back(std::move(rebased));
+  }
+  return out;
+}
+
+/// Formats a QErrorSummary as mean/median/p99/max cells.
+inline void AddSummaryCells(std::vector<std::string>& row,
+                            const ml::QErrorSummary& s) {
+  row.push_back(eval::FormatQ(s.mean));
+  row.push_back(eval::FormatQ(s.median));
+  row.push_back(eval::FormatQ(s.p99));
+  row.push_back(eval::FormatQ(s.max));
+}
+
+}  // namespace qfcard::bench
+
+#endif  // QFCARD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Figure 2: estimation errors per QFT as a function of the number of
+// attributes mentioned in the query (GB only, as in the paper; NN
+// underperforms GB everywhere and MSCN is worse on joins).
+// simple/range/conjunctive use the conjunctive workload; complex uses the
+// mixed workload.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+void Run() {
+  ForestBundle bundle = MakeForestBundle();
+  const std::vector<int> buckets{1, 2, 3, 5, 8};
+
+  eval::TablePrinter table(
+      {"qft", "#attrs", "box (p1 | p25 [med] p75 | p99 (max))", "mean", "n"});
+  for (const std::string qft : {"simple", "range", "conjunctive", "complex"}) {
+    const bool mixed = qft == "complex";
+    const auto& train = mixed ? bundle.mixed_train : bundle.conj_train;
+    const auto& test = mixed ? bundle.mixed_test : bundle.conj_test;
+    const auto featurizer = MakeQft(qft, bundle.schema);
+    const auto model = MakeModel("GB");
+    const auto result_or = eval::RunQftModel(*featurizer, *model, train, test);
+    QFCARD_CHECK_OK(result_or.status());
+    const std::map<int, ml::QErrorSummary> grouped = eval::SummarizeByGroup(
+        result_or.value().qerrors,
+        eval::BucketizeGroups(eval::NumAttributesOf(test), buckets));
+    for (const auto& [bucket, summary] : grouped) {
+      table.AddRow({qft, std::to_string(bucket), eval::FormatBox(summary),
+                    eval::FormatQ(summary.mean),
+                    std::to_string(summary.count)});
+    }
+  }
+  std::printf(
+      "Figure 2: GB estimation errors per QFT by #attributes (forest)\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 3: estimation errors per QFT as a function of the number of simple
+// predicates in the query (GB only). Two predicates = one closed range;
+// three = a range plus one not-equal, where Range Predicate Encoding starts
+// losing information (the paper's spike in the 99% whisker).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+void Run() {
+  ForestBundle bundle = MakeForestBundle();
+  const std::vector<int> buckets{2, 3, 4, 6, 8, 12};
+
+  eval::TablePrinter table(
+      {"qft", "#preds", "box (p1 | p25 [med] p75 | p99 (max))", "mean", "n"});
+  for (const std::string qft : {"simple", "range", "conjunctive", "complex"}) {
+    const bool mixed = qft == "complex";
+    const auto& train = mixed ? bundle.mixed_train : bundle.conj_train;
+    const auto& test = mixed ? bundle.mixed_test : bundle.conj_test;
+    const auto featurizer = MakeQft(qft, bundle.schema);
+    const auto model = MakeModel("GB");
+    const auto result_or = eval::RunQftModel(*featurizer, *model, train, test);
+    QFCARD_CHECK_OK(result_or.status());
+    const std::map<int, ml::QErrorSummary> grouped = eval::SummarizeByGroup(
+        result_or.value().qerrors,
+        eval::BucketizeGroups(eval::NumPredicatesOf(test), buckets));
+    for (const auto& [bucket, summary] : grouped) {
+      table.AddRow({qft, std::to_string(bucket), eval::FormatBox(summary),
+                    eval::FormatQ(summary.mean),
+                    std::to_string(summary.count)});
+    }
+  }
+  std::printf(
+      "Figure 3: GB estimation errors per QFT by #predicates (forest)\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

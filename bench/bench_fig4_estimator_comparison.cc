@@ -1,0 +1,105 @@
+// Figure 4: the best QFT x model combinations (GB + conj for conjunctive
+// queries, GB + complex for mixed queries) against established estimators:
+// the Postgres-style independence estimator, 0.1% Bernoulli sampling (fresh
+// per query), and MSCN without modifications. Distributions per number of
+// attributes in the query. MSCN has no disjunction support, so it is absent
+// from the mixed workload, as in the paper.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+void AddGroupedRows(eval::TablePrinter& table, const std::string& workload,
+                    const std::string& estimator,
+                    const std::vector<double>& errors,
+                    const std::vector<int>& attrs) {
+  const std::vector<int> buckets{1, 2, 3, 5, 8};
+  const std::map<int, ml::QErrorSummary> grouped =
+      eval::SummarizeByGroup(errors, eval::BucketizeGroups(attrs, buckets));
+  for (const auto& [bucket, summary] : grouped) {
+    table.AddRow({workload, estimator, std::to_string(bucket),
+                  eval::FormatBox(summary), eval::FormatQ(summary.mean)});
+  }
+}
+
+void Run() {
+  ForestBundle bundle = MakeForestBundle();
+  const est::PostgresStyleEstimator postgres =
+      est::PostgresStyleEstimator::Build(&bundle.catalog).value();
+  est::SamplingEstimator sampling(&bundle.catalog, 0.001, 424242);
+
+  eval::TablePrinter table({"workload", "estimator", "#attrs",
+                            "box (p1 | p25 [med] p75 | p99 (max))", "mean"});
+
+  for (const bool mixed : {false, true}) {
+    const auto& train = mixed ? bundle.mixed_train : bundle.conj_train;
+    const auto& test = mixed ? bundle.mixed_test : bundle.conj_test;
+    const std::string workload = mixed ? "mixed" : "conjunctive";
+    const std::vector<int> attrs = eval::NumAttributesOf(test);
+
+    // GB + conj / GB + complex.
+    {
+      const auto featurizer =
+          MakeQft(mixed ? "complex" : "conjunctive", bundle.schema);
+      const auto model = MakeModel("GB");
+      const auto result_or =
+          eval::RunQftModel(*featurizer, *model, train, test);
+      QFCARD_CHECK_OK(result_or.status());
+      AddGroupedRows(table, workload, mixed ? "GB + complex" : "GB + conj",
+                     result_or.value().qerrors, attrs);
+    }
+
+    // Postgres-style and sampling.
+    std::vector<double> pg_errors;
+    std::vector<double> sample_errors;
+    for (const workload::LabeledQuery& lq : test) {
+      pg_errors.push_back(
+          ml::QError(lq.card, postgres.EstimateCard(lq.query).value()));
+      sample_errors.push_back(
+          ml::QError(lq.card, sampling.EstimateCard(lq.query).value()));
+    }
+    AddGroupedRows(table, workload, "Postgres", pg_errors, attrs);
+    AddGroupedRows(table, workload, "Sampling 0.1%", sample_errors, attrs);
+
+    // MSCN w/o mods: conjunctive workload only.
+    if (!mixed) {
+      query::SchemaGraph empty_graph;
+      featurize::MscnFeaturizer featurizer(
+          &bundle.catalog, &empty_graph,
+          featurize::MscnFeaturizer::PredMode::kPerPredicate);
+      est::MscnEstimator estimator(std::move(featurizer), DefaultMscn());
+      std::vector<query::Query> queries;
+      std::vector<double> cards;
+      for (const workload::LabeledQuery& lq : train) {
+        queries.push_back(lq.query);
+        cards.push_back(lq.card);
+      }
+      QFCARD_CHECK_OK(estimator.Train(queries, cards, 0.1));
+      std::vector<double> errors;
+      std::vector<int> mscn_attrs;
+      for (const workload::LabeledQuery& lq : test) {
+        const auto est_or = estimator.EstimateCard(lq.query);
+        if (!est_or.ok()) continue;
+        errors.push_back(ml::QError(lq.card, est_or.value()));
+        mscn_attrs.push_back(lq.query.NumAttributes());
+      }
+      AddGroupedRows(table, workload, "MSCN", errors, mscn_attrs);
+    }
+  }
+
+  std::printf(
+      "Figure 4: best QFT x model combinations vs established estimators "
+      "(forest)\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 5: query drift. Models train on low-dimensional queries (at most
+// two distinct attributes) and are tested on high-dimensional queries (three
+// or more). Rows with #attrs <= 2 show training-distribution errors for
+// reference, as in the paper's figure.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+void Run() {
+  ForestBundle bundle = MakeForestBundle();
+  const std::vector<int> buckets{1, 2, 3, 5, 8};
+  eval::TablePrinter table({"model", "qft", "#attrs", "split",
+                            "box (p1 | p25 [med] p75 | p99 (max))", "mean"});
+
+  for (const std::string model_kind : {"GB", "NN"}) {
+    for (const std::string qft :
+         {"simple", "range", "conjunctive", "complex"}) {
+      const bool mixed = qft == "complex";
+      std::vector<workload::LabeledQuery> all =
+          mixed ? bundle.mixed_train : bundle.conj_train;
+      const auto& extra = mixed ? bundle.mixed_test : bundle.conj_test;
+      all.insert(all.end(), extra.begin(), extra.end());
+      workload::DriftSplit split =
+          workload::SplitByNumAttributes(std::move(all), 2);
+      if (split.low.empty() || split.high.empty()) continue;
+
+      const auto featurizer = MakeQft(qft, bundle.schema);
+      const auto model = MakeModel(model_kind);
+      // Train on low-dimensional queries; evaluate on both splits.
+      const auto high_or =
+          eval::RunQftModel(*featurizer, *model, split.low, split.high);
+      QFCARD_CHECK_OK(high_or.status());
+      // Training-distribution reference errors (no retraining).
+      std::vector<double> low_errors;
+      for (const workload::LabeledQuery& lq : split.low) {
+        const auto vec_or = featurizer->Featurize(lq.query);
+        if (!vec_or.ok()) continue;
+        low_errors.push_back(ml::QError(
+            lq.card, ml::LabelToCard(model->Predict(vec_or.value().data()))));
+      }
+
+      const auto add_rows = [&](const std::vector<double>& errors,
+                                const std::vector<workload::LabeledQuery>& qs,
+                                const char* label) {
+        std::vector<int> attrs;
+        attrs.reserve(qs.size());
+        for (const workload::LabeledQuery& lq : qs) {
+          attrs.push_back(lq.query.NumAttributes());
+        }
+        const auto grouped = eval::SummarizeByGroup(
+            errors, eval::BucketizeGroups(attrs, buckets));
+        for (const auto& [bucket, summary] : grouped) {
+          table.AddRow({model_kind, qft, std::to_string(bucket), label,
+                        eval::FormatBox(summary), eval::FormatQ(summary.mean)});
+        }
+      };
+      add_rows(low_errors, split.low, "train (<=2)");
+      add_rows(high_or.value().qerrors, split.high, "test (>=3)");
+    }
+  }
+  std::printf(
+      "Figure 5: query drift — train on <=2-attribute queries, test on "
+      ">=3-attribute queries (forest)\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

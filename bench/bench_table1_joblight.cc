@@ -1,0 +1,92 @@
+// Table 1: JOB-light-style join queries, local models (one per sub-schema).
+// Rows: {NN, GB} x {simple, range, conj}; columns: mean / median / 99% / max
+// q-error. As in the paper, Universal Conjunction Encoding uses 8
+// per-attribute entries for the NN and 32 for GB; complex is omitted since
+// JOB-light has no disjunctions (its vectors equal conj's).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+struct LocalTrainingCache {
+  std::map<std::string, std::pair<std::vector<query::Query>,
+                                  std::vector<double>>> data;
+};
+
+void Run() {
+  ImdbBundle bundle = MakeImdbBundle(/*max_tables=*/4);
+
+  // Shared per-sub-schema training workloads (generated once, reused by
+  // every model+QFT combination for a fair comparison).
+  LocalTrainingCache cache;
+
+  eval::TablePrinter table(
+      {"model + QFT", "mean", "median", "99%", "max", "train s"});
+  struct Combo {
+    const char* model;
+    const char* qft;
+    int partitions;  // 0 = QFT has none
+  };
+  const Combo combos[] = {
+      {"NN", "simple", 0}, {"NN", "range", 0}, {"NN", "conj", 8},
+      {"GB", "simple", 0}, {"GB", "range", 0}, {"GB", "conj", 32},
+  };
+  for (const Combo& combo : combos) {
+    const std::string qft = combo.qft;
+    const int partitions = combo.partitions;
+    est::LocalModelSet local(
+        &bundle.db.catalog, &bundle.db.graph,
+        [&qft, partitions](featurize::FeatureSchema schema) {
+          return MakeQft(qft, schema, /*attr_sel=*/true, partitions);
+        },
+        [&combo]() { return MakeModel(combo.model); });
+
+    eval::Timer timer;
+    bool failed = false;
+    for (const std::vector<std::string>& tables : bundle.subschemas) {
+      const auto mat_or = local.GetOrMaterialize(tables);
+      QFCARD_CHECK_OK(mat_or.status());
+      const std::string key = query::SubSchemaKey(tables);
+      if (!cache.data.count(key)) {
+        cache.data[key] =
+            MakeLocalTraining(*mat_or.value(), LocalTrainQueries(), 4004);
+      }
+      const auto& [qs, cards] = cache.data[key];
+      const common::Status st = local.TrainSubSchema(tables, qs, cards, 0.1, 5005);
+      if (!st.ok()) {
+        std::fprintf(stderr, "training %s failed: %s\n", key.c_str(),
+                     st.ToString().c_str());
+        failed = true;
+        break;
+      }
+    }
+    if (failed) continue;
+    const double train_seconds = timer.Seconds();
+
+    std::vector<double> errors;
+    for (size_t i = 0; i < bundle.test_queries.size(); ++i) {
+      const auto est_or = local.EstimateCard(bundle.test_queries[i]);
+      if (!est_or.ok()) continue;
+      errors.push_back(ml::QError(bundle.test_cards[i], est_or.value()));
+    }
+    const ml::QErrorSummary s = ml::QErrorSummary::FromErrors(errors);
+    std::vector<std::string> row{std::string(combo.model) + " + " + combo.qft};
+    AddSummaryCells(row, s);
+    row.push_back(common::StrFormat("%.1f", train_seconds));
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Table 1: JOB-light-style join queries, local models\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 3: effect of the per-attribute selectivity appendix (the gray lines
+// of Algorithm 1). Rows: {GB, NN} x {conj, comp} x {w/, w/o} attrSel.
+// conj runs on the conjunctive workload, comp on the mixed workload.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+void Run() {
+  ForestBundle bundle = MakeForestBundle();
+  eval::TablePrinter table(
+      {"model", "mean", "median", "99%", "max"});
+  for (const std::string model_kind : {"GB", "NN"}) {
+    for (const std::string qft : {"conj", "comp"}) {
+      const bool mixed = qft == "comp";
+      const auto& train = mixed ? bundle.mixed_train : bundle.conj_train;
+      const auto& test = mixed ? bundle.mixed_test : bundle.conj_test;
+      for (const bool attr_sel : {true, false}) {
+        const auto featurizer = MakeQft(qft, bundle.schema, attr_sel);
+        const auto model = MakeModel(model_kind);
+        const auto result_or =
+            eval::RunQftModel(*featurizer, *model, train, test);
+        QFCARD_CHECK_OK(result_or.status());
+        std::vector<std::string> row{
+            model_kind + "+" + qft + (attr_sel ? " w/ attrSel" : " w/o attrSel")};
+        AddSummaryCells(row, result_or.value().summary);
+        table.AddRow(std::move(row));
+      }
+    }
+  }
+  std::printf("Table 3: effect of per-attribute selectivity estimates\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

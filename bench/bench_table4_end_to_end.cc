@@ -1,0 +1,144 @@
+// Table 4: end-to-end run times. The same DP join-order optimizer is driven
+// by three cardinality sources — the Postgres-style estimator, our local
+// GB + conj models, and the true cardinalities — and every chosen plan is
+// executed in the in-process engine. The paper's finding: better estimates
+// improve run time only marginally for a defensive, small-search-space
+// optimizer, and the learned estimator lands close to the true-cardinality
+// plans.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+opt::SubsetCardFn CardFnFor(const est::CardinalityEstimator& estimator,
+                            const query::Query& q) {
+  return [&estimator, &q](uint32_t mask) -> common::StatusOr<double> {
+    QFCARD_ASSIGN_OR_RETURN(const query::Query sub,
+                            opt::InducedSubQuery(q, mask));
+    return estimator.EstimateCard(sub);
+  };
+}
+
+void Run() {
+  ImdbBundle bundle = MakeImdbBundle(/*max_tables=*/4);
+
+  // Arm 1: Postgres-style synopses.
+  const est::PostgresStyleEstimator postgres =
+      est::PostgresStyleEstimator::Build(&bundle.db.catalog).value();
+  // Arm 3: the oracle.
+  const est::TrueCardEstimator oracle(&bundle.db.catalog);
+
+  // Arm 2: our approach — local GB + conj models. Sub-queries seen by the
+  // optimizer cover every connected sub-schema of each query, so train a
+  // model per connected subset (including single tables).
+  est::LocalModelSet local(
+      &bundle.db.catalog, &bundle.db.graph,
+      [](featurize::FeatureSchema schema) { return MakeQft("conj", schema); },
+      []() { return MakeModel("GB"); });
+  {
+    eval::Timer timer;
+    std::map<std::string, std::vector<std::string>> to_train;
+    for (const query::Query& q : bundle.test_queries) {
+      const std::vector<std::string> tables = TablesOf(q);
+      const size_t n = tables.size();
+      for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+        std::vector<std::string> subset;
+        for (size_t t = 0; t < n; ++t) {
+          if (mask & (1u << t)) subset.push_back(tables[t]);
+        }
+        if (subset.size() > 1 && !bundle.db.graph.IsConnected(subset)) continue;
+        to_train[query::SubSchemaKey(subset)] = subset;
+      }
+    }
+    for (const auto& [key, tables] : to_train) {
+      const storage::Table& mat = *local.GetOrMaterialize(tables).value();
+      const auto [qs, cards] =
+          MakeLocalTraining(mat, LocalTrainQueries() / 2, 8008);
+      if (qs.empty()) continue;
+      QFCARD_CHECK_OK(local.TrainSubSchema(tables, qs, cards, 0.1, 9009));
+    }
+    std::printf("[setup] trained %d local models in %.1fs\n\n",
+                local.num_models(), timer.Seconds());
+  }
+
+  // Extra arm: the best-of-both-worlds hybrid — learned models only for
+  // sub-schemas of <= 2 tables, System R formulas for the rest (the
+  // Section 2.1.2 model-count reduction).
+  est::LocalModelSet small_local(
+      &bundle.db.catalog, &bundle.db.graph,
+      [](featurize::FeatureSchema schema) { return MakeQft("conj", schema); },
+      []() { return MakeModel("GB"); });
+  {
+    eval::Timer timer;
+    std::map<std::string, std::vector<std::string>> to_train;
+    for (const query::Query& q : bundle.test_queries) {
+      const std::vector<std::string> tables = TablesOf(q);
+      for (const std::string& t : tables) to_train[t] = {t};
+      for (size_t i = 1; i < tables.size(); ++i) {
+        // title is always slot 0; every satellite pairs with it.
+        std::vector<std::string> pair{tables[0], tables[i]};
+        to_train[query::SubSchemaKey(pair)] = pair;
+      }
+    }
+    for (const auto& [key, tables] : to_train) {
+      const storage::Table& mat = *small_local.GetOrMaterialize(tables).value();
+      const auto [qs, cards] =
+          MakeLocalTraining(mat, LocalTrainQueries() / 2, 8108);
+      if (qs.empty()) continue;
+      QFCARD_CHECK_OK(small_local.TrainSubSchema(tables, qs, cards, 0.1, 9109));
+    }
+    std::printf("[setup] hybrid arm: %d small local models in %.1fs\n\n",
+                small_local.num_models(), timer.Seconds());
+  }
+  const est::HybridEstimator hybrid(&small_local, &postgres);
+
+  struct Arm {
+    std::string label;
+    const est::CardinalityEstimator* estimator;
+    double seconds = 0.0;
+    double intermediates = 0.0;
+    int plans = 0;
+  };
+  Arm arms[] = {
+      {"Postgres", &postgres, 0, 0, 0},
+      {"Our approach", &local, 0, 0, 0},
+      {"Hybrid (<=2-table models)", &hybrid, 0, 0, 0},
+      {"True cardinalities", &oracle, 0, 0, 0},
+  };
+
+  for (const query::Query& q : bundle.test_queries) {
+    for (Arm& arm : arms) {
+      const auto plan_or =
+          opt::JoinOrderOptimizer::Optimize(q, CardFnFor(*arm.estimator, q));
+      if (!plan_or.ok()) continue;
+      const auto exec_or = opt::ExecutePlan(bundle.db.catalog, q, plan_or.value());
+      if (!exec_or.ok()) continue;
+      arm.seconds += exec_or.value().seconds;
+      arm.intermediates += exec_or.value().intermediate_rows;
+      ++arm.plans;
+    }
+  }
+
+  eval::TablePrinter table(
+      {"estimates", "total run time", "intermediate rows", "plans"});
+  for (const Arm& arm : arms) {
+    table.AddRow({arm.label, common::StrFormat("%.3fs", arm.seconds),
+                  common::StrFormat("%.0f", arm.intermediates),
+                  std::to_string(arm.plans)});
+  }
+  std::printf(
+      "Table 4: end-to-end run times (optimizer + executor, %zu queries)\n",
+      bundle.test_queries.size());
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

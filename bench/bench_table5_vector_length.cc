@@ -1,0 +1,48 @@
+// Table 5: accuracy of Universal Conjunction Encoding (GB model) for
+// different numbers of per-attribute entries n in {8, 16, 32, 64, 256}.
+// The paper's U-shape: small n loses information, large n hurts
+// learnability for a fixed training budget. The byte column is the feature
+// vector footprint (= model input layer size; the rest of the model is
+// unchanged).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+void Run() {
+  ForestBundle bundle = MakeForestBundle(/*need_conj=*/true,
+                                         /*need_mixed=*/false);
+  eval::TablePrinter table({"no. entries", "bytes feat. vec.", "mean",
+                            "median", "99%", "max", "train s"});
+  for (const int n : {8, 16, 32, 64, 256}) {
+    const auto featurizer =
+        MakeQft("conjunctive", bundle.schema, /*attr_sel=*/true, n);
+    const auto model = MakeModel("GB");
+    const auto result_or = eval::RunQftModel(*featurizer, *model,
+                                             bundle.conj_train,
+                                             bundle.conj_test);
+    QFCARD_CHECK_OK(result_or.status());
+    const eval::RunResult& r = result_or.value();
+    std::vector<std::string> row{
+        std::to_string(n),
+        std::to_string(featurizer->dim() * sizeof(float))};
+    AddSummaryCells(row, r.summary);
+    row.push_back(common::StrFormat("%.1f", r.train_seconds));
+    table.AddRow(std::move(row));
+  }
+  std::printf(
+      "Table 5: accuracy for different feature vector lengths "
+      "(GB + conjunctive, forest)\n");
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 6: training convergence — average q-error as a function of the
+// number of training queries, for {GB, NN} x {conj, comp, range, simple}.
+// conj/range/simple use the conjunctive workload; comp uses the mixed
+// workload (as in the paper's Figure 1 convention).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+void Run() {
+  ForestBundle bundle = MakeForestBundle();
+  std::vector<int> sizes;
+  const int max_train = static_cast<int>(bundle.conj_train.size());
+  for (const double frac : {0.1, 0.2, 0.4, 0.7, 1.0}) {
+    sizes.push_back(static_cast<int>(frac * max_train));
+  }
+
+  for (const std::string model_kind : {"GB", "NN"}) {
+    eval::TablePrinter table(
+        {"training queries", "conj", "comp", "range", "simple"});
+    for (const int size : sizes) {
+      std::vector<std::string> row{std::to_string(size)};
+      for (const std::string qft : {"conj", "comp", "range", "simple"}) {
+        const bool mixed = qft == "comp";
+        const auto& full_train =
+            mixed ? bundle.mixed_train : bundle.conj_train;
+        const auto& test = mixed ? bundle.mixed_test : bundle.conj_test;
+        const int n = std::min<int>(size, static_cast<int>(full_train.size()));
+        const std::vector<workload::LabeledQuery> train(
+            full_train.begin(), full_train.begin() + n);
+        const auto featurizer = MakeQft(qft, bundle.schema);
+        const auto model = MakeModel(model_kind);
+        const auto result_or =
+            eval::RunQftModel(*featurizer, *model, train, test);
+        QFCARD_CHECK_OK(result_or.status());
+        row.push_back(eval::FormatQ(result_or.value().summary.mean));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("Table 6 (%s): mean q-error by number of training queries\n",
+                model_kind.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

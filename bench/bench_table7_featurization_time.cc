@@ -1,0 +1,62 @@
+// Table 7: time consumption of the QFTs — average microseconds to featurize
+// one forest workload query, via google-benchmark. Expected ordering:
+// simple < range < conjunctive < complex, all well under a millisecond.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+struct FeaturizeFixtureData {
+  storage::Catalog catalog;
+  featurize::FeatureSchema schema;
+  std::vector<query::Query> conj_queries;
+  std::vector<query::Query> mixed_queries;
+
+  FeaturizeFixtureData() {
+    workload::ForestOptions fopts;
+    fopts.num_rows = 20000;  // featurization cost is data-size independent
+    fopts.num_attributes = ForestAttrs();
+    QFCARD_CHECK_OK(catalog.AddTable(workload::MakeForestTable(fopts)));
+    const storage::Table& forest = *catalog.GetTable("forest").value();
+    schema = featurize::FeatureSchema::FromTable(forest);
+    common::Rng rng(1001);
+    conj_queries = workload::GeneratePredicateWorkload(
+        forest, 2000, workload::ConjunctiveWorkloadOptions(MaxQueryAttrs()),
+        rng);
+    mixed_queries = workload::GeneratePredicateWorkload(
+        forest, 2000, workload::MixedWorkloadOptions(MaxQueryAttrs()), rng);
+  }
+};
+
+FeaturizeFixtureData& Fixture() {
+  static FeaturizeFixtureData* data = new FeaturizeFixtureData();
+  return *data;
+}
+
+void BM_Featurize(benchmark::State& state, const std::string& qft) {
+  FeaturizeFixtureData& data = Fixture();
+  const auto featurizer = MakeQft(qft, data.schema);
+  const std::vector<query::Query>& queries =
+      qft == "complex" ? data.mixed_queries : data.conj_queries;
+  std::vector<float> out(static_cast<size_t>(featurizer->dim()), 0.0f);
+  size_t i = 0;
+  for (auto _ : state) {
+    const common::Status status =
+        featurizer->FeaturizeInto(queries[i % queries.size()], out.data());
+    benchmark::DoNotOptimize(out.data());
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK_CAPTURE(BM_Featurize, simple, std::string("simple"));
+BENCHMARK_CAPTURE(BM_Featurize, range, std::string("range"));
+BENCHMARK_CAPTURE(BM_Featurize, conjunctive, std::string("conjunctive"));
+BENCHMARK_CAPTURE(BM_Featurize, complex, std::string("complex"));
+
+}  // namespace
+}  // namespace qfcard::bench

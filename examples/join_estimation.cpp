@@ -1,0 +1,101 @@
+// Join estimation with local models (Section 2.1.2 / 4.1): materialize the
+// sub-schemas of a JOB-light-style workload over the synthetic IMDb
+// database, train one GB + conjunctive model per sub-schema, and compare
+// against the Postgres-style baseline on held-out join queries.
+//
+//   $ ./build/examples/join_estimation
+
+#include <cstdio>
+#include <map>
+
+#include "qfcard.h"
+
+using namespace qfcard;  // NOLINT: example brevity
+
+int main() {
+  workload::ImdbOptions iopts;
+  iopts.num_titles = 8000;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(iopts);
+  std::printf("IMDb-like catalog: %d tables, %zu key/foreign-key edges\n",
+              db.catalog.num_tables(), db.graph.edges().size());
+
+  // Test workload: JOB-light-like join queries.
+  common::Rng rng(5);
+  workload::JobLightOptions jopts;
+  jopts.count = 40;
+  jopts.max_tables = 3;  // keep materializations small for the demo
+  const std::vector<query::Query> test_queries =
+      workload::MakeJobLightWorkload(db, jopts, rng);
+
+  // Local model set: GB + Universal Conjunction Encoding per sub-schema.
+  est::LocalModelSet local(
+      &db.catalog, &db.graph,
+      [](featurize::FeatureSchema schema) {
+        featurize::ConjunctionOptions copts;
+        copts.max_partitions = 32;
+        return std::make_unique<featurize::ConjunctionEncoding>(
+            std::move(schema), copts);
+      },
+      []() { return std::make_unique<ml::GradientBoosting>(); });
+
+  // Group test queries by sub-schema; train one local model per group.
+  std::map<std::string, std::vector<std::string>> subschemas;
+  for (const query::Query& q : test_queries) {
+    std::vector<std::string> tables;
+    for (const query::TableRef& ref : q.tables) tables.push_back(ref.name);
+    subschemas[query::SubSchemaKey(tables)] = tables;
+  }
+  std::printf("training %zu local models...\n", subschemas.size());
+  for (const auto& [key, tables] : subschemas) {
+    const storage::Table& mat = *local.GetOrMaterialize(tables).value();
+    // Training queries: selections over the materialized join, excluding
+    // key columns (id / movie_id).
+    workload::PredicateGenOptions gen;
+    gen.max_attrs = 4;
+    gen.max_not_equals = 1;
+    for (int c = 0; c < mat.num_columns(); ++c) {
+      const std::string& name = mat.column(c).name();
+      if (name.find(".id") == std::string::npos &&
+          name.find("movie_id") == std::string::npos) {
+        gen.allowed_attrs.push_back(c);
+      }
+    }
+    common::Rng gen_rng(17);
+    const std::vector<query::Query> train_queries =
+        workload::GeneratePredicateWorkload(mat, 1200, gen, gen_rng);
+    const std::vector<workload::LabeledQuery> labeled =
+        workload::LabelOnTable(mat, train_queries, true).value();
+    std::vector<query::Query> qs;
+    std::vector<double> cards;
+    for (const workload::LabeledQuery& lq : labeled) {
+      qs.push_back(lq.query);
+      cards.push_back(lq.card);
+    }
+    QFCARD_CHECK_OK(local.TrainSubSchema(tables, qs, cards, 0.1, 19));
+    std::printf("  %-45s %8lld joined rows, %5zu training queries\n",
+                key.c_str(), static_cast<long long>(mat.num_rows()),
+                qs.size());
+  }
+
+  // Baseline: Postgres-style histogram/independence estimator.
+  const est::PostgresStyleEstimator postgres =
+      est::PostgresStyleEstimator::Build(&db.catalog).value();
+  const est::TrueCardEstimator oracle(&db.catalog);
+
+  std::vector<double> local_err;
+  std::vector<double> pg_err;
+  for (const query::Query& q : test_queries) {
+    const double truth = oracle.EstimateCard(q).value();
+    local_err.push_back(
+        ml::QError(truth, local.EstimateCard(q).value()));
+    pg_err.push_back(ml::QError(truth, postgres.EstimateCard(q).value()));
+  }
+  std::printf("\nq-errors on %zu held-out join queries:\n", local_err.size());
+  std::printf("  %-18s %s\n", local.name().c_str(),
+              ml::QErrorSummary::FromErrors(local_err).ToString().c_str());
+  std::printf("  %-18s %s\n", "postgres",
+              ml::QErrorSummary::FromErrors(pg_err).ToString().c_str());
+  std::printf("\nmodel footprint: %zu bytes across %d local models\n",
+              local.SizeBytes(), local.num_models());
+  return 0;
+}

@@ -1,0 +1,158 @@
+// qfcard_cli: train a cardinality estimator on a CSV table and answer SQL
+// count(*) estimates interactively (or from piped stdin).
+//
+//   $ ./build/examples/qfcard_cli data.csv tablename
+//   $ ./build/examples/qfcard_cli --synthetic
+//   > SELECT count(*) FROM forest WHERE A1 >= 2500 AND A1 <= 3000;
+//   estimate=412  true=398  q-error=1.04
+//
+// Flags:
+//   --synthetic     use the built-in forest generator instead of a CSV
+//   --no-truth      skip executing queries for the true count (faster)
+//   --model=gb|nn   model type (default gb)
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "qfcard.h"
+
+using namespace qfcard;  // NOLINT: example brevity
+
+namespace {
+
+struct CliOptions {
+  std::string csv_path;
+  std::string table_name = "data";
+  bool synthetic = false;
+  bool truth = true;
+  std::string model = "gb";
+};
+
+common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--synthetic") {
+      opts.synthetic = true;
+    } else if (arg == "--no-truth") {
+      opts.truth = false;
+    } else if (arg.rfind("--model=", 0) == 0) {
+      opts.model = arg.substr(8);
+      if (opts.model != "gb" && opts.model != "nn") {
+        return common::Status::InvalidArgument("--model must be gb or nn");
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return common::Status::InvalidArgument("unknown flag: " + arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!opts.synthetic) {
+    if (positional.empty()) {
+      return common::Status::InvalidArgument(
+          "usage: qfcard_cli <csv> [table-name] | qfcard_cli --synthetic");
+    }
+    opts.csv_path = positional[0];
+    if (positional.size() > 1) opts.table_name = positional[1];
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts_or = ParseArgs(argc, argv);
+  if (!opts_or.ok()) {
+    std::fprintf(stderr, "%s\n", opts_or.status().ToString().c_str());
+    return 1;
+  }
+  const CliOptions& opts = opts_or.value();
+
+  storage::Catalog catalog;
+  if (opts.synthetic) {
+    workload::ForestOptions fopts;
+    fopts.num_rows = 30000;
+    fopts.num_attributes = 10;
+    QFCARD_CHECK_OK(catalog.AddTable(workload::MakeForestTable(fopts)));
+  } else {
+    auto table_or = storage::ReadCsv(opts.csv_path, opts.table_name);
+    if (!table_or.ok()) {
+      std::fprintf(stderr, "loading '%s': %s\n", opts.csv_path.c_str(),
+                   table_or.status().ToString().c_str());
+      return 1;
+    }
+    QFCARD_CHECK_OK(catalog.AddTable(std::move(table_or).value()));
+  }
+  const storage::Table& table = catalog.table(0);
+  std::fprintf(stderr, "table '%s': %lld rows x %d columns\n",
+               table.name().c_str(), static_cast<long long>(table.num_rows()),
+               table.num_columns());
+
+  // Train GB/NN + Limited Disjunction Encoding on an auto-generated mixed
+  // workload (handles plain conjunctive queries as a special case).
+  std::fprintf(stderr, "training %s + complex on auto-generated workload...\n",
+               opts.model == "gb" ? "GB" : "NN");
+  common::Rng rng(1);
+  const std::vector<query::Query> queries = workload::GeneratePredicateWorkload(
+      table, 4000,
+      workload::MixedWorkloadOptions(std::min(table.num_columns(), 6)), rng);
+  const std::vector<workload::LabeledQuery> labeled =
+      workload::LabelOnTable(table, queries, true).value();
+  featurize::ConjunctionOptions copts;
+  copts.max_partitions = 64;
+  std::unique_ptr<ml::Model> model;
+  if (opts.model == "gb") {
+    model = std::make_unique<ml::GradientBoosting>();
+  } else {
+    model = std::make_unique<ml::FeedForwardNet>();
+  }
+  est::MlEstimator estimator(
+      featurize::MakeFeaturizer(featurize::QftKind::kComplex,
+                                featurize::FeatureSchema::FromTable(table),
+                                copts),
+      std::move(model));
+  {
+    std::vector<query::Query> qs;
+    std::vector<double> cards;
+    for (const workload::LabeledQuery& lq : labeled) {
+      qs.push_back(lq.query);
+      cards.push_back(lq.card);
+    }
+    QFCARD_CHECK_OK(estimator.Train(qs, cards, 0.1, 2));
+  }
+  std::fprintf(stderr,
+               "ready (%zu training queries, %zu byte model). Enter SQL "
+               "count(*) queries, one per line.\n",
+               labeled.size(), estimator.SizeBytes());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string_view stripped = common::StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (stripped == "quit" || stripped == "exit") break;
+    const auto q_or = query::ParseQuery(stripped, catalog);
+    if (!q_or.ok()) {
+      std::printf("error: %s\n", q_or.status().ToString().c_str());
+      continue;
+    }
+    const auto est_or = estimator.EstimateCard(q_or.value());
+    if (!est_or.ok()) {
+      std::printf("error: %s\n", est_or.status().ToString().c_str());
+      continue;
+    }
+    if (opts.truth) {
+      const auto truth_or = query::Executor::Count(table, q_or.value());
+      if (truth_or.ok()) {
+        const double truth = static_cast<double>(truth_or.value());
+        std::printf("estimate=%.0f  true=%.0f  q-error=%.2f\n", est_or.value(),
+                    truth, ml::QError(truth, est_or.value()));
+        continue;
+      }
+    }
+    std::printf("estimate=%.0f\n", est_or.value());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a table, parse a SQL count query, train a GB estimator
+// with Universal Conjunction Encoding, and compare its estimate to the truth.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "qfcard.h"
+
+using namespace qfcard;  // NOLINT: example brevity
+
+int main() {
+  // 1. Synthesize a small forest-covertype-like table and register it.
+  workload::ForestOptions fopts;
+  fopts.num_rows = 20000;
+  fopts.num_attributes = 8;
+  storage::Catalog catalog;
+  QFCARD_CHECK_OK(catalog.AddTable(workload::MakeForestTable(fopts)));
+  const storage::Table& forest = *catalog.GetTable("forest").value();
+  std::printf("table 'forest': %lld rows, %d attributes\n",
+              static_cast<long long>(forest.num_rows()), forest.num_columns());
+
+  // 2. Generate and label a training workload of conjunctive queries.
+  common::Rng rng(1);
+  const std::vector<query::Query> queries = workload::GeneratePredicateWorkload(
+      forest, 2000, workload::ConjunctiveWorkloadOptions(5), rng);
+  const std::vector<workload::LabeledQuery> labeled =
+      workload::LabelOnTable(forest, queries, /*drop_empty=*/true).value();
+  std::printf("labeled %zu training queries\n", labeled.size());
+
+  // 3. Choose a QFT (the paper's Universal Conjunction Encoding) and an
+  //    input-agnostic model (gradient boosting), then train.
+  featurize::ConjunctionOptions copts;
+  copts.max_partitions = 32;
+  est::MlEstimator estimator(
+      featurize::MakeFeaturizer(featurize::QftKind::kConjunctive,
+                                featurize::FeatureSchema::FromTable(forest),
+                                copts),
+      std::make_unique<ml::GradientBoosting>());
+  std::vector<query::Query> train_queries;
+  std::vector<double> cards;
+  for (const workload::LabeledQuery& lq : labeled) {
+    train_queries.push_back(lq.query);
+    cards.push_back(lq.card);
+  }
+  QFCARD_CHECK_OK(estimator.Train(train_queries, cards, /*valid_fraction=*/0.1,
+                                  /*seed=*/2));
+  std::printf("trained %s (%zu bytes)\n", estimator.name().c_str(),
+              estimator.SizeBytes());
+
+  // 4. Estimate the cardinality of a SQL query and compare to the truth.
+  const char* sql =
+      "SELECT count(*) FROM forest "
+      "WHERE A1 >= 2500 AND A1 <= 3100 AND A2 <> 220 AND A3 < 180";
+  const query::Query q = query::ParseQuery(sql, catalog).value();
+  const double estimate = estimator.EstimateCard(q).value();
+  const double truth =
+      static_cast<double>(query::Executor::Count(forest, q).value());
+  std::printf("\n%s\n  true count : %.0f\n  estimate   : %.0f\n  q-error    : %.2f\n",
+              sql, truth, estimate, ml::QError(truth, estimate));
+  return 0;
+}

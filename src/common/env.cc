@@ -1,0 +1,41 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace qfcard::common {
+
+std::string GetEnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  return v;
+}
+
+int64_t GetEnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return def;
+  return parsed;
+}
+
+Scale GetScale() {
+  const std::string s = GetEnvString("QFCARD_SCALE", "default");
+  if (s == "smoke") return Scale::kSmoke;
+  if (s == "full") return Scale::kFull;
+  return Scale::kDefault;
+}
+
+int64_t ScalePick(int64_t smoke, int64_t def, int64_t full) {
+  switch (GetScale()) {
+    case Scale::kSmoke:
+      return smoke;
+    case Scale::kFull:
+      return full;
+    case Scale::kDefault:
+      break;
+  }
+  return def;
+}
+
+}  // namespace qfcard::common

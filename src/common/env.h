@@ -1,0 +1,29 @@
+#ifndef QFCARD_COMMON_ENV_H_
+#define QFCARD_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qfcard::common {
+
+/// Reads environment variable `name`, returning `def` when unset or empty.
+std::string GetEnvString(const char* name, const std::string& def);
+
+/// Reads an integer environment variable, returning `def` when unset or
+/// unparsable.
+int64_t GetEnvInt(const char* name, int64_t def);
+
+/// Experiment scale selected via QFCARD_SCALE: "smoke" (CI-sized), "default"
+/// (minutes per bench on one core), or "full" (paper-sized counts).
+enum class Scale { kSmoke, kDefault, kFull };
+
+/// Returns the scale selected by the QFCARD_SCALE environment variable
+/// ("smoke" / "default" / "full"); defaults to kDefault.
+Scale GetScale();
+
+/// Picks one of three values based on GetScale().
+int64_t ScalePick(int64_t smoke, int64_t def, int64_t full);
+
+}  // namespace qfcard::common
+
+#endif  // QFCARD_COMMON_ENV_H_

@@ -1,0 +1,113 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfcard::common {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform01();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return lo + static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return lo + static_cast<int64_t>(v % span);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform01() < p; }
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = Uniform01();
+  while (u1 <= 1e-300) u1 = Uniform01();
+  const double u2 = Uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  double u = Uniform01();
+  while (u <= 1e-300) u = Uniform01();
+  return -std::log(u) / rate;
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 1;
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_cdf_.assign(static_cast<size_t>(n), 0.0);
+    double acc = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), s);
+      zipf_cdf_[static_cast<size_t>(i - 1)] = acc;
+    }
+    for (auto& v : zipf_cdf_) v /= acc;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  const double u = Uniform01();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<int64_t>(it - zipf_cdf_.begin()) + 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  // Floyd's algorithm would avoid the O(n) init, but n is small everywhere
+  // this is used (attribute counts), so a shuffle prefix is simplest.
+  std::vector<int> all(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  Shuffle(all);
+  all.resize(static_cast<size_t>(std::min(n, k)));
+  return all;
+}
+
+}  // namespace qfcard::common

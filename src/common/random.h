@@ -1,0 +1,75 @@
+#ifndef QFCARD_COMMON_RANDOM_H_
+#define QFCARD_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qfcard::common {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via SplitMix64).
+/// Every stochastic component in qfcard (data generators, workload
+/// generators, model initialization, sampling estimators) takes an explicit
+/// seed so that experiments are reproducible run to run.
+class Rng {
+ public:
+  /// Seeds the generator. Distinct seeds give independent-looking streams.
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double Uniform01();
+
+  /// Returns a double uniformly distributed in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Returns an integer uniformly distributed in [lo, hi] (inclusive).
+  /// Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns a sample from the standard normal distribution (Box-Muller).
+  double Normal();
+
+  /// Returns a sample from N(mean, stddev^2).
+  double Normal(double mean, double stddev);
+
+  /// Returns a sample from Exp(rate), i.e. mean 1/rate. Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Returns a Zipf-distributed integer in [1, n] with exponent s >= 0
+  /// (s == 0 degenerates to uniform). Uses inverse-CDF over precomputed
+  /// weights, O(log n) per draw after O(n) setup per (n, s) pair.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Draws k distinct values from [0, n) uniformly at random (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_[4];
+  // Cache for Zipf inverse-CDF tables keyed by (n, s).
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+  // Spare normal variate from Box-Muller.
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace qfcard::common
+
+#endif  // QFCARD_COMMON_RANDOM_H_

@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+
+namespace qfcard::common {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+void CheckOk(const Status& status, const char* file, int line) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s:%d: QFCARD_CHECK_OK failed: %s\n", file, line,
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace qfcard::common

@@ -1,0 +1,153 @@
+#ifndef QFCARD_COMMON_STATUS_H_
+#define QFCARD_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace qfcard::common {
+
+/// Error categories used across the library. Mirrors the subset of
+/// absl::StatusCode that the code base needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight error-or-success result. qfcard does not use C++ exceptions;
+/// every fallible operation returns a Status (or StatusOr<T>).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message. `code` should not
+  /// be kOk; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Aborts the process with a diagnostic if `status` is not OK. Used at call
+/// sites that have a proven invariant (e.g. featurizing a query that was just
+/// generated for this schema).
+void CheckOk(const Status& status, const char* file, int line);
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// an errored StatusOr aborts, so callers must test ok() first (or use
+/// QFCARD_ASSIGN_OR_RETURN).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+  /// Constructs from an error. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& value() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& value() && {
+    DieIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void DieIfError() const {
+    if (!status_.ok()) {
+      CheckOk(status_, __FILE__, __LINE__);
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qfcard::common
+
+/// Propagates a non-OK Status to the caller.
+#define QFCARD_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::qfcard::common::Status qfcard_status = (expr); \
+    if (!qfcard_status.ok()) return qfcard_status;   \
+  } while (0)
+
+#define QFCARD_CONCAT_INNER_(a, b) a##b
+#define QFCARD_CONCAT_(a, b) QFCARD_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr expression; on error propagates the Status, otherwise
+/// moves the value into `lhs`.
+#define QFCARD_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto QFCARD_CONCAT_(qfcard_statusor_, __LINE__) = (expr);         \
+  if (!QFCARD_CONCAT_(qfcard_statusor_, __LINE__).ok())             \
+    return QFCARD_CONCAT_(qfcard_statusor_, __LINE__).status();     \
+  lhs = std::move(QFCARD_CONCAT_(qfcard_statusor_, __LINE__)).value()
+
+/// Aborts if `expr` is not OK. For invariants, not for expected failures.
+#define QFCARD_CHECK_OK(expr) \
+  ::qfcard::common::CheckOk((expr), __FILE__, __LINE__)
+
+#endif  // QFCARD_COMMON_STATUS_H_

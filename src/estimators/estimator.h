@@ -1,0 +1,32 @@
+#ifndef QFCARD_ESTIMATORS_ESTIMATOR_H_
+#define QFCARD_ESTIMATORS_ESTIMATOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace qfcard::est {
+
+/// A cardinality estimator: maps a (possibly joined, possibly mixed) count
+/// query to an estimated result size >= 1. Implementations cover the
+/// paper's comparison set: the Postgres-style independence estimator,
+/// Bernoulli sampling, QFT x ML model combinations, and the true-cardinality
+/// oracle.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+
+  /// Estimated result cardinality of `q` (clamped to >= 1 by convention).
+  virtual common::StatusOr<double> EstimateCard(const query::Query& q) const = 0;
+
+  /// Label used in reports.
+  virtual std::string name() const = 0;
+
+  /// Approximate memory footprint of the estimator's state (Section 5.7).
+  virtual size_t SizeBytes() const { return 0; }
+};
+
+}  // namespace qfcard::est
+
+#endif  // QFCARD_ESTIMATORS_ESTIMATOR_H_

@@ -1,0 +1,84 @@
+#include "estimators/ml_estimator.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace qfcard::est {
+
+common::Status MlEstimator::Train(const std::vector<query::Query>& queries,
+                                  const std::vector<double>& cards,
+                                  double valid_fraction, uint64_t seed) {
+  if (queries.size() != cards.size()) {
+    return common::Status::InvalidArgument("queries/cards length mismatch");
+  }
+  std::vector<std::vector<float>> features;
+  std::vector<float> labels;
+  features.reserve(queries.size());
+  labels.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QFCARD_ASSIGN_OR_RETURN(std::vector<float> vec,
+                            featurizer_->Featurize(queries[i]));
+    features.push_back(std::move(vec));
+    labels.push_back(ml::CardToLabel(cards[i]));
+  }
+  QFCARD_ASSIGN_OR_RETURN(const ml::Dataset all,
+                          ml::Dataset::FromVectors(features, labels));
+  if (valid_fraction <= 0.0) {
+    return model_->Fit(all, nullptr);
+  }
+  common::Rng rng(seed);
+  const ml::TrainTestSplit split =
+      ml::SplitTrainTest(all, 1.0 - valid_fraction, rng);
+  return model_->Fit(split.train, &split.test);
+}
+
+common::StatusOr<double> MlEstimator::EstimateCard(
+    const query::Query& q) const {
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<float> vec,
+                          featurizer_->Featurize(q));
+  return ml::LabelToCard(model_->Predict(vec.data()));
+}
+
+common::Status MscnEstimator::Train(const std::vector<query::Query>& queries,
+                                    const std::vector<double>& cards,
+                                    double valid_fraction) {
+  if (queries.size() != cards.size()) {
+    return common::Status::InvalidArgument("queries/cards length mismatch");
+  }
+  std::vector<featurize::MscnSample> samples;
+  std::vector<float> labels;
+  samples.reserve(queries.size());
+  labels.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QFCARD_ASSIGN_OR_RETURN(featurize::MscnSample s,
+                            featurizer_.Featurize(queries[i]));
+    samples.push_back(std::move(s));
+    labels.push_back(ml::CardToLabel(cards[i]));
+  }
+  const size_t n_valid = valid_fraction > 0.0
+                             ? static_cast<size_t>(valid_fraction *
+                                                   static_cast<double>(samples.size()))
+                             : 0;
+  if (n_valid == 0) {
+    return model_.Fit(samples, labels, nullptr, nullptr);
+  }
+  const std::vector<featurize::MscnSample> train_samples(
+      samples.begin(), samples.end() - static_cast<long>(n_valid));
+  const std::vector<float> train_labels(labels.begin(),
+                                        labels.end() - static_cast<long>(n_valid));
+  const std::vector<featurize::MscnSample> valid_samples(
+      samples.end() - static_cast<long>(n_valid), samples.end());
+  const std::vector<float> valid_labels(labels.end() - static_cast<long>(n_valid),
+                                        labels.end());
+  return model_.Fit(train_samples, train_labels, &valid_samples, &valid_labels);
+}
+
+common::StatusOr<double> MscnEstimator::EstimateCard(
+    const query::Query& q) const {
+  QFCARD_ASSIGN_OR_RETURN(const featurize::MscnSample sample,
+                          featurizer_.Featurize(q));
+  return ml::LabelToCard(model_.Predict(sample));
+}
+
+}  // namespace qfcard::est

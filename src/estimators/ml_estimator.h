@@ -1,0 +1,75 @@
+#ifndef QFCARD_ESTIMATORS_ML_ESTIMATOR_H_
+#define QFCARD_ESTIMATORS_ML_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "estimators/estimator.h"
+#include "featurize/featurizer.h"
+#include "featurize/mscn_featurizer.h"
+#include "ml/dataset.h"
+#include "ml/mscn.h"
+
+namespace qfcard::est {
+
+/// A QFT x ML-model cardinality estimator for one table (or one
+/// materialized sub-schema join): featurize the query, run the model, map
+/// the log2 prediction back to a cardinality >= 1. This is the paper's
+/// two-step mapping "query -> vector -> cardinality" (Equation 2).
+class MlEstimator : public CardinalityEstimator {
+ public:
+  MlEstimator(std::unique_ptr<featurize::Featurizer> featurizer,
+              std::unique_ptr<ml::Model> model)
+      : featurizer_(std::move(featurizer)), model_(std::move(model)) {}
+
+  /// Trains the model on labeled queries. `cards` are true cardinalities
+  /// (natural space); a `valid_fraction` tail split drives early stopping.
+  common::Status Train(const std::vector<query::Query>& queries,
+                       const std::vector<double>& cards,
+                       double valid_fraction, uint64_t seed);
+
+  common::StatusOr<double> EstimateCard(const query::Query& q) const override;
+  std::string name() const override {
+    return model_->name() + "+" + featurizer_->name();
+  }
+  size_t SizeBytes() const override { return model_->SizeBytes(); }
+
+  const featurize::Featurizer& featurizer() const { return *featurizer_; }
+  const ml::Model& model() const { return *model_; }
+
+ private:
+  std::unique_ptr<featurize::Featurizer> featurizer_;
+  std::unique_ptr<ml::Model> model_;
+};
+
+/// Global-model estimator: the MSCN set featurization plus the Mscn network
+/// (Sections 2.1.2 / 4.2). Handles queries over arbitrary sub-schemas of the
+/// catalog with a single model.
+class MscnEstimator : public CardinalityEstimator {
+ public:
+  MscnEstimator(featurize::MscnFeaturizer featurizer, ml::MscnParams params)
+      : featurizer_(std::move(featurizer)),
+        model_(featurizer_.table_dim(), featurizer_.join_dim(),
+               featurizer_.pred_dim(), params) {}
+
+  common::Status Train(const std::vector<query::Query>& queries,
+                       const std::vector<double>& cards,
+                       double valid_fraction);
+
+  common::StatusOr<double> EstimateCard(const query::Query& q) const override;
+  std::string name() const override {
+    return featurizer_.mode() ==
+                   featurize::MscnFeaturizer::PredMode::kPerPredicate
+               ? "MSCN"
+               : "MSCN+conj";
+  }
+  size_t SizeBytes() const override { return model_.SizeBytes(); }
+
+ private:
+  featurize::MscnFeaturizer featurizer_;
+  ml::Mscn model_;
+};
+
+}  // namespace qfcard::est
+
+#endif  // QFCARD_ESTIMATORS_ML_ESTIMATOR_H_

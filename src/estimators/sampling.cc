@@ -1,0 +1,44 @@
+#include "estimators/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "query/query.h"
+
+namespace qfcard::est {
+
+common::StatusOr<double> SamplingEstimator::EstimateCard(
+    const query::Query& q) const {
+  if (q.tables.size() != 1 || !q.joins.empty()) {
+    return common::Status::Unimplemented(
+        "Bernoulli sampling estimator supports single-table queries only");
+  }
+  QFCARD_ASSIGN_OR_RETURN(const storage::Table* table,
+                          catalog_->GetTable(q.tables[0].name));
+  int64_t matches = 0;
+  for (int64_t r = 0; r < table->num_rows(); ++r) {
+    if (!rng_.Bernoulli(p_)) continue;
+    bool ok = true;
+    for (const query::CompoundPredicate& cp : q.predicates) {
+      if (!query::EvalCompoundOnRow(*table, r, cp)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++matches;
+  }
+  return std::max(static_cast<double>(matches) / p_, 1.0);
+}
+
+size_t SamplingEstimator::SizeBytes() const {
+  size_t bytes = 0;
+  for (int t = 0; t < catalog_->num_tables(); ++t) {
+    const storage::Table& table = catalog_->table(t);
+    bytes += static_cast<size_t>(
+        p_ * static_cast<double>(table.num_rows()) *
+        static_cast<double>(table.num_columns()) * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace qfcard::est

@@ -1,0 +1,38 @@
+#ifndef QFCARD_ESTIMATORS_SAMPLING_H_
+#define QFCARD_ESTIMATORS_SAMPLING_H_
+
+#include "common/random.h"
+#include "estimators/estimator.h"
+#include "storage/catalog.h"
+
+namespace qfcard::est {
+
+/// Bernoulli sampling estimator (Section 7): per query, draws a fresh p-%
+/// sample R' of the table (each row independently with probability p) and
+/// returns |R'(Q)| / p. The paper's configuration is p = 0.1% with the
+/// sample drawn independently per query, which is what this implements —
+/// including the characteristic heavy tail for selective predicates.
+/// Join queries are not supported (the paper evaluates sampling on the
+/// single-table forest workloads only).
+class SamplingEstimator : public CardinalityEstimator {
+ public:
+  /// `catalog` is not owned and must outlive this object.
+  SamplingEstimator(const storage::Catalog* catalog, double sample_fraction,
+                    uint64_t seed)
+      : catalog_(catalog), p_(sample_fraction), rng_(seed) {}
+
+  common::StatusOr<double> EstimateCard(const query::Query& q) const override;
+  std::string name() const override { return "sampling"; }
+  /// Expected resident size of one sample (Section 5.7 reports ~0.1% of the
+  /// data size).
+  size_t SizeBytes() const override;
+
+ private:
+  const storage::Catalog* catalog_;
+  double p_;
+  mutable common::Rng rng_;  // per-query sample draws
+};
+
+}  // namespace qfcard::est
+
+#endif  // QFCARD_ESTIMATORS_SAMPLING_H_

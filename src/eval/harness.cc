@@ -1,0 +1,100 @@
+#include "eval/harness.h"
+
+#include "common/random.h"
+
+namespace qfcard::eval {
+
+namespace {
+
+common::StatusOr<ml::Dataset> FeaturizeSet(
+    const featurize::Featurizer& featurizer,
+    const std::vector<workload::LabeledQuery>& queries) {
+  std::vector<std::vector<float>> features;
+  std::vector<float> labels;
+  features.reserve(queries.size());
+  labels.reserve(queries.size());
+  for (const workload::LabeledQuery& lq : queries) {
+    QFCARD_ASSIGN_OR_RETURN(std::vector<float> vec,
+                            featurizer.Featurize(lq.query));
+    features.push_back(std::move(vec));
+    labels.push_back(ml::CardToLabel(lq.card));
+  }
+  return ml::Dataset::FromVectors(features, labels);
+}
+
+}  // namespace
+
+common::StatusOr<FeaturizedData> FeaturizeWorkload(
+    const featurize::Featurizer& featurizer,
+    const std::vector<workload::LabeledQuery>& train,
+    const std::vector<workload::LabeledQuery>& test, double valid_fraction,
+    uint64_t seed) {
+  FeaturizedData out;
+  QFCARD_ASSIGN_OR_RETURN(ml::Dataset train_all,
+                          FeaturizeSet(featurizer, train));
+  if (valid_fraction > 0.0 && train_all.num_rows() > 10) {
+    common::Rng rng(seed);
+    ml::TrainTestSplit split =
+        ml::SplitTrainTest(train_all, 1.0 - valid_fraction, rng);
+    out.train = std::move(split.train);
+    out.valid = std::move(split.test);
+  } else {
+    out.train = std::move(train_all);
+  }
+  QFCARD_ASSIGN_OR_RETURN(out.test, FeaturizeSet(featurizer, test));
+  out.test_cards.reserve(test.size());
+  for (const workload::LabeledQuery& lq : test) out.test_cards.push_back(lq.card);
+  return out;
+}
+
+common::StatusOr<RunResult> RunQftModel(
+    const featurize::Featurizer& featurizer, ml::Model& model,
+    const std::vector<workload::LabeledQuery>& train,
+    const std::vector<workload::LabeledQuery>& test, double valid_fraction,
+    uint64_t seed) {
+  RunResult result;
+  Timer feat_timer;
+  QFCARD_ASSIGN_OR_RETURN(
+      const FeaturizedData data,
+      FeaturizeWorkload(featurizer, train, test, valid_fraction, seed));
+  result.featurize_seconds = feat_timer.Seconds();
+
+  Timer train_timer;
+  QFCARD_RETURN_IF_ERROR(
+      model.Fit(data.train, data.valid.num_rows() > 0 ? &data.valid : nullptr));
+  result.train_seconds = train_timer.Seconds();
+  result.model_bytes = model.SizeBytes();
+
+  result.estimates.reserve(static_cast<size_t>(data.test.num_rows()));
+  result.qerrors.reserve(static_cast<size_t>(data.test.num_rows()));
+  for (int i = 0; i < data.test.num_rows(); ++i) {
+    const double est = ml::LabelToCard(model.Predict(data.test.x.Row(i)));
+    result.estimates.push_back(est);
+    result.qerrors.push_back(
+        ml::QError(data.test_cards[static_cast<size_t>(i)], est));
+  }
+  result.summary = ml::QErrorSummary::FromErrors(result.qerrors);
+  return result;
+}
+
+std::vector<int> NumAttributesOf(
+    const std::vector<workload::LabeledQuery>& queries) {
+  std::vector<int> out;
+  out.reserve(queries.size());
+  for (const workload::LabeledQuery& lq : queries) {
+    out.push_back(lq.query.NumAttributes());
+  }
+  return out;
+}
+
+std::vector<int> NumPredicatesOf(
+    const std::vector<workload::LabeledQuery>& queries) {
+  std::vector<int> out;
+  out.reserve(queries.size());
+  for (const workload::LabeledQuery& lq : queries) {
+    out.push_back(lq.query.NumSimplePredicates());
+  }
+  return out;
+}
+
+}  // namespace qfcard::eval

@@ -1,0 +1,164 @@
+#include "featurize/conjunction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qfcard::featurize {
+
+namespace internal {
+
+common::Status EncodeClauseForAttr(const AttributeInfo& attr,
+                                   const Partitioner& partitioner,
+                                   const ConjunctionOptions& opts, int budget,
+                                   const query::ConjunctiveClause& clause,
+                                   float* out, int n_a, double* selectivity) {
+  std::fill(out, out + n_a, 1.0f);
+  const float half = opts.use_half_values ? 0.5f : 1.0f;
+  // Exact mode: every partition is a single integral value, so entries can
+  // be decided exactly as 0/1 (Section 3.2, last paragraph).
+  const bool exact = opts.exact_small_domains && attr.integral &&
+                     (attr.max - attr.min + 1.0) <=
+                         static_cast<double>(n_a) + 0.5;
+
+  // Bookkeeping for the per-attribute selectivity estimate (gray lines of
+  // Algorithm 1): tightest bounds plus excluded values.
+  double min_a = attr.min;
+  double max_a = attr.max;
+  std::set<double> nots;
+
+  for (const query::SimplePredicate& p : clause.preds) {
+    const int idx = partitioner.IndexOf(attr, budget, p.value);
+    const bool in_domain = p.value >= attr.min && p.value <= attr.max;
+    if (!exact) {
+      // Line 5: the partition containing the literal partially qualifies.
+      if (in_domain && out[idx] == 1.0f) out[idx] = half;
+    }
+    switch (p.op) {
+      case query::CmpOp::kEq:
+        if (!in_domain) {
+          // Literal outside the domain: nothing qualifies.
+          std::fill(out, out + n_a, 0.0f);
+        } else {
+          for (int i = 0; i < n_a; ++i) {
+            if (i != idx) out[i] = 0.0f;
+          }
+          if (exact) out[idx] = std::min(out[idx], 1.0f);
+        }
+        min_a = std::max(min_a, p.value);
+        max_a = std::min(max_a, p.value);
+        break;
+      case query::CmpOp::kGt:
+      case query::CmpOp::kGe: {
+        // Line 9: partitions entirely below the literal cannot qualify.
+        int zero_end = idx;  // exclusive
+        if (exact && p.op == query::CmpOp::kGt && in_domain) {
+          zero_end = idx + 1;  // the literal's own value is excluded
+        }
+        if (p.value > attr.max) zero_end = n_a;
+        for (int i = 0; i < std::min(zero_end, n_a); ++i) out[i] = 0.0f;
+        // Line 10 (gray).
+        const double bound =
+            (p.op == query::CmpOp::kGt && attr.integral) ? p.value + 1 : p.value;
+        min_a = std::max(min_a, bound);
+        break;
+      }
+      case query::CmpOp::kLt:
+      case query::CmpOp::kLe: {
+        // Line 12: partitions entirely above the literal cannot qualify.
+        int zero_begin = idx + 1;
+        if (exact && p.op == query::CmpOp::kLt && in_domain) {
+          zero_begin = idx;
+        }
+        if (p.value < attr.min) zero_begin = 0;
+        for (int i = std::max(zero_begin, 0); i < n_a; ++i) out[i] = 0.0f;
+        // Line 13 (gray).
+        const double bound =
+            (p.op == query::CmpOp::kLt && attr.integral) ? p.value - 1 : p.value;
+        max_a = std::min(max_a, bound);
+        break;
+      }
+      case query::CmpOp::kNe:
+        if (exact && in_domain) out[idx] = 0.0f;
+        // Line 16 (gray).
+        nots.insert(p.value);
+        break;
+    }
+  }
+
+  if (selectivity != nullptr) {
+    // Lines 17-20 (gray): r_A = qualifying portion of the domain under the
+    // uniformity assumption.
+    double c_a = 0;
+    for (const double v : nots) {
+      if (v >= min_a && v <= max_a) c_a += 1.0;
+    }
+    const double width = attr.integral ? (max_a - min_a + 1.0 - c_a)
+                                       : (max_a - min_a - c_a);
+    const double r_a = std::max(width, 0.0);
+    *selectivity = std::clamp(r_a / attr.DomainSize(), 0.0, 1.0);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace internal
+
+ConjunctionEncoding::ConjunctionEncoding(FeatureSchema schema,
+                                         ConjunctionOptions opts)
+    : schema_(std::move(schema)), opts_(opts) {
+  const Partitioner& part =
+      opts_.partitioner != nullptr ? *opts_.partitioner
+                                   : EquiWidthPartitioner::Get();
+  offsets_.reserve(static_cast<size_t>(schema_.num_attributes()));
+  n_a_.reserve(static_cast<size_t>(schema_.num_attributes()));
+  budgets_.reserve(static_cast<size_t>(schema_.num_attributes()));
+  const bool per_attr =
+      static_cast<int>(opts_.per_attribute_partitions.size()) ==
+      schema_.num_attributes();
+  int offset = 0;
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    const int budget = per_attr
+                           ? opts_.per_attribute_partitions[static_cast<size_t>(a)]
+                           : opts_.max_partitions;
+    const int n_a = part.NumPartitions(schema_.attr(a), budget);
+    offsets_.push_back(offset);
+    n_a_.push_back(n_a);
+    budgets_.push_back(budget);
+    offset += n_a + (opts_.append_attr_selectivity ? 1 : 0);
+  }
+  dim_ = offset;
+}
+
+common::Status ConjunctionEncoding::FeaturizeInto(const query::Query& q,
+                                                  float* out) const {
+  const Partitioner& part =
+      opts_.partitioner != nullptr ? *opts_.partitioner
+                                   : EquiWidthPartitioner::Get();
+  // Line 1: attributes start all-one (no predicate -> full domain
+  // qualifies); the selectivity appendix starts at 1.
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    float* block = out + AttrOffset(a);
+    std::fill(block, block + AttrEntries(a), 1.0f);
+    if (opts_.append_attr_selectivity) block[AttrEntries(a)] = 1.0f;
+  }
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    QFCARD_RETURN_IF_ERROR(schema_.CheckAttr(cp.col.column));
+    if (cp.disjuncts.size() != 1) {
+      return common::Status::InvalidArgument(
+          "Universal Conjunction Encoding does not support disjunctions; "
+          "use Limited Disjunction Encoding");
+    }
+    const int a = cp.col.column;
+    float* block = out + AttrOffset(a);
+    double sel = 1.0;
+    QFCARD_RETURN_IF_ERROR(internal::EncodeClauseForAttr(
+        schema_.attr(a), part, opts_, AttrBudget(a), cp.disjuncts[0], block,
+        AttrEntries(a), opts_.append_attr_selectivity ? &sel : nullptr));
+    if (opts_.append_attr_selectivity) {
+      block[AttrEntries(a)] = static_cast<float>(sel);
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace qfcard::featurize

@@ -1,0 +1,100 @@
+#ifndef QFCARD_FEATURIZE_CONJUNCTION_H_
+#define QFCARD_FEATURIZE_CONJUNCTION_H_
+
+#include <vector>
+
+#include "featurize/feature_schema.h"
+#include "featurize/featurizer.h"
+#include "featurize/partitioner.h"
+
+namespace qfcard::featurize {
+
+/// Configuration shared by Universal Conjunction Encoding and Limited
+/// Disjunction Encoding.
+struct ConjunctionOptions {
+  /// The paper's n: maximum number of partitions (feature-vector entries)
+  /// per attribute. The actual n_A is min(n, |domain(A)|) for integral
+  /// attributes (Section 3.2).
+  int max_partitions = 64;
+
+  /// Appends the per-attribute selectivity estimate under the uniformity
+  /// assumption (the gray lines of Algorithm 1). Evaluated in Table 3.
+  bool append_attr_selectivity = true;
+
+  /// When an attribute's integral domain fits in n_A entries (one entry per
+  /// distinct value), encode entries exactly as 0/1 instead of 0/1/2/1
+  /// (Section 3.2, last paragraph).
+  bool exact_small_domains = true;
+
+  /// Use the categorical value 1/2 for partially qualifying partitions.
+  /// Disabling this (ablation) rounds partial partitions up to 1.
+  bool use_half_values = true;
+
+  /// Partitioning strategy; nullptr selects the paper's equi-width
+  /// partitioner. Not owned; must outlive the featurizer.
+  const Partitioner* partitioner = nullptr;
+
+  /// Optional attribute-specific partition budgets (Section 3.2: "it is
+  /// easy to extend our approach to choose an attribute-specific n"). When
+  /// non-empty, entry a overrides max_partitions for attribute a; the size
+  /// must equal the schema's attribute count. See SkewAwarePartitions().
+  std::vector<int> per_attribute_partitions;
+};
+
+/// Universal Conjunction Encoding (Section 3.2, Algorithm 1), abbreviated
+/// "conjunctive". The domain of each attribute is discretized into n_A
+/// partitions; each partition owns one feature-vector entry valued 1 (all
+/// values qualify), 1/2 (some qualify), or 0 (none qualify). Supports
+/// arbitrarily many simple predicates per attribute connected by AND; by
+/// Lemma 3.2 the encoding converges to a lossless featurization as n grows.
+/// Disjunctions are rejected (use DisjunctionEncoding).
+class ConjunctionEncoding : public Featurizer {
+ public:
+  ConjunctionEncoding(FeatureSchema schema, ConjunctionOptions opts = {});
+
+  int dim() const override { return dim_; }
+  std::string name() const override { return "conjunctive"; }
+  common::Status FeaturizeInto(const query::Query& q,
+                               float* out) const override;
+
+  /// Offset of attribute `a`'s block within the feature vector.
+  int AttrOffset(int a) const { return offsets_[static_cast<size_t>(a)]; }
+  /// Number of partition entries n_A of attribute `a` (excluding the
+  /// optional selectivity entry).
+  int AttrEntries(int a) const { return n_a_[static_cast<size_t>(a)]; }
+
+  const ConjunctionOptions& options() const { return opts_; }
+  const FeatureSchema& schema() const { return schema_; }
+
+  /// Partition budget of attribute `a` (max_partitions or the per-attribute
+  /// override).
+  int AttrBudget(int a) const { return budgets_[static_cast<size_t>(a)]; }
+
+ private:
+  FeatureSchema schema_;
+  ConjunctionOptions opts_;
+  std::vector<int> offsets_;
+  std::vector<int> n_a_;
+  std::vector<int> budgets_;
+  int dim_ = 0;
+};
+
+namespace internal {
+
+/// Encodes one conjunctive clause over `attr` into out[0 .. n_a), following
+/// Algorithm 1 for a single attribute, and stores the per-attribute
+/// uniformity selectivity estimate (Algorithm 1's gray lines) into
+/// `*selectivity`. `budget` is the partition budget used to derive n_a
+/// (n_a == partitioner.NumPartitions(attr, budget)). Shared by
+/// ConjunctionEncoding, DisjunctionEncoding and the MSCN featurizer.
+common::Status EncodeClauseForAttr(const AttributeInfo& attr,
+                                   const Partitioner& partitioner,
+                                   const ConjunctionOptions& opts, int budget,
+                                   const query::ConjunctiveClause& clause,
+                                   float* out, int n_a, double* selectivity);
+
+}  // namespace internal
+
+}  // namespace qfcard::featurize
+
+#endif  // QFCARD_FEATURIZE_CONJUNCTION_H_

@@ -1,0 +1,52 @@
+#include "featurize/disjunction.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace qfcard::featurize {
+
+DisjunctionEncoding::DisjunctionEncoding(FeatureSchema schema,
+                                         ConjunctionOptions opts)
+    : conj_(std::move(schema), opts) {}
+
+common::Status DisjunctionEncoding::FeaturizeInto(const query::Query& q,
+                                                  float* out) const {
+  const ConjunctionOptions& opts = conj_.options();
+  const Partitioner& part = opts.partitioner != nullptr
+                                ? *opts.partitioner
+                                : EquiWidthPartitioner::Get();
+  const FeatureSchema& schema = conj_.schema();
+  // Attributes without predicates: all-one (full domain qualifies).
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    float* block = out + conj_.AttrOffset(a);
+    std::fill(block, block + conj_.AttrEntries(a), 1.0f);
+    if (opts.append_attr_selectivity) block[conj_.AttrEntries(a)] = 1.0f;
+  }
+  std::vector<float> scratch;
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    QFCARD_RETURN_IF_ERROR(schema.CheckAttr(cp.col.column));
+    const int a = cp.col.column;
+    const int n_a = conj_.AttrEntries(a);
+    float* block = out + conj_.AttrOffset(a);
+    // Algorithm 2 line 3: V starts all-zero, then merges each clause by
+    // entrywise max (line 6).
+    std::fill(block, block + n_a, 0.0f);
+    double merged_sel = 0.0;
+    scratch.assign(static_cast<size_t>(n_a), 0.0f);
+    for (const query::ConjunctiveClause& clause : cp.disjuncts) {
+      double sel = 1.0;
+      QFCARD_RETURN_IF_ERROR(internal::EncodeClauseForAttr(
+          schema.attr(a), part, opts, conj_.AttrBudget(a), clause,
+          scratch.data(), n_a,
+          opts.append_attr_selectivity ? &sel : nullptr));
+      for (int i = 0; i < n_a; ++i) block[i] = std::max(block[i], scratch[i]);
+      merged_sel = std::max(merged_sel, sel);
+    }
+    if (opts.append_attr_selectivity) {
+      block[n_a] = static_cast<float>(merged_sel);
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace qfcard::featurize

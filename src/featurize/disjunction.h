@@ -1,0 +1,38 @@
+#ifndef QFCARD_FEATURIZE_DISJUNCTION_H_
+#define QFCARD_FEATURIZE_DISJUNCTION_H_
+
+#include "featurize/conjunction.h"
+
+namespace qfcard::featurize {
+
+/// Limited Disjunction Encoding (Section 3.3, Algorithm 2), abbreviated
+/// "complex": the first QFT designed for mixed queries (Definition 3.3),
+/// i.e. conjunctions of per-attribute compound predicates where each
+/// compound predicate may disjoin arbitrarily many conjunctive clauses.
+///
+/// Each clause of a compound predicate is featurized with Universal
+/// Conjunction Encoding restricted to its attribute; the per-clause vectors
+/// are merged by the entrywise maximum, capturing that additional
+/// disjunctions only make a query less selective. On purely conjunctive
+/// queries the output equals ConjunctionEncoding's (the paper relies on this
+/// for JOB-light).
+class DisjunctionEncoding : public Featurizer {
+ public:
+  DisjunctionEncoding(FeatureSchema schema, ConjunctionOptions opts = {});
+
+  int dim() const override { return conj_.dim(); }
+  std::string name() const override { return "complex"; }
+  common::Status FeaturizeInto(const query::Query& q,
+                               float* out) const override;
+
+  /// Offset/size of attribute blocks (same layout as ConjunctionEncoding).
+  int AttrOffset(int a) const { return conj_.AttrOffset(a); }
+  int AttrEntries(int a) const { return conj_.AttrEntries(a); }
+
+ private:
+  ConjunctionEncoding conj_;  // reused for layout and clause encoding
+};
+
+}  // namespace qfcard::featurize
+
+#endif  // QFCARD_FEATURIZE_DISJUNCTION_H_

@@ -1,0 +1,54 @@
+#include "featurize/extensions.h"
+
+#include <algorithm>
+
+#include "featurize/disjunction.h"
+#include "featurize/range.h"
+#include "featurize/singular.h"
+
+namespace qfcard::featurize {
+
+const char* QftKindToString(QftKind kind) {
+  switch (kind) {
+    case QftKind::kSimple:
+      return "simple";
+    case QftKind::kRange:
+      return "range";
+    case QftKind::kConjunctive:
+      return "conjunctive";
+    case QftKind::kComplex:
+      return "complex";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Featurizer> MakeFeaturizer(QftKind kind, FeatureSchema schema,
+                                           const ConjunctionOptions& opts) {
+  switch (kind) {
+    case QftKind::kSimple:
+      return std::make_unique<SingularEncoding>(std::move(schema));
+    case QftKind::kRange:
+      return std::make_unique<RangeEncoding>(std::move(schema));
+    case QftKind::kConjunctive:
+      return std::make_unique<ConjunctionEncoding>(std::move(schema), opts);
+    case QftKind::kComplex:
+      return std::make_unique<DisjunctionEncoding>(std::move(schema), opts);
+  }
+  return nullptr;
+}
+
+common::Status GroupByAppendFeaturizer::FeaturizeInto(const query::Query& q,
+                                                      float* out) const {
+  QFCARD_RETURN_IF_ERROR(inner_->FeaturizeInto(q, out));
+  float* bits = out + inner_->dim();
+  std::fill(bits, bits + num_attributes_, 0.0f);
+  for (const query::ColumnRef& g : q.group_by) {
+    if (g.column < 0 || g.column >= num_attributes_) {
+      return common::Status::OutOfRange("GROUP BY attribute out of range");
+    }
+    bits[g.column] = 1.0f;
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace qfcard::featurize

@@ -1,0 +1,47 @@
+#ifndef QFCARD_FEATURIZE_EXTENSIONS_H_
+#define QFCARD_FEATURIZE_EXTENSIONS_H_
+
+#include <memory>
+
+#include "featurize/conjunction.h"
+#include "featurize/featurizer.h"
+
+namespace qfcard::featurize {
+
+/// The four QFTs of the paper, by their abbreviations.
+enum class QftKind {
+  kSimple,       ///< Singular Predicate Encoding (Section 2.1.1)
+  kRange,        ///< Range Predicate Encoding (Section 3.1)
+  kConjunctive,  ///< Universal Conjunction Encoding (Section 3.2)
+  kComplex,      ///< Limited Disjunction Encoding (Section 3.3)
+};
+
+const char* QftKindToString(QftKind kind);
+
+/// Constructs a featurizer of the given kind over `schema`. `opts` applies
+/// to the conjunctive/complex kinds.
+std::unique_ptr<Featurizer> MakeFeaturizer(QftKind kind, FeatureSchema schema,
+                                           const ConjunctionOptions& opts = {});
+
+/// Section 6 extension: appends the GROUP BY bit vector — one binary entry
+/// per attribute, set iff that attribute is grouped (e.g. 01010 for
+/// GROUP BY A2, A4). Decorates any per-attribute QFT.
+class GroupByAppendFeaturizer : public Featurizer {
+ public:
+  GroupByAppendFeaturizer(std::unique_ptr<Featurizer> inner,
+                          int num_attributes)
+      : inner_(std::move(inner)), num_attributes_(num_attributes) {}
+
+  int dim() const override { return inner_->dim() + num_attributes_; }
+  std::string name() const override { return inner_->name() + "+groupby"; }
+  common::Status FeaturizeInto(const query::Query& q,
+                               float* out) const override;
+
+ private:
+  std::unique_ptr<Featurizer> inner_;
+  int num_attributes_;
+};
+
+}  // namespace qfcard::featurize
+
+#endif  // QFCARD_FEATURIZE_EXTENSIONS_H_

@@ -1,0 +1,72 @@
+#include "featurize/feature_schema.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace qfcard::featurize {
+
+double AttributeInfo::DomainSize() const {
+  const double width = integral ? (max - min + 1.0) : (max - min);
+  return std::max(width, 1.0);
+}
+
+FeatureSchema FeatureSchema::FromTable(const storage::Table& table) {
+  std::vector<AttributeInfo> attrs;
+  attrs.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const storage::Column& col = table.column(c);
+    const storage::ColumnStats& stats = col.GetStats();
+    AttributeInfo info;
+    info.name = col.name();
+    info.min = stats.min;
+    info.max = stats.max;
+    info.integral = col.integral();
+    info.distinct = stats.distinct;
+    attrs.push_back(std::move(info));
+  }
+  return FeatureSchema(std::move(attrs));
+}
+
+common::Status FeatureSchema::CheckAttr(int idx) const {
+  if (idx < 0 || idx >= num_attributes()) {
+    return common::Status::OutOfRange(
+        common::StrFormat("attribute index %d out of range [0, %d)", idx,
+                          num_attributes()));
+  }
+  return common::Status::Ok();
+}
+
+GlobalFeatureSchema GlobalFeatureSchema::FromCatalog(
+    const storage::Catalog& catalog) {
+  GlobalFeatureSchema out;
+  std::vector<AttributeInfo> attrs;
+  for (int t = 0; t < catalog.num_tables(); ++t) {
+    const storage::Table& table = catalog.table(t);
+    out.first_attr_.push_back(static_cast<int>(attrs.size()));
+    out.num_columns_.push_back(table.num_columns());
+    const FeatureSchema local = FeatureSchema::FromTable(table);
+    for (int c = 0; c < local.num_attributes(); ++c) {
+      AttributeInfo info = local.attr(c);
+      info.name = table.name() + "." + info.name;
+      attrs.push_back(std::move(info));
+    }
+  }
+  out.schema_ = FeatureSchema(std::move(attrs));
+  return out;
+}
+
+common::StatusOr<int> GlobalFeatureSchema::GlobalIndex(int table_idx,
+                                                       int column) const {
+  if (table_idx < 0 || table_idx >= num_tables()) {
+    return common::Status::OutOfRange(
+        common::StrFormat("table index %d out of range", table_idx));
+  }
+  if (column < 0 || column >= num_columns_[static_cast<size_t>(table_idx)]) {
+    return common::Status::OutOfRange(
+        common::StrFormat("column index %d out of range", column));
+  }
+  return first_attr_[static_cast<size_t>(table_idx)] + column;
+}
+
+}  // namespace qfcard::featurize

@@ -1,0 +1,78 @@
+#ifndef QFCARD_FEATURIZE_FEATURE_SCHEMA_H_
+#define QFCARD_FEATURIZE_FEATURE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace qfcard::featurize {
+
+/// Domain description of one attribute, the information every QFT in the
+/// paper relies on: min(A), max(A) (Section 2.1.1 normalization and the
+/// Section 3.2 partition-index formula), integrality (open-range adjustment,
+/// Section 3.1), and the distinct count (exact small-domain mode,
+/// Section 3.2 last paragraph).
+struct AttributeInfo {
+  std::string name;
+  double min = 0.0;
+  double max = 0.0;
+  bool integral = true;
+  int64_t distinct = 0;
+
+  /// Domain size in the sense of Algorithm 1: max - min + 1 for integral
+  /// attributes, max - min for continuous ones (with a floor of 1 to keep
+  /// normalization well-defined for constant columns).
+  double DomainSize() const;
+};
+
+/// The ordered attribute list a featurizer is built against. For local
+/// models this is one table (or one materialized sub-schema join); attribute
+/// indices equal column indices of that table.
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+  explicit FeatureSchema(std::vector<AttributeInfo> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  /// Builds the schema from a table's column statistics.
+  static FeatureSchema FromTable(const storage::Table& table);
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const AttributeInfo& attr(int idx) const {
+    return attrs_[static_cast<size_t>(idx)];
+  }
+
+  /// Verifies that `idx` is a valid attribute index.
+  common::Status CheckAttr(int idx) const;
+
+ private:
+  std::vector<AttributeInfo> attrs_;
+};
+
+/// Flattened attribute list over all tables of a catalog, used by global
+/// models (Section 2.1.2). Maps (table index, column index) pairs to global
+/// attribute indices.
+class GlobalFeatureSchema {
+ public:
+  /// Builds the global schema over all tables of `catalog` in catalog order.
+  static GlobalFeatureSchema FromCatalog(const storage::Catalog& catalog);
+
+  const FeatureSchema& schema() const { return schema_; }
+  int num_tables() const { return static_cast<int>(first_attr_.size()); }
+
+  /// Returns the global attribute index of column `column` of catalog table
+  /// `table_idx`.
+  common::StatusOr<int> GlobalIndex(int table_idx, int column) const;
+
+ private:
+  FeatureSchema schema_;
+  std::vector<int> first_attr_;   // per catalog table: first global attr index
+  std::vector<int> num_columns_;  // per catalog table
+};
+
+}  // namespace qfcard::featurize
+
+#endif  // QFCARD_FEATURIZE_FEATURE_SCHEMA_H_

@@ -1,0 +1,242 @@
+#include "featurize/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+namespace qfcard::featurize {
+
+int EquiWidthPartitioner::NumPartitions(const AttributeInfo& attr,
+                                        int max_partitions) const {
+  if (attr.integral) {
+    const double domain = attr.max - attr.min + 1.0;
+    return static_cast<int>(
+        std::max(1.0, std::min(static_cast<double>(max_partitions), domain)));
+  }
+  return std::max(1, max_partitions);
+}
+
+int EquiWidthPartitioner::IndexOf(const AttributeInfo& attr,
+                                  int max_partitions, double value) const {
+  const int n = NumPartitions(attr, max_partitions);
+  // Zero-based index formula of Section 3.2:
+  //   floor((val - min(A)) / (max(A) - min(A) + 1) * n_A)
+  // with the continuous-domain variant using max - min as the denominator
+  // (plus a tiny epsilon so value == max lands in the last partition).
+  const double denom =
+      attr.integral ? (attr.max - attr.min + 1.0)
+                    : std::max(attr.max - attr.min, 1e-12) * (1.0 + 1e-9);
+  const double rel = (value - attr.min) / denom;
+  const int idx = static_cast<int>(std::floor(rel * n));
+  return std::clamp(idx, 0, n - 1);
+}
+
+const EquiWidthPartitioner& EquiWidthPartitioner::Get() {
+  static const EquiWidthPartitioner kInstance;
+  return kInstance;
+}
+
+EquiDepthPartitioner EquiDepthPartitioner::FromTable(
+    const storage::Table& table, int max_partitions) {
+  EquiDepthPartitioner out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const storage::Column& col = table.column(c);
+    std::vector<double> values = col.data();
+    std::sort(values.begin(), values.end());
+    std::vector<double> bounds;
+    if (!values.empty() && max_partitions > 1) {
+      for (int k = 1; k < max_partitions; ++k) {
+        const size_t pos = static_cast<size_t>(
+            static_cast<double>(k) / max_partitions *
+            static_cast<double>(values.size() - 1));
+        bounds.push_back(values[pos]);
+      }
+      bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    }
+    out.attr_names_.push_back(col.name());
+    out.boundaries_.push_back(std::move(bounds));
+  }
+  return out;
+}
+
+int EquiDepthPartitioner::AttrSlot(const AttributeInfo& attr) const {
+  for (size_t i = 0; i < attr_names_.size(); ++i) {
+    if (attr_names_[i] == attr.name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int EquiDepthPartitioner::NumPartitions(const AttributeInfo& attr,
+                                        int max_partitions) const {
+  const int slot = AttrSlot(attr);
+  if (slot < 0) {
+    return EquiWidthPartitioner::Get().NumPartitions(attr, max_partitions);
+  }
+  return static_cast<int>(boundaries_[static_cast<size_t>(slot)].size()) + 1;
+}
+
+VOptimalPartitioner VOptimalPartitioner::FromTable(const storage::Table& table,
+                                                   int max_partitions,
+                                                   int max_candidates) {
+  VOptimalPartitioner out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const storage::Column& col = table.column(c);
+    // Frequency per distinct value (pre-aggregated into at most
+    // max_candidates equi-width cells when the domain is large).
+    std::map<double, double> freq_map;
+    for (const double v : col.data()) ++freq_map[v];
+    std::vector<double> values;
+    std::vector<double> freqs;
+    if (static_cast<int>(freq_map.size()) <= max_candidates) {
+      for (const auto& [v, f] : freq_map) {
+        values.push_back(v);
+        freqs.push_back(f);
+      }
+    } else {
+      const storage::ColumnStats& stats = col.GetStats();
+      const double width =
+          std::max(stats.max - stats.min, 1e-12) / max_candidates;
+      values.assign(static_cast<size_t>(max_candidates), 0.0);
+      freqs.assign(static_cast<size_t>(max_candidates), 0.0);
+      for (int i = 0; i < max_candidates; ++i) {
+        values[static_cast<size_t>(i)] = stats.min + width * (i + 1);
+      }
+      for (const auto& [v, f] : freq_map) {
+        int cell = static_cast<int>((v - stats.min) / width);
+        cell = std::clamp(cell, 0, max_candidates - 1);
+        freqs[static_cast<size_t>(cell)] += f;
+      }
+    }
+    const int v_count = static_cast<int>(values.size());
+    const int buckets = std::min(max_partitions, std::max(v_count, 1));
+
+    // Prefix sums for O(1) within-bucket SSE: sse(l..r) over frequencies
+    // = sum f^2 - (sum f)^2 / n.
+    std::vector<double> pf(static_cast<size_t>(v_count) + 1, 0.0);
+    std::vector<double> pf2(static_cast<size_t>(v_count) + 1, 0.0);
+    for (int i = 0; i < v_count; ++i) {
+      pf[static_cast<size_t>(i) + 1] = pf[static_cast<size_t>(i)] + freqs[static_cast<size_t>(i)];
+      pf2[static_cast<size_t>(i) + 1] =
+          pf2[static_cast<size_t>(i)] +
+          freqs[static_cast<size_t>(i)] * freqs[static_cast<size_t>(i)];
+    }
+    const auto sse = [&](int l, int r) {  // inclusive 0-based range
+      const double n = r - l + 1;
+      const double s = pf[static_cast<size_t>(r) + 1] - pf[static_cast<size_t>(l)];
+      const double s2 = pf2[static_cast<size_t>(r) + 1] - pf2[static_cast<size_t>(l)];
+      return s2 - s * s / n;
+    };
+
+    // DP over (prefix length, bucket count).
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> err(
+        static_cast<size_t>(v_count) + 1,
+        std::vector<double>(static_cast<size_t>(buckets) + 1, kInf));
+    std::vector<std::vector<int>> split(
+        static_cast<size_t>(v_count) + 1,
+        std::vector<int>(static_cast<size_t>(buckets) + 1, 0));
+    err[0][0] = 0.0;
+    for (int i = 1; i <= v_count; ++i) {
+      const int max_b = std::min(i, buckets);
+      for (int b = 1; b <= max_b; ++b) {
+        for (int j = b - 1; j < i; ++j) {
+          if (err[static_cast<size_t>(j)][static_cast<size_t>(b) - 1] == kInf) {
+            continue;
+          }
+          const double cand =
+              err[static_cast<size_t>(j)][static_cast<size_t>(b) - 1] +
+              sse(j, i - 1);
+          if (cand < err[static_cast<size_t>(i)][static_cast<size_t>(b)]) {
+            err[static_cast<size_t>(i)][static_cast<size_t>(b)] = cand;
+            split[static_cast<size_t>(i)][static_cast<size_t>(b)] = j;
+          }
+        }
+      }
+    }
+    // Recover boundaries: each bucket's last value is an upper boundary
+    // (except the final bucket).
+    std::vector<double> bounds;
+    int i = v_count;
+    int b = buckets;
+    std::vector<int> ends;
+    while (b > 0 && i > 0) {
+      ends.push_back(i - 1);
+      i = split[static_cast<size_t>(i)][static_cast<size_t>(b)];
+      --b;
+    }
+    std::reverse(ends.begin(), ends.end());
+    for (size_t e = 0; e + 1 < ends.size(); ++e) {
+      bounds.push_back(values[static_cast<size_t>(ends[e])]);
+    }
+    out.attr_names_.push_back(col.name());
+    out.boundaries_.push_back(std::move(bounds));
+  }
+  return out;
+}
+
+int VOptimalPartitioner::AttrSlot(const AttributeInfo& attr) const {
+  for (size_t i = 0; i < attr_names_.size(); ++i) {
+    if (attr_names_[i] == attr.name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int VOptimalPartitioner::NumPartitions(const AttributeInfo& attr,
+                                       int max_partitions) const {
+  const int slot = AttrSlot(attr);
+  if (slot < 0) {
+    return EquiWidthPartitioner::Get().NumPartitions(attr, max_partitions);
+  }
+  return static_cast<int>(boundaries_[static_cast<size_t>(slot)].size()) + 1;
+}
+
+int VOptimalPartitioner::IndexOf(const AttributeInfo& attr, int max_partitions,
+                                 double value) const {
+  const int slot = AttrSlot(attr);
+  if (slot < 0) {
+    return EquiWidthPartitioner::Get().IndexOf(attr, max_partitions, value);
+  }
+  const std::vector<double>& b = boundaries_[static_cast<size_t>(slot)];
+  // Partition i covers values <= b[i]; lower_bound gives the first boundary
+  // >= value.
+  const auto it = std::lower_bound(b.begin(), b.end(), value);
+  return static_cast<int>(it - b.begin());
+}
+
+std::vector<int> SkewAwarePartitions(const storage::Table& table, int base,
+                                     int boost, double skew_threshold) {
+  std::vector<int> budgets;
+  budgets.reserve(static_cast<size_t>(table.num_columns()));
+  std::unordered_map<double, int64_t> freq;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const storage::Column& col = table.column(c);
+    freq.clear();
+    int64_t top = 0;
+    for (const double v : col.data()) {
+      top = std::max(top, ++freq[v]);
+    }
+    const double top_fraction =
+        col.size() > 0 ? static_cast<double>(top) / col.size() : 0.0;
+    const int budget =
+        top_fraction > skew_threshold ? std::min(base * boost, 256) : base;
+    budgets.push_back(budget);
+  }
+  return budgets;
+}
+
+int EquiDepthPartitioner::IndexOf(const AttributeInfo& attr,
+                                  int max_partitions, double value) const {
+  const int slot = AttrSlot(attr);
+  if (slot < 0) {
+    return EquiWidthPartitioner::Get().IndexOf(attr, max_partitions, value);
+  }
+  const std::vector<double>& b = boundaries_[static_cast<size_t>(slot)];
+  // Partition i covers (b_{i-1}, b_i]; lower_bound gives the first boundary
+  // >= value, i.e. the partition index.
+  const auto it = std::lower_bound(b.begin(), b.end(), value);
+  return static_cast<int>(it - b.begin());
+}
+
+}  // namespace qfcard::featurize

@@ -1,0 +1,105 @@
+#ifndef QFCARD_FEATURIZE_PARTITIONER_H_
+#define QFCARD_FEATURIZE_PARTITIONER_H_
+
+#include <memory>
+#include <vector>
+
+#include "featurize/feature_schema.h"
+#include "storage/table.h"
+
+namespace qfcard::featurize {
+
+/// Maps attribute values to partition indices for Universal Conjunction /
+/// Limited Disjunction Encoding (Section 3.2). The paper uses equi-width
+/// partitioning; it also notes that "sophisticated partitioning techniques
+/// from the field of histograms" can be plugged in, which EquiDepthPartitioner
+/// provides as an extension.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Number of partitions n_A for attribute `attr` given the per-attribute
+  /// budget `max_partitions` (the paper's n).
+  virtual int NumPartitions(const AttributeInfo& attr,
+                            int max_partitions) const = 0;
+
+  /// Zero-based partition index of `value` within attribute `attr`; values
+  /// outside [min, max] clamp to the first/last partition.
+  virtual int IndexOf(const AttributeInfo& attr, int max_partitions,
+                      double value) const = 0;
+};
+
+/// The paper's partitioning: n_A = min(n, max(A) - min(A) + 1) partitions of
+/// consecutive values; index = floor((val - min) / domain_size * n_A).
+class EquiWidthPartitioner : public Partitioner {
+ public:
+  int NumPartitions(const AttributeInfo& attr, int max_partitions) const override;
+  int IndexOf(const AttributeInfo& attr, int max_partitions,
+              double value) const override;
+
+  /// Shared process-wide instance (stateless).
+  static const EquiWidthPartitioner& Get();
+};
+
+/// Extension: quantile-based partitioning built from the data so every
+/// partition covers roughly the same number of rows. Helps skewed
+/// attributes, where equi-width wastes most entries on empty regions.
+class EquiDepthPartitioner : public Partitioner {
+ public:
+  /// Builds per-attribute quantile boundaries from `table` (one column per
+  /// FeatureSchema attribute) with `max_partitions` target partitions.
+  static EquiDepthPartitioner FromTable(const storage::Table& table,
+                                        int max_partitions);
+
+  int NumPartitions(const AttributeInfo& attr, int max_partitions) const override;
+  int IndexOf(const AttributeInfo& attr, int max_partitions,
+              double value) const override;
+
+ private:
+  // boundaries_[a] holds ascending inner boundaries b_1 < ... < b_{k-1};
+  // partition i = (b_i, b_{i+1}]. Keyed by attribute name.
+  std::vector<std::string> attr_names_;
+  std::vector<std::vector<double>> boundaries_;
+
+  int AttrSlot(const AttributeInfo& attr) const;
+};
+
+/// Extension: v-optimal partitioning (Poosala et al., cited in Section 3.2
+/// as a candidate "sophisticated partitioning technique from the field of
+/// histograms"). Chooses bucket boundaries minimizing the total within-
+/// bucket variance of value frequencies via dynamic programming, so regions
+/// with uneven frequency get finer partitions.
+class VOptimalPartitioner : public Partitioner {
+ public:
+  /// Builds per-attribute v-optimal boundaries from `table` with
+  /// `max_partitions` buckets per attribute. Distinct-value lists are capped
+  /// at `max_candidates` pre-aggregated cells to bound the O(B * V^2) DP.
+  static VOptimalPartitioner FromTable(const storage::Table& table,
+                                       int max_partitions,
+                                       int max_candidates = 512);
+
+  int NumPartitions(const AttributeInfo& attr, int max_partitions) const override;
+  int IndexOf(const AttributeInfo& attr, int max_partitions,
+              double value) const override;
+
+ private:
+  // boundaries_[a]: ascending inner boundaries; partition i covers values
+  // <= boundaries_[a][i] (and the last partition the rest). Keyed by name.
+  std::vector<std::string> attr_names_;
+  std::vector<std::vector<double>> boundaries_;
+
+  int AttrSlot(const AttributeInfo& attr) const;
+};
+
+/// Attribute-specific partition budgets (Section 3.2: skewed attributes may
+/// need a larger n). Columns whose most frequent value exceeds
+/// `skew_threshold` of the rows get `base * boost` partitions (capped at
+/// 256); all others get `base`. Feed the result into
+/// ConjunctionOptions::per_attribute_partitions.
+std::vector<int> SkewAwarePartitions(const storage::Table& table, int base,
+                                     int boost = 2,
+                                     double skew_threshold = 0.2);
+
+}  // namespace qfcard::featurize
+
+#endif  // QFCARD_FEATURIZE_PARTITIONER_H_

@@ -1,0 +1,71 @@
+#include "featurize/range.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfcard::featurize {
+
+namespace {
+
+// Step used to close open ranges on continuous attributes (Section 3.1
+// suggests "a small step size" for decimal attributes).
+double OpenRangeStep(const AttributeInfo& attr) {
+  if (attr.integral) return 1.0;
+  return std::max(attr.max - attr.min, 1e-12) * 1e-9;
+}
+
+}  // namespace
+
+common::Status RangeEncoding::FeaturizeInto(const query::Query& q,
+                                            float* out) const {
+  // Default: full domain for every attribute.
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    out[2 * a] = 0.0f;
+    out[2 * a + 1] = 1.0f;
+  }
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    QFCARD_RETURN_IF_ERROR(schema_.CheckAttr(cp.col.column));
+    if (cp.disjuncts.size() != 1) {
+      return common::Status::InvalidArgument(
+          "Range Predicate Encoding does not support disjunctions");
+    }
+    const AttributeInfo& attr = schema_.attr(cp.col.column);
+    double lo = attr.min;
+    double hi = attr.max;
+    const double step = OpenRangeStep(attr);
+    for (const query::SimplePredicate& p : cp.disjuncts[0].preds) {
+      switch (p.op) {
+        case query::CmpOp::kEq:
+          lo = std::max(lo, p.value);
+          hi = std::min(hi, p.value);
+          break;
+        case query::CmpOp::kGe:
+          lo = std::max(lo, p.value);
+          break;
+        case query::CmpOp::kGt:
+          lo = std::max(lo, p.value + step);
+          break;
+        case query::CmpOp::kLe:
+          hi = std::min(hi, p.value);
+          break;
+        case query::CmpOp::kLt:
+          hi = std::min(hi, p.value - step);
+          break;
+        case query::CmpOp::kNe:
+          // Not representable as a closed range; dropped (lossy by design).
+          break;
+      }
+    }
+    const double denom = std::max(attr.max - attr.min, 1e-12);
+    const double lo_norm = std::clamp((lo - attr.min) / denom, 0.0, 1.0);
+    const double hi_norm = std::clamp((hi - attr.min) / denom, 0.0, 1.0);
+    // An empty intersection (lo > hi) is encoded as a collapsed inverted
+    // range, which no satisfiable query produces; the model can learn it
+    // means cardinality ~0.
+    out[2 * cp.col.column] = static_cast<float>(lo_norm);
+    out[2 * cp.col.column + 1] = static_cast<float>(hi_norm);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace qfcard::featurize

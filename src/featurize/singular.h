@@ -1,0 +1,35 @@
+#ifndef QFCARD_FEATURIZE_SINGULAR_H_
+#define QFCARD_FEATURIZE_SINGULAR_H_
+
+#include "featurize/feature_schema.h"
+#include "featurize/featurizer.h"
+
+namespace qfcard::featurize {
+
+/// Singular Predicate Encoding (Section 2.1.1), the paper's baseline QFT,
+/// abbreviated "simple". The feature vector has 4*m entries for m
+/// attributes: per attribute a 3-entry operator indicator over {=, >, <}
+/// (>= sets = and >, <= sets = and <, <> sets > and <) followed by the
+/// min/max-normalized literal.
+///
+/// Only one predicate per attribute can be represented. When a query has
+/// k > 1 predicates on an attribute, the first is kept and the remaining
+/// k - 1 are dropped — exactly the information loss Section 3 analyzes.
+/// Disjunctions are not representable and are rejected.
+class SingularEncoding : public Featurizer {
+ public:
+  explicit SingularEncoding(FeatureSchema schema)
+      : schema_(std::move(schema)) {}
+
+  int dim() const override { return 4 * schema_.num_attributes(); }
+  std::string name() const override { return "simple"; }
+  common::Status FeaturizeInto(const query::Query& q,
+                               float* out) const override;
+
+ private:
+  FeatureSchema schema_;
+};
+
+}  // namespace qfcard::featurize
+
+#endif  // QFCARD_FEATURIZE_SINGULAR_H_

@@ -1,0 +1,74 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace qfcard::ml {
+
+common::StatusOr<Dataset> Dataset::FromVectors(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<float>& labels) {
+  if (features.size() != labels.size()) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "features (%zu) and labels (%zu) differ in length", features.size(),
+        labels.size()));
+  }
+  Dataset out;
+  if (features.empty()) return out;
+  const int dim = static_cast<int>(features[0].size());
+  out.x = Matrix(static_cast<int>(features.size()), dim);
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (static_cast<int>(features[i].size()) != dim) {
+      return common::Status::InvalidArgument(
+          "feature vectors have inconsistent lengths");
+    }
+    std::memcpy(out.x.Row(static_cast<int>(i)), features[i].data(),
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+  out.y = labels;
+  return out;
+}
+
+Dataset Dataset::Subset(const std::vector<int>& rows) const {
+  Dataset out;
+  out.x = Matrix(static_cast<int>(rows.size()), dim());
+  out.y.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::memcpy(out.x.Row(static_cast<int>(i)), x.Row(rows[i]),
+                static_cast<size_t>(dim()) * sizeof(float));
+    out.y[i] = y[static_cast<size_t>(rows[i])];
+  }
+  return out;
+}
+
+Dataset Dataset::Head(int n) const {
+  n = std::min(n, num_rows());
+  std::vector<int> rows(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows[static_cast<size_t>(i)] = i;
+  return Subset(rows);
+}
+
+TrainTestSplit SplitTrainTest(const Dataset& data, double train_fraction,
+                              common::Rng& rng) {
+  std::vector<int> order(static_cast<size_t>(data.num_rows()));
+  for (int i = 0; i < data.num_rows(); ++i) order[static_cast<size_t>(i)] = i;
+  rng.Shuffle(order);
+  const int n_train = static_cast<int>(
+      std::llround(train_fraction * static_cast<double>(data.num_rows())));
+  const std::vector<int> train_rows(order.begin(), order.begin() + n_train);
+  const std::vector<int> test_rows(order.begin() + n_train, order.end());
+  return TrainTestSplit{data.Subset(train_rows), data.Subset(test_rows)};
+}
+
+float CardToLabel(double card) {
+  return static_cast<float>(std::log2(std::max(card, 1.0)));
+}
+
+double LabelToCard(float label) {
+  return std::max(std::exp2(static_cast<double>(label)), 1.0);
+}
+
+}  // namespace qfcard::ml

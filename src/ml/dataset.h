@@ -1,0 +1,92 @@
+#ifndef QFCARD_ML_DATASET_H_
+#define QFCARD_ML_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/matrix.h"
+
+namespace qfcard::ml {
+
+/// A supervised regression dataset: feature matrix X (one row per query's
+/// feature vector) and labels y. Throughout qfcard, y holds log2 of the true
+/// cardinality (models learn in log space; q-errors are computed in natural
+/// space).
+struct Dataset {
+  Matrix x;
+  std::vector<float> y;
+
+  int num_rows() const { return x.rows(); }
+  int dim() const { return x.cols(); }
+
+  /// Builds a dataset from per-sample feature vectors (all the same length)
+  /// and labels.
+  static common::StatusOr<Dataset> FromVectors(
+      const std::vector<std::vector<float>>& features,
+      const std::vector<float>& labels);
+
+  /// Returns the subset with the given row indices.
+  Dataset Subset(const std::vector<int>& rows) const;
+
+  /// Returns the first `n` rows (n clamped to num_rows()).
+  Dataset Head(int n) const;
+};
+
+/// Shuffles row order deterministically, then splits into train (first
+/// `train_fraction`) and test.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit SplitTrainTest(const Dataset& data, double train_fraction,
+                              common::Rng& rng);
+
+/// Converts a cardinality (>= 0) to the label space: log2(max(card, 1)).
+float CardToLabel(double card);
+/// Converts a label-space prediction back to a cardinality estimate,
+/// clamped to >= 1 (as in the paper's evaluation: "all estimates are >= 1").
+double LabelToCard(float label);
+
+/// Base interface of every trainable regressor in the stack. Models are
+/// input-agnostic (Section 2.2): for a fixed input length they accept any
+/// numeric vector, which is what makes QFTs freely swappable.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on `train`; `valid` (optional) enables early stopping.
+  virtual common::Status Fit(const Dataset& train, const Dataset* valid) = 0;
+
+  /// Predicts the label for a feature vector of length dim().
+  virtual float Predict(const float* x) const = 0;
+
+  /// Approximate serialized model size, for the Section 5.7 comparison.
+  virtual size_t SizeBytes() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Serializes the trained model to bytes (same-machine persistence).
+  virtual common::Status Serialize(std::vector<uint8_t>* out) const {
+    (void)out;
+    return common::Status::Unimplemented(name() + " has no serialization");
+  }
+  /// Restores a model serialized by Serialize(). Hyperparameters that only
+  /// affect training need not match.
+  virtual common::Status Deserialize(const std::vector<uint8_t>& data) {
+    (void)data;
+    return common::Status::Unimplemented(name() + " has no serialization");
+  }
+
+  /// Predicts all rows of `x`.
+  std::vector<float> PredictBatch(const Matrix& x) const {
+    std::vector<float> out(static_cast<size_t>(x.rows()));
+    for (int i = 0; i < x.rows(); ++i) out[static_cast<size_t>(i)] = Predict(x.Row(i));
+    return out;
+  }
+};
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_DATASET_H_

@@ -1,0 +1,134 @@
+#include "ml/gbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/metrics.h"
+#include "ml/serialize.h"
+
+namespace qfcard::ml {
+
+common::Status GradientBoosting::Fit(const Dataset& train,
+                                     const Dataset* valid) {
+  trees_.clear();
+  if (train.num_rows() == 0) {
+    return common::Status::InvalidArgument("empty training set");
+  }
+  double sum = 0.0;
+  for (const float v : train.y) sum += v;
+  base_ = static_cast<float>(sum / train.num_rows());
+
+  const BinnedFeatures binned = BinnedFeatures::Build(train.x, params_.max_bins);
+  common::Rng rng(params_.seed);
+
+  std::vector<float> residuals(train.y.size());
+  std::vector<float> pred(train.y.size(), base_);
+  std::vector<float> valid_pred;
+  if (valid != nullptr) valid_pred.assign(valid->y.size(), base_);
+
+  RegressionTree::Params tree_params;
+  tree_params.max_depth = params_.max_depth;
+  tree_params.min_samples_leaf = params_.min_samples_leaf;
+  tree_params.colsample = params_.colsample;
+
+  double best_valid_rmse = std::numeric_limits<double>::infinity();
+  int best_size = 0;
+
+  std::vector<int> rows;
+  for (int t = 0; t < params_.num_trees; ++t) {
+    for (size_t i = 0; i < residuals.size(); ++i) {
+      residuals[i] = train.y[i] - pred[i];
+    }
+    rows.clear();
+    if (params_.subsample >= 1.0) {
+      rows.resize(static_cast<size_t>(train.num_rows()));
+      for (int i = 0; i < train.num_rows(); ++i) rows[static_cast<size_t>(i)] = i;
+    } else {
+      for (int i = 0; i < train.num_rows(); ++i) {
+        if (rng.Bernoulli(params_.subsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(0);
+    }
+    RegressionTree tree;
+    tree.Fit(binned, residuals, rows, tree_params, &rng);
+    const float lr = static_cast<float>(params_.learning_rate);
+    for (int i = 0; i < train.num_rows(); ++i) {
+      pred[static_cast<size_t>(i)] += lr * tree.Predict(train.x.Row(i));
+    }
+    if (valid != nullptr) {
+      for (int i = 0; i < valid->num_rows(); ++i) {
+        valid_pred[static_cast<size_t>(i)] += lr * tree.Predict(valid->x.Row(i));
+      }
+    }
+    trees_.push_back(std::move(tree));
+
+    if (valid != nullptr && params_.early_stopping_rounds > 0) {
+      const double rmse = Rmse(valid_pred, valid->y);
+      if (rmse < best_valid_rmse - 1e-9) {
+        best_valid_rmse = rmse;
+        best_size = static_cast<int>(trees_.size());
+      } else if (static_cast<int>(trees_.size()) - best_size >=
+                 params_.early_stopping_rounds) {
+        trees_.resize(static_cast<size_t>(best_size));
+        break;
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+float GradientBoosting::Predict(const float* x) const {
+  double acc = base_;
+  for (const RegressionTree& tree : trees_) {
+    acc += params_.learning_rate * tree.Predict(x);
+  }
+  return static_cast<float>(acc);
+}
+
+size_t GradientBoosting::SizeBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const RegressionTree& tree : trees_) bytes += tree.SizeBytes();
+  return bytes;
+}
+
+namespace {
+constexpr uint32_t kGbmMagic = 0x5147424d;  // "QGBM"
+}  // namespace
+
+common::Status GradientBoosting::Serialize(std::vector<uint8_t>* out) const {
+  ByteWriter writer(out);
+  writer.Write(kGbmMagic);
+  writer.Write(base_);
+  writer.Write(params_.learning_rate);  // needed at prediction time
+  writer.Write<uint32_t>(static_cast<uint32_t>(trees_.size()));
+  for (const RegressionTree& tree : trees_) {
+    writer.WriteVector(tree.nodes());
+  }
+  return common::Status::Ok();
+}
+
+common::Status GradientBoosting::Deserialize(const std::vector<uint8_t>& data) {
+  ByteReader reader(data);
+  uint32_t magic = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&magic));
+  if (magic != kGbmMagic) {
+    return common::Status::InvalidArgument("not a serialized GB model");
+  }
+  QFCARD_RETURN_IF_ERROR(reader.Read(&base_));
+  QFCARD_RETURN_IF_ERROR(reader.Read(&params_.learning_rate));
+  uint32_t num_trees = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&num_trees));
+  trees_.clear();
+  trees_.reserve(num_trees);
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    std::vector<TreeNode> nodes;
+    QFCARD_RETURN_IF_ERROR(reader.ReadVector(&nodes));
+    RegressionTree tree;
+    tree.SetNodes(std::move(nodes));
+    trees_.push_back(std::move(tree));
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace qfcard::ml

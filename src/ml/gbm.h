@@ -1,0 +1,52 @@
+#ifndef QFCARD_ML_GBM_H_
+#define QFCARD_ML_GBM_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/tree.h"
+
+namespace qfcard::ml {
+
+/// Hyperparameters of GradientBoosting. Defaults are the configuration the
+/// repository's grid search (grid_search.h) selects on the forest workloads.
+struct GbmParams {
+  int num_trees = 150;
+  double learning_rate = 0.1;
+  int max_depth = 6;
+  int min_samples_leaf = 20;
+  int max_bins = 64;
+  double subsample = 1.0;   ///< row fraction per tree (stochastic GB)
+  double colsample = 1.0;   ///< feature fraction per node
+  int early_stopping_rounds = 20;  ///< 0 disables; needs a valid set
+  uint64_t seed = 17;
+};
+
+/// Gradient boosting with L2 loss on log-cardinality labels
+/// (Section 2.2.2): \hat f(x) = sum_p lambda_p F_p(x) + c, where every F_p
+/// is a histogram regression tree fit to the residuals of the preceding
+/// ensemble and lambda_p is the learning rate.
+class GradientBoosting : public Model {
+ public:
+  explicit GradientBoosting(GbmParams params = {}) : params_(params) {}
+
+  common::Status Fit(const Dataset& train, const Dataset* valid) override;
+  float Predict(const float* x) const override;
+  size_t SizeBytes() const override;
+  std::string name() const override { return "GB"; }
+  common::Status Serialize(std::vector<uint8_t>* out) const override;
+  common::Status Deserialize(const std::vector<uint8_t>& data) override;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const GbmParams& params() const { return params_; }
+
+ private:
+  GbmParams params_;
+  float base_ = 0.0f;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_GBM_H_

@@ -1,0 +1,49 @@
+#include "ml/grid_search.h"
+
+#include <limits>
+
+#include "ml/metrics.h"
+
+namespace qfcard::ml {
+
+common::StatusOr<GbmTuneResult> TuneGbm(const Dataset& train,
+                                        const Dataset& valid,
+                                        const GbmGrid& grid,
+                                        const GbmParams& base) {
+  if (train.num_rows() == 0 || valid.num_rows() == 0) {
+    return common::Status::InvalidArgument(
+        "grid search needs non-empty train and valid sets");
+  }
+  GbmTuneResult result;
+  result.valid_mean_qerror = std::numeric_limits<double>::infinity();
+  for (const int depth : grid.max_depth) {
+    for (const double lr : grid.learning_rate) {
+      for (const int trees : grid.num_trees) {
+        for (const int min_leaf : grid.min_samples_leaf) {
+          GbmParams params = base;
+          params.max_depth = depth;
+          params.learning_rate = lr;
+          params.num_trees = trees;
+          params.min_samples_leaf = min_leaf;
+          GradientBoosting model(params);
+          QFCARD_RETURN_IF_ERROR(model.Fit(train, &valid));
+          double sum = 0.0;
+          for (int i = 0; i < valid.num_rows(); ++i) {
+            const double truth = LabelToCard(valid.y[static_cast<size_t>(i)]);
+            const double est = LabelToCard(model.Predict(valid.x.Row(i)));
+            sum += QError(truth, est);
+          }
+          const double mean = sum / valid.num_rows();
+          ++result.configs_tried;
+          if (mean < result.valid_mean_qerror) {
+            result.valid_mean_qerror = mean;
+            result.params = params;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qfcard::ml

@@ -1,0 +1,37 @@
+#ifndef QFCARD_ML_GRID_SEARCH_H_
+#define QFCARD_ML_GRID_SEARCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/gbm.h"
+
+namespace qfcard::ml {
+
+/// Hyperparameter grid for GradientBoosting. The paper trains GB "with full
+/// hyperparameter tuning" (Section 5, experimental setup); this grid search
+/// reproduces that step, selecting by mean q-error on the validation split.
+struct GbmGrid {
+  std::vector<int> max_depth{4, 6, 8};
+  std::vector<double> learning_rate{0.05, 0.1};
+  std::vector<int> num_trees{100, 200};
+  std::vector<int> min_samples_leaf{10, 20};
+};
+
+/// Result of a grid search: the best parameters and their validation score.
+struct GbmTuneResult {
+  GbmParams params;
+  double valid_mean_qerror = 0.0;
+  int configs_tried = 0;
+};
+
+/// Exhaustively evaluates `grid` (all other params taken from `base`),
+/// training on `train` and scoring mean q-error on `valid`.
+common::StatusOr<GbmTuneResult> TuneGbm(const Dataset& train,
+                                        const Dataset& valid,
+                                        const GbmGrid& grid,
+                                        const GbmParams& base = {});
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_GRID_SEARCH_H_

@@ -1,0 +1,115 @@
+#include "ml/linear.h"
+
+#include <cmath>
+
+#include "ml/serialize.h"
+
+namespace qfcard::ml {
+
+namespace {
+
+// In-place Cholesky solve of A x = b for symmetric positive-definite A
+// (row-major d x d). Returns false if A is not positive definite.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& b, int d) {
+  // Decompose A = L L^T (lower triangle stored in a).
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[static_cast<size_t>(i) * d + j];
+      for (int k = 0; k < j; ++k) {
+        sum -= a[static_cast<size_t>(i) * d + k] * a[static_cast<size_t>(j) * d + k];
+      }
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[static_cast<size_t>(i) * d + j] = std::sqrt(sum);
+      } else {
+        a[static_cast<size_t>(i) * d + j] = sum / a[static_cast<size_t>(j) * d + j];
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  for (int i = 0; i < d; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = 0; k < i; ++k) sum -= a[static_cast<size_t>(i) * d + k] * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(i)] = sum / a[static_cast<size_t>(i) * d + i];
+  }
+  // Back substitution L^T x = y.
+  for (int i = d - 1; i >= 0; --i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int k = i + 1; k < d; ++k) sum -= a[static_cast<size_t>(k) * d + i] * b[static_cast<size_t>(k)];
+    b[static_cast<size_t>(i)] = sum / a[static_cast<size_t>(i) * d + i];
+  }
+  return true;
+}
+
+}  // namespace
+
+common::Status LinearRegression::Fit(const Dataset& train,
+                                     const Dataset* valid) {
+  (void)valid;  // no early stopping for the closed-form solver
+  if (train.num_rows() == 0) {
+    return common::Status::InvalidArgument("empty training set");
+  }
+  const int d = train.dim() + 1;  // + bias
+  std::vector<double> xtx(static_cast<size_t>(d) * static_cast<size_t>(d), 0.0);
+  std::vector<double> xty(static_cast<size_t>(d), 0.0);
+  std::vector<double> row(static_cast<size_t>(d), 1.0);
+  for (int r = 0; r < train.num_rows(); ++r) {
+    const float* x = train.x.Row(r);
+    for (int i = 0; i < train.dim(); ++i) row[static_cast<size_t>(i)] = x[i];
+    row[static_cast<size_t>(train.dim())] = 1.0;
+    const double y = train.y[static_cast<size_t>(r)];
+    for (int i = 0; i < d; ++i) {
+      const double xi = row[static_cast<size_t>(i)];
+      if (xi == 0.0) continue;
+      xty[static_cast<size_t>(i)] += xi * y;
+      double* out = xtx.data() + static_cast<size_t>(i) * d;
+      for (int j = 0; j <= i; ++j) out[j] += xi * row[static_cast<size_t>(j)];
+    }
+  }
+  // Mirror the lower triangle and regularize.
+  for (int i = 0; i < d; ++i) {
+    for (int j = i + 1; j < d; ++j) {
+      xtx[static_cast<size_t>(i) * d + j] = xtx[static_cast<size_t>(j) * d + i];
+    }
+  }
+  double lambda = l2_;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    std::vector<double> a = xtx;
+    std::vector<double> b = xty;
+    for (int i = 0; i < d; ++i) a[static_cast<size_t>(i) * d + i] += lambda;
+    if (CholeskySolve(a, b, d)) {
+      weights_ = std::move(b);
+      return common::Status::Ok();
+    }
+    lambda = std::max(lambda, 1e-6) * 10.0;
+  }
+  return common::Status::Internal("normal equations not positive definite");
+}
+
+common::Status LinearRegression::Serialize(std::vector<uint8_t>* out) const {
+  ByteWriter writer(out);
+  writer.Write<uint32_t>(0x514c4e31);  // "QLN1"
+  writer.WriteVector(weights_);
+  return common::Status::Ok();
+}
+
+common::Status LinearRegression::Deserialize(const std::vector<uint8_t>& data) {
+  ByteReader reader(data);
+  uint32_t magic = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&magic));
+  if (magic != 0x514c4e31) {
+    return common::Status::InvalidArgument("not a serialized linear model");
+  }
+  return reader.ReadVector(&weights_);
+}
+
+float LinearRegression::Predict(const float* x) const {
+  if (weights_.empty()) return 0.0f;
+  double acc = weights_.back();  // bias
+  for (size_t i = 0; i + 1 < weights_.size(); ++i) {
+    acc += weights_[i] * x[i];
+  }
+  return static_cast<float>(acc);
+}
+
+}  // namespace qfcard::ml

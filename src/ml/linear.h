@@ -1,0 +1,35 @@
+#ifndef QFCARD_ML_LINEAR_H_
+#define QFCARD_ML_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace qfcard::ml {
+
+/// Ridge regression via the normal equations (Cholesky). The paper notes it
+/// also tested linear models but excluded them because "their estimates are
+/// worse by a significant factor" — this implementation exists to reproduce
+/// that observation and as the simplest Model for tests.
+class LinearRegression : public Model {
+ public:
+  explicit LinearRegression(double l2 = 1.0) : l2_(l2) {}
+
+  common::Status Fit(const Dataset& train, const Dataset* valid) override;
+  float Predict(const float* x) const override;
+  size_t SizeBytes() const override {
+    return weights_.size() * sizeof(double);
+  }
+  std::string name() const override { return "Linear"; }
+  common::Status Serialize(std::vector<uint8_t>* out) const override;
+  common::Status Deserialize(const std::vector<uint8_t>& data) override;
+
+ private:
+  double l2_;
+  std::vector<double> weights_;  // last entry = bias
+};
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_LINEAR_H_

@@ -1,0 +1,56 @@
+#include "ml/matrix.h"
+
+namespace qfcard::ml {
+
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  // out[m x n] += a[m x k] * b[k x n]; i-k-j order keeps b row-contiguous.
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a.Row(i);
+    float* oi = out.Row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = ai[kk];
+      if (av == 0.0f) continue;
+      const float* bk = b.Row(kk);
+      for (int j = 0; j < n; ++j) oi[j] += av * bk[j];
+    }
+  }
+}
+
+void GemmBTAccumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  // out[m x k] += a[m x n] * b^T, b is [k x n]; dot products of rows.
+  const int m = a.rows();
+  const int n = a.cols();
+  const int k = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a.Row(i);
+    float* oi = out.Row(i);
+    for (int j = 0; j < k; ++j) {
+      const float* bj = b.Row(j);
+      float acc = 0.0f;
+      for (int t = 0; t < n; ++t) acc += ai[t] * bj[t];
+      oi[j] += acc;
+    }
+  }
+}
+
+void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix& out) {
+  // out[n x k] += a^T * b, a is [m x n], b is [m x k].
+  const int m = a.rows();
+  const int n = a.cols();
+  const int k = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* ai = a.Row(i);
+    const float* bi = b.Row(i);
+    for (int t = 0; t < n; ++t) {
+      const float av = ai[t];
+      if (av == 0.0f) continue;
+      float* ot = out.Row(t);
+      for (int j = 0; j < k; ++j) ot[j] += av * bi[j];
+    }
+  }
+}
+
+}  // namespace qfcard::ml

@@ -1,0 +1,61 @@
+#ifndef QFCARD_ML_MATRIX_H_
+#define QFCARD_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qfcard::ml {
+
+/// Dense row-major float matrix; the only tensor type the from-scratch ML
+/// stack needs.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  float& At(int r, int c) {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  float At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+                 static_cast<size_t>(c)];
+  }
+  float* Row(int r) {
+    return data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
+  }
+  const float* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * static_cast<size_t>(cols_);
+  }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out[m x n] += a[m x k] * b[k x n]. Plain blocked loops; sized for the
+/// small dense layers used here.
+void GemmAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out[m x k] += a[m x n] * b^T where b is [k x n] (i.e. multiply by the
+/// transpose). Used for backpropagation.
+void GemmBTAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out[n x k] += a^T * b where a is [m x n], b is [m x k]. Weight gradients.
+void GemmATAccumulate(const Matrix& a, const Matrix& b, Matrix& out);
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_MATRIX_H_

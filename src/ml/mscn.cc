@@ -1,0 +1,201 @@
+#include "ml/mscn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace qfcard::ml {
+
+namespace {
+
+// Copies a set into a [set_size x dim] matrix.
+Matrix SetToMatrix(const std::vector<std::vector<float>>& set, int dim) {
+  Matrix m(static_cast<int>(set.size()), dim);
+  for (size_t i = 0; i < set.size(); ++i) {
+    std::memcpy(m.Row(static_cast<int>(i)), set[i].data(),
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+  return m;
+}
+
+}  // namespace
+
+Mscn::Mscn(int table_dim, int join_dim, int pred_dim, MscnParams params)
+    : params_(params),
+      table_dim_(table_dim),
+      join_dim_(join_dim),
+      pred_dim_(pred_dim) {
+  common::Rng rng(params_.seed);
+  const int h = params_.hidden;
+  table_mlp_.Init({table_dim_, h, h}, /*relu_last=*/true, rng);
+  join_mlp_.Init({join_dim_, h, h}, /*relu_last=*/true, rng);
+  pred_mlp_.Init({pred_dim_, h, h}, /*relu_last=*/true, rng);
+  out_mlp_.Init({3 * h, h, 1}, /*relu_last=*/false, rng);
+}
+
+void Mscn::PoolPredict(const internal::Mlp& mlp,
+                       const std::vector<std::vector<float>>& set,
+                       float* out) const {
+  const int h = params_.hidden;
+  std::fill(out, out + h, 0.0f);
+  if (set.empty()) return;
+  std::vector<float> tmp(static_cast<size_t>(h), 0.0f);
+  for (const std::vector<float>& elem : set) {
+    mlp.PredictOne(elem.data(), tmp.data());
+    for (int i = 0; i < h; ++i) out[i] += tmp[static_cast<size_t>(i)];
+  }
+  const float inv = 1.0f / static_cast<float>(set.size());
+  for (int i = 0; i < h; ++i) out[i] *= inv;
+}
+
+float Mscn::Predict(const featurize::MscnSample& sample) const {
+  const int h = params_.hidden;
+  std::vector<float> concat(static_cast<size_t>(3 * h), 0.0f);
+  PoolPredict(table_mlp_, sample.table_vecs, concat.data());
+  PoolPredict(join_mlp_, sample.join_vecs, concat.data() + h);
+  PoolPredict(pred_mlp_, sample.pred_vecs, concat.data() + 2 * h);
+  float out = 0.0f;
+  out_mlp_.PredictOne(concat.data(), &out);
+  return out;
+}
+
+common::Status Mscn::Fit(
+    const std::vector<featurize::MscnSample>& samples,
+    const std::vector<float>& labels,
+    const std::vector<featurize::MscnSample>* valid_samples,
+    const std::vector<float>* valid_labels) {
+  if (samples.size() != labels.size()) {
+    return common::Status::InvalidArgument("samples/labels length mismatch");
+  }
+  if (samples.empty()) {
+    return common::Status::InvalidArgument("empty training set");
+  }
+  common::Rng rng(params_.seed + 1);
+  const int h = params_.hidden;
+  std::vector<int> order(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) order[i] = static_cast<int>(i);
+
+  double best_valid = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+  int steps = 0;
+  const int n = static_cast<int>(samples.size());
+
+  for (int epoch = 0; epoch < params_.max_epochs && steps < params_.max_steps;
+       ++epoch) {
+    rng.Shuffle(order);
+    for (int start = 0; start < n && steps < params_.max_steps;
+         start += params_.batch_size) {
+      const int bs = std::min(params_.batch_size, n - start);
+      for (int bi = 0; bi < bs; ++bi) {
+        const featurize::MscnSample& s =
+            samples[static_cast<size_t>(order[static_cast<size_t>(start + bi)])];
+        const float y =
+            labels[static_cast<size_t>(order[static_cast<size_t>(start + bi)])];
+
+        // Forward: per-set MLPs over set elements, average pool, concat.
+        Matrix concat(1, 3 * h);
+        struct SetState {
+          internal::Mlp* mlp;
+          const std::vector<std::vector<float>>* set;
+          int dim;
+          bool active = false;
+        };
+        SetState states[3] = {
+            {&table_mlp_, &s.table_vecs, table_dim_, false},
+            {&join_mlp_, &s.join_vecs, join_dim_, false},
+            {&pred_mlp_, &s.pred_vecs, pred_dim_, false},
+        };
+        for (int k = 0; k < 3; ++k) {
+          if (states[k].set->empty()) continue;
+          states[k].active = true;
+          const Matrix& out =
+              states[k].mlp->Forward(SetToMatrix(*states[k].set, states[k].dim));
+          const float inv = 1.0f / static_cast<float>(out.rows());
+          for (int r = 0; r < out.rows(); ++r) {
+            const float* row = out.Row(r);
+            for (int c = 0; c < h; ++c) concat.At(0, k * h + c) += row[c] * inv;
+          }
+          // Backward for this set happens after the output MLP's backward;
+          // its activation cache stays valid because each Mlp caches its own.
+        }
+        const Matrix& yhat = out_mlp_.Forward(concat);
+        Matrix grad(1, 1);
+        grad.At(0, 0) = 2.0f * (yhat.At(0, 0) - y);
+        const Matrix grad_concat =
+            out_mlp_.Backward(grad, /*need_input_grad=*/true);
+        for (int k = 0; k < 3; ++k) {
+          if (!states[k].active) continue;
+          const int set_size = static_cast<int>(states[k].set->size());
+          Matrix gset(set_size, h);
+          const float inv = 1.0f / static_cast<float>(set_size);
+          for (int r = 0; r < set_size; ++r) {
+            for (int c = 0; c < h; ++c) {
+              gset.At(r, c) = grad_concat.At(0, k * h + c) * inv;
+            }
+          }
+          states[k].mlp->Backward(gset, /*need_input_grad=*/false);
+        }
+      }
+      table_mlp_.AdamStep(params_.learning_rate, bs);
+      join_mlp_.AdamStep(params_.learning_rate, bs);
+      pred_mlp_.AdamStep(params_.learning_rate, bs);
+      out_mlp_.AdamStep(params_.learning_rate, bs);
+      ++steps;
+    }
+    if (valid_samples != nullptr && valid_labels != nullptr &&
+        params_.early_stopping_rounds > 0 && !valid_samples->empty()) {
+      double se = 0.0;
+      for (size_t i = 0; i < valid_samples->size(); ++i) {
+        const double d = Predict((*valid_samples)[i]) - (*valid_labels)[i];
+        se += d * d;
+      }
+      const double rmse = std::sqrt(se / static_cast<double>(valid_samples->size()));
+      if (rmse < best_valid - 1e-9) {
+        best_valid = rmse;
+        epochs_since_best = 0;
+      } else if (++epochs_since_best >= params_.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::Status Mscn::Serialize(std::vector<uint8_t>* out) const {
+  ByteWriter writer(out);
+  writer.Write<uint32_t>(0x514d534e);  // "QMSN"
+  table_mlp_.Serialize(writer);
+  join_mlp_.Serialize(writer);
+  pred_mlp_.Serialize(writer);
+  out_mlp_.Serialize(writer);
+  return common::Status::Ok();
+}
+
+common::Status Mscn::Deserialize(const std::vector<uint8_t>& data) {
+  ByteReader reader(data);
+  uint32_t magic = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&magic));
+  if (magic != 0x514d534e) {
+    return common::Status::InvalidArgument("not a serialized MSCN model");
+  }
+  QFCARD_RETURN_IF_ERROR(table_mlp_.Deserialize(reader));
+  QFCARD_RETURN_IF_ERROR(join_mlp_.Deserialize(reader));
+  QFCARD_RETURN_IF_ERROR(pred_mlp_.Deserialize(reader));
+  QFCARD_RETURN_IF_ERROR(out_mlp_.Deserialize(reader));
+  if (table_mlp_.input_dim() != table_dim_ ||
+      join_mlp_.input_dim() != join_dim_ ||
+      pred_mlp_.input_dim() != pred_dim_) {
+    return common::Status::InvalidArgument(
+        "serialized MSCN dimensions do not match this featurizer");
+  }
+  return common::Status::Ok();
+}
+
+size_t Mscn::SizeBytes() const {
+  return (table_mlp_.NumParams() + join_mlp_.NumParams() +
+          pred_mlp_.NumParams() + out_mlp_.NumParams()) *
+         sizeof(float);
+}
+
+}  // namespace qfcard::ml

@@ -1,0 +1,70 @@
+#ifndef QFCARD_ML_MSCN_H_
+#define QFCARD_ML_MSCN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "featurize/mscn_featurizer.h"
+#include "ml/nn.h"
+
+namespace qfcard::ml {
+
+/// Hyperparameters for Mscn.
+struct MscnParams {
+  int hidden = 32;
+  int batch_size = 64;
+  int max_epochs = 60;
+  int max_steps = 2500;
+  double learning_rate = 1e-3;
+  int early_stopping_rounds = 8;  ///< epochs; 0 disables (needs valid set)
+  uint64_t seed = 29;
+};
+
+/// Multi-Set Convolutional Network (Kipf et al., Section 2.2.1): the global
+/// model of the paper's evaluation. Three per-set MLPs (tables, joins,
+/// predicates) are applied to every element of their set and average-pooled;
+/// the pooled representations are concatenated and fed to an output MLP that
+/// regresses the log2 cardinality.
+class Mscn {
+ public:
+  /// Set-element dimensions must match the producing MscnFeaturizer.
+  Mscn(int table_dim, int join_dim, int pred_dim, MscnParams params = {});
+
+  /// Trains on featurized samples with log2-cardinality labels. The
+  /// optional validation set drives early stopping.
+  common::Status Fit(const std::vector<featurize::MscnSample>& samples,
+                     const std::vector<float>& labels,
+                     const std::vector<featurize::MscnSample>* valid_samples,
+                     const std::vector<float>* valid_labels);
+
+  /// Predicted label (log2 cardinality).
+  float Predict(const featurize::MscnSample& sample) const;
+
+  size_t SizeBytes() const;
+
+  /// Serializes all four MLPs (architecture + parameters).
+  common::Status Serialize(std::vector<uint8_t>* out) const;
+  /// Restores a model serialized by Serialize(); set-element dimensions
+  /// must match this instance's.
+  common::Status Deserialize(const std::vector<uint8_t>& data);
+
+ private:
+  // Pooled representation of one set through `mlp` (average of per-element
+  // outputs; zero vector for an empty set). Inference-only path.
+  void PoolPredict(const internal::Mlp& mlp,
+                   const std::vector<std::vector<float>>& set,
+                   float* out) const;
+
+  MscnParams params_;
+  int table_dim_;
+  int join_dim_;
+  int pred_dim_;
+  internal::Mlp table_mlp_;
+  internal::Mlp join_mlp_;
+  internal::Mlp pred_mlp_;
+  internal::Mlp out_mlp_;
+};
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_MSCN_H_

@@ -1,0 +1,288 @@
+#include "ml/nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/metrics.h"
+
+namespace qfcard::ml {
+
+namespace internal {
+
+namespace {
+constexpr double kBeta1 = 0.9;
+constexpr double kBeta2 = 0.999;
+constexpr double kEps = 1e-8;
+}  // namespace
+
+void Mlp::Init(const std::vector<int>& dims, bool relu_last,
+               common::Rng& rng) {
+  dims_ = dims;
+  relu_last_ = relu_last;
+  layers_.clear();
+  adam_t_ = 0;
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    const int in = dims[l];
+    const int out = dims[l + 1];
+    layer.w = Matrix(in, out);
+    // He initialization for ReLU stacks.
+    const double scale = std::sqrt(2.0 / in);
+    for (float& v : layer.w.data()) {
+      v = static_cast<float>(rng.Normal(0.0, scale));
+    }
+    layer.b.assign(static_cast<size_t>(out), 0.0f);
+    layer.dw = Matrix(in, out);
+    layer.db.assign(static_cast<size_t>(out), 0.0f);
+    layer.mw = Matrix(in, out);
+    layer.vw = Matrix(in, out);
+    layer.mb.assign(static_cast<size_t>(out), 0.0f);
+    layer.vb.assign(static_cast<size_t>(out), 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+const Matrix& Mlp::Forward(const Matrix& x) {
+  acts_.assign(layers_.size() + 1, Matrix());
+  acts_[0] = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Matrix z(acts_[l].rows(), layer.w.cols());
+    for (int r = 0; r < z.rows(); ++r) {
+      float* zr = z.Row(r);
+      for (int c = 0; c < z.cols(); ++c) zr[c] = layer.b[static_cast<size_t>(c)];
+    }
+    GemmAccumulate(acts_[l], layer.w, z);
+    const bool relu = (l + 1 < layers_.size()) || relu_last_;
+    if (relu) {
+      for (float& v : z.data()) v = std::max(v, 0.0f);
+    }
+    acts_[l + 1] = std::move(z);
+  }
+  return acts_.back();
+}
+
+Matrix Mlp::Backward(const Matrix& grad_out, bool need_input_grad) {
+  Matrix grad = grad_out;
+  for (size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const Matrix& input = acts_[li];
+    const Matrix& output = acts_[li + 1];
+    const bool relu = (li + 1 < layers_.size()) || relu_last_;
+    if (relu) {
+      // dReLU: zero where the (post-activation) output was clipped.
+      for (int r = 0; r < grad.rows(); ++r) {
+        float* gr = grad.Row(r);
+        const float* orow = output.Row(r);
+        for (int c = 0; c < grad.cols(); ++c) {
+          if (orow[c] <= 0.0f) gr[c] = 0.0f;
+        }
+      }
+    }
+    // Parameter gradients.
+    GemmATAccumulate(input, grad, layer.dw);
+    for (int r = 0; r < grad.rows(); ++r) {
+      const float* gr = grad.Row(r);
+      for (int c = 0; c < grad.cols(); ++c) layer.db[static_cast<size_t>(c)] += gr[c];
+    }
+    // Input gradient.
+    if (li > 0 || need_input_grad) {
+      Matrix gin(grad.rows(), layer.w.rows());
+      GemmBTAccumulate(grad, layer.w, gin);
+      grad = std::move(gin);
+    }
+  }
+  return grad;
+}
+
+void Mlp::AdamStep(double lr, double batch_divisor) {
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  const double inv = 1.0 / batch_divisor;
+  for (Layer& layer : layers_) {
+    for (size_t i = 0; i < layer.w.data().size(); ++i) {
+      const double g = layer.dw.data()[i] * inv;
+      layer.mw.data()[i] = static_cast<float>(kBeta1 * layer.mw.data()[i] +
+                                              (1.0 - kBeta1) * g);
+      layer.vw.data()[i] = static_cast<float>(kBeta2 * layer.vw.data()[i] +
+                                              (1.0 - kBeta2) * g * g);
+      const double mhat = layer.mw.data()[i] / bc1;
+      const double vhat = layer.vw.data()[i] / bc2;
+      layer.w.data()[i] -=
+          static_cast<float>(lr * mhat / (std::sqrt(vhat) + kEps));
+      layer.dw.data()[i] = 0.0f;
+    }
+    for (size_t i = 0; i < layer.b.size(); ++i) {
+      const double g = layer.db[i] * inv;
+      layer.mb[i] = static_cast<float>(kBeta1 * layer.mb[i] + (1.0 - kBeta1) * g);
+      layer.vb[i] = static_cast<float>(kBeta2 * layer.vb[i] + (1.0 - kBeta2) * g * g);
+      const double mhat = layer.mb[i] / bc1;
+      const double vhat = layer.vb[i] / bc2;
+      layer.b[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + kEps));
+      layer.db[i] = 0.0f;
+    }
+  }
+}
+
+void Mlp::PredictOne(const float* x, float* out) const {
+  std::vector<float> cur(x, x + dims_.front());
+  std::vector<float> next;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    next.assign(layer.b.begin(), layer.b.end());
+    for (int i = 0; i < layer.w.rows(); ++i) {
+      const float v = cur[static_cast<size_t>(i)];
+      if (v == 0.0f) continue;
+      const float* wrow = layer.w.Row(i);
+      for (int j = 0; j < layer.w.cols(); ++j) next[static_cast<size_t>(j)] += v * wrow[j];
+    }
+    const bool relu = (l + 1 < layers_.size()) || relu_last_;
+    if (relu) {
+      for (float& v : next) v = std::max(v, 0.0f);
+    }
+    cur.swap(next);
+  }
+  std::copy(cur.begin(), cur.end(), out);
+}
+
+size_t Mlp::NumParams() const {
+  size_t n = 0;
+  for (const Layer& layer : layers_) {
+    n += layer.w.data().size() + layer.b.size();
+  }
+  return n;
+}
+
+void Mlp::Serialize(ByteWriter& writer) const {
+  writer.WriteVector(dims_);
+  writer.Write<uint8_t>(relu_last_ ? 1 : 0);
+  for (const Layer& layer : layers_) {
+    writer.WriteVector(layer.w.data());
+    writer.WriteVector(layer.b);
+  }
+}
+
+common::Status Mlp::Deserialize(ByteReader& reader) {
+  std::vector<int> dims;
+  QFCARD_RETURN_IF_ERROR(reader.ReadVector(&dims));
+  uint8_t relu_last = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&relu_last));
+  if (dims.size() < 2) {
+    return common::Status::InvalidArgument("serialized MLP has < 2 dims");
+  }
+  common::Rng rng(0);  // weights are overwritten below
+  Init(dims, relu_last != 0, rng);
+  for (Layer& layer : layers_) {
+    std::vector<float> w;
+    QFCARD_RETURN_IF_ERROR(reader.ReadVector(&w));
+    if (w.size() != layer.w.data().size()) {
+      return common::Status::InvalidArgument("serialized MLP weight mismatch");
+    }
+    layer.w.data() = std::move(w);
+    std::vector<float> b;
+    QFCARD_RETURN_IF_ERROR(reader.ReadVector(&b));
+    if (b.size() != layer.b.size()) {
+      return common::Status::InvalidArgument("serialized MLP bias mismatch");
+    }
+    layer.b = std::move(b);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace internal
+
+common::Status FeedForwardNet::Fit(const Dataset& train, const Dataset* valid) {
+  if (train.num_rows() == 0) {
+    return common::Status::InvalidArgument("empty training set");
+  }
+  common::Rng rng(params_.seed);
+  std::vector<int> dims{train.dim()};
+  dims.insert(dims.end(), params_.hidden.begin(), params_.hidden.end());
+  dims.push_back(1);
+  mlp_.Init(dims, /*relu_last=*/false, rng);
+
+  std::vector<int> order(static_cast<size_t>(train.num_rows()));
+  for (int i = 0; i < train.num_rows(); ++i) order[static_cast<size_t>(i)] = i;
+
+  double best_valid = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+  int steps = 0;
+  for (int epoch = 0; epoch < params_.max_epochs && steps < params_.max_steps;
+       ++epoch) {
+    rng.Shuffle(order);
+    for (int start = 0; start < train.num_rows() && steps < params_.max_steps;
+         start += params_.batch_size) {
+      const int bs = std::min(params_.batch_size, train.num_rows() - start);
+      Matrix xb(bs, train.dim());
+      std::vector<float> yb(static_cast<size_t>(bs));
+      for (int i = 0; i < bs; ++i) {
+        const int r = order[static_cast<size_t>(start + i)];
+        std::copy(train.x.Row(r), train.x.Row(r) + train.dim(), xb.Row(i));
+        yb[static_cast<size_t>(i)] = train.y[static_cast<size_t>(r)];
+      }
+      const Matrix& out = mlp_.Forward(xb);
+      // L = mean (out - y)^2 ; dL/dout = 2 (out - y) / bs (divisor applied
+      // in AdamStep).
+      Matrix grad(bs, 1);
+      for (int i = 0; i < bs; ++i) {
+        grad.At(i, 0) = 2.0f * (out.At(i, 0) - yb[static_cast<size_t>(i)]);
+      }
+      mlp_.Backward(grad, /*need_input_grad=*/false);
+      mlp_.AdamStep(params_.learning_rate, bs);
+      ++steps;
+    }
+    if (valid != nullptr && params_.early_stopping_rounds > 0 &&
+        valid->num_rows() > 0) {
+      double se = 0.0;
+      float out = 0.0f;
+      for (int i = 0; i < valid->num_rows(); ++i) {
+        mlp_.PredictOne(valid->x.Row(i), &out);
+        const double d = out - valid->y[static_cast<size_t>(i)];
+        se += d * d;
+      }
+      const double rmse = std::sqrt(se / valid->num_rows());
+      if (rmse < best_valid - 1e-9) {
+        best_valid = rmse;
+        epochs_since_best = 0;
+      } else if (++epochs_since_best >= params_.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+float FeedForwardNet::Predict(const float* x) const {
+  float out = 0.0f;
+  mlp_.PredictOne(x, &out);
+  return out;
+}
+
+size_t FeedForwardNet::SizeBytes() const {
+  return mlp_.NumParams() * sizeof(float);
+}
+
+namespace {
+constexpr uint32_t kNnMagic = 0x514e4e31;  // "QNN1"
+}  // namespace
+
+common::Status FeedForwardNet::Serialize(std::vector<uint8_t>* out) const {
+  ByteWriter writer(out);
+  writer.Write(kNnMagic);
+  mlp_.Serialize(writer);
+  return common::Status::Ok();
+}
+
+common::Status FeedForwardNet::Deserialize(const std::vector<uint8_t>& data) {
+  ByteReader reader(data);
+  uint32_t magic = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&magic));
+  if (magic != kNnMagic) {
+    return common::Status::InvalidArgument("not a serialized NN model");
+  }
+  return mlp_.Deserialize(reader);
+}
+
+}  // namespace qfcard::ml

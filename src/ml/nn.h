@@ -1,0 +1,114 @@
+#ifndef QFCARD_ML_NN_H_
+#define QFCARD_ML_NN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+#include "ml/serialize.h"
+
+namespace qfcard::ml {
+
+namespace internal {
+
+/// A stack of dense layers with ReLU activations (optionally linear on the
+/// last layer) trained with Adam. Shared by FeedForwardNet and Mscn.
+class Mlp {
+ public:
+  /// `dims` = [input, hidden..., output]. When `relu_last` is false the last
+  /// layer is linear (regression head).
+  void Init(const std::vector<int>& dims, bool relu_last, common::Rng& rng);
+
+  /// Forward pass for a batch; caches activations for Backward. Returns the
+  /// output activations [batch x output_dim].
+  const Matrix& Forward(const Matrix& x);
+
+  /// Backpropagates dL/d(output); accumulates parameter gradients. Returns
+  /// dL/d(input) when `need_input_grad`.
+  Matrix Backward(const Matrix& grad_out, bool need_input_grad);
+
+  /// Applies one Adam update with the accumulated gradients (scaled by
+  /// 1/batch_divisor) and clears them.
+  void AdamStep(double lr, double batch_divisor);
+
+  /// Stateless single-vector forward (no caching); for inference.
+  void PredictOne(const float* x, float* out) const;
+
+  /// Serializes architecture and parameters (not optimizer state).
+  void Serialize(ByteWriter& writer) const;
+  common::Status Deserialize(ByteReader& reader);
+
+  int input_dim() const { return dims_.front(); }
+  int output_dim() const { return dims_.back(); }
+  size_t NumParams() const;
+
+  // Test hooks: direct access to parameters and accumulated gradients,
+  // used by the numerical gradient check in nn_test.
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Matrix& weight(int l) { return layers_[static_cast<size_t>(l)].w; }
+  const Matrix& weight_grad(int l) const {
+    return layers_[static_cast<size_t>(l)].dw;
+  }
+  std::vector<float>& bias(int l) { return layers_[static_cast<size_t>(l)].b; }
+  const std::vector<float>& bias_grad(int l) const {
+    return layers_[static_cast<size_t>(l)].db;
+  }
+
+ private:
+  struct Layer {
+    Matrix w;  // [in x out]
+    std::vector<float> b;
+    Matrix dw;
+    std::vector<float> db;
+    Matrix mw, vw;  // Adam first/second moments
+    std::vector<float> mb, vb;
+  };
+
+  std::vector<int> dims_;
+  bool relu_last_ = false;
+  std::vector<Layer> layers_;
+  // Cached activations: acts_[0] = input, acts_[i+1] = output of layer i
+  // (post-activation).
+  std::vector<Matrix> acts_;
+  long adam_t_ = 0;
+};
+
+}  // namespace internal
+
+/// Hyperparameters for FeedForwardNet. `max_steps` bounds the total number
+/// of minibatch updates so training time is independent of dataset size.
+struct NnParams {
+  std::vector<int> hidden = {64, 32};
+  int batch_size = 128;
+  int max_epochs = 80;
+  int max_steps = 4000;
+  double learning_rate = 1e-3;
+  int early_stopping_rounds = 10;  ///< epochs; 0 disables (needs valid set)
+  uint64_t seed = 23;
+};
+
+/// Multi-layer perceptron regressor (the paper's "NN", Section 2.2.1): the
+/// local-model architecture of Woltmann et al., trained on log2-cardinality
+/// labels with MSE loss and Adam.
+class FeedForwardNet : public Model {
+ public:
+  explicit FeedForwardNet(NnParams params = {}) : params_(params) {}
+
+  common::Status Fit(const Dataset& train, const Dataset* valid) override;
+  float Predict(const float* x) const override;
+  size_t SizeBytes() const override;
+  std::string name() const override { return "NN"; }
+  common::Status Serialize(std::vector<uint8_t>* out) const override;
+  common::Status Deserialize(const std::vector<uint8_t>& data) override;
+
+ private:
+  NnParams params_;
+  internal::Mlp mlp_;
+};
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_NN_H_

@@ -1,0 +1,85 @@
+#ifndef QFCARD_ML_SERIALIZE_H_
+#define QFCARD_ML_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qfcard::ml {
+
+/// Appends POD values and vectors to a byte buffer. Fixed little-endian-ish
+/// host layout; qfcard models serialize/deserialize on the same machine
+/// (persistence across restarts, not a wire format).
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = out_->size();
+    out_->resize(offset + sizeof(T));
+    std::memcpy(out_->data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(values.size());
+    const size_t offset = out_->size();
+    out_->resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(out_->data() + offset, values.data(),
+                  values.size() * sizeof(T));
+    }
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Reads values written by ByteWriter, with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  template <typename T>
+  common::Status Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) {
+      return common::Status::OutOfRange("serialized model truncated");
+    }
+    std::memcpy(value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return common::Status::Ok();
+  }
+
+  template <typename T>
+  common::Status ReadVector(std::vector<T>* values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t size = 0;
+    QFCARD_RETURN_IF_ERROR(Read(&size));
+    if (pos_ + size * sizeof(T) > data_.size()) {
+      return common::Status::OutOfRange("serialized model truncated");
+    }
+    values->resize(size);
+    if (size > 0) {
+      std::memcpy(values->data(), data_.data() + pos_, size * sizeof(T));
+    }
+    pos_ += size * sizeof(T);
+    return common::Status::Ok();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace qfcard::ml
+
+#endif  // QFCARD_ML_SERIALIZE_H_

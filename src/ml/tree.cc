@@ -1,0 +1,179 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qfcard::ml {
+
+BinnedFeatures BinnedFeatures::Build(const Matrix& x, int max_bins) {
+  max_bins = std::clamp(max_bins, 2, 256);
+  BinnedFeatures out;
+  out.num_rows_ = x.rows();
+  out.num_features_ = x.cols();
+  out.codes_.assign(
+      static_cast<size_t>(x.rows()) * static_cast<size_t>(x.cols()), 0);
+  out.thresholds_.resize(static_cast<size_t>(x.cols()));
+
+  std::vector<float> values(static_cast<size_t>(x.rows()));
+  for (int f = 0; f < x.cols(); ++f) {
+    for (int r = 0; r < x.rows(); ++r) values[static_cast<size_t>(r)] = x.At(r, f);
+    std::vector<float> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    // Candidate boundaries at quantile positions; deduplicated. A boundary
+    // b means "x <= b goes left". The last distinct value never becomes a
+    // boundary (nothing would go right).
+    std::vector<float>& th = out.thresholds_[static_cast<size_t>(f)];
+    for (int b = 1; b < max_bins; ++b) {
+      const size_t pos = static_cast<size_t>(
+          static_cast<double>(b) / max_bins * static_cast<double>(sorted.size() - 1));
+      const float v = sorted[pos];
+      if (v < sorted.back() && (th.empty() || v > th.back())) th.push_back(v);
+    }
+    // Assign codes by binary search over thresholds.
+    for (int r = 0; r < x.rows(); ++r) {
+      const float v = values[static_cast<size_t>(r)];
+      const auto it = std::lower_bound(th.begin(), th.end(), v);
+      // bin = number of thresholds < v  (v <= th[i] -> bin i).
+      out.codes_[static_cast<size_t>(f) * static_cast<size_t>(x.rows()) +
+                 static_cast<size_t>(r)] =
+          static_cast<uint8_t>(it - th.begin());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct NodeTask {
+  int node = 0;
+  int begin = 0;
+  int end = 0;
+  int depth = 0;
+  double sum = 0.0;
+};
+
+}  // namespace
+
+void RegressionTree::Fit(const BinnedFeatures& data,
+                         const std::vector<float>& targets,
+                         std::vector<int>& rows, const Params& params,
+                         common::Rng* rng) {
+  nodes_.clear();
+  if (rows.empty()) {
+    nodes_.push_back(TreeNode{});
+    return;
+  }
+  double root_sum = 0.0;
+  for (const int r : rows) root_sum += targets[static_cast<size_t>(r)];
+  nodes_.push_back(TreeNode{});
+  std::vector<NodeTask> stack{
+      NodeTask{0, 0, static_cast<int>(rows.size()), 0, root_sum}};
+
+  std::vector<double> hist_sum;
+  std::vector<int> hist_cnt;
+  std::vector<int> feature_order(static_cast<size_t>(data.num_features()));
+  for (int f = 0; f < data.num_features(); ++f) {
+    feature_order[static_cast<size_t>(f)] = f;
+  }
+  const int features_per_node =
+      params.colsample >= 1.0
+          ? data.num_features()
+          : std::max(1, static_cast<int>(params.colsample *
+                                         data.num_features()));
+
+  while (!stack.empty()) {
+    const NodeTask task = stack.back();
+    stack.pop_back();
+    const int n = task.end - task.begin;
+    const double mean = task.sum / n;
+
+    TreeNode& node = nodes_[static_cast<size_t>(task.node)];
+    node.value = static_cast<float>(mean);
+    if (task.depth >= params.max_depth || n < 2 * params.min_samples_leaf) {
+      continue;
+    }
+
+    // Best split over (sub-sampled) features via per-bin histograms.
+    if (features_per_node < data.num_features() && rng != nullptr) {
+      rng->Shuffle(feature_order);
+    }
+    int best_feature = -1;
+    int best_bin = -1;
+    double best_gain = params.min_gain;
+    const double parent_score = task.sum * task.sum / n;
+    for (int fi = 0; fi < features_per_node; ++fi) {
+      const int f = feature_order[static_cast<size_t>(fi)];
+      const int bins = data.NumBins(f);
+      if (bins < 2) continue;
+      hist_sum.assign(static_cast<size_t>(bins), 0.0);
+      hist_cnt.assign(static_cast<size_t>(bins), 0);
+      for (int i = task.begin; i < task.end; ++i) {
+        const int r = rows[static_cast<size_t>(i)];
+        const uint8_t code = data.Code(f, r);
+        hist_sum[code] += targets[static_cast<size_t>(r)];
+        ++hist_cnt[code];
+      }
+      double left_sum = 0.0;
+      int left_cnt = 0;
+      for (int b = 0; b < bins - 1; ++b) {
+        left_sum += hist_sum[static_cast<size_t>(b)];
+        left_cnt += hist_cnt[static_cast<size_t>(b)];
+        const int right_cnt = n - left_cnt;
+        if (left_cnt < params.min_samples_leaf ||
+            right_cnt < params.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = task.sum - left_sum;
+        const double gain = left_sum * left_sum / left_cnt +
+                            right_sum * right_sum / right_cnt - parent_score;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_bin = b;
+        }
+      }
+    }
+    if (best_feature < 0) continue;
+
+    // Partition rows in place: codes <= best_bin go left.
+    int mid = task.begin;
+    double left_sum = 0.0;
+    for (int i = task.begin; i < task.end; ++i) {
+      const int r = rows[static_cast<size_t>(i)];
+      if (data.Code(best_feature, r) <= best_bin) {
+        std::swap(rows[static_cast<size_t>(i)], rows[static_cast<size_t>(mid)]);
+        left_sum += targets[static_cast<size_t>(r)];
+        ++mid;
+      }
+    }
+
+    const int left_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(TreeNode{});
+    const int right_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(TreeNode{});
+    // `node` reference may be dangling after push_back; reindex.
+    TreeNode& parent = nodes_[static_cast<size_t>(task.node)];
+    parent.feature = best_feature;
+    parent.threshold = data.Threshold(best_feature, best_bin);
+    parent.left = left_id;
+    parent.right = right_id;
+
+    stack.push_back(NodeTask{right_id, mid, task.end, task.depth + 1,
+                             task.sum - left_sum});
+    stack.push_back(NodeTask{left_id, task.begin, mid, task.depth + 1,
+                             left_sum});
+  }
+}
+
+float RegressionTree::Predict(const float* x) const {
+  if (nodes_.empty()) return 0.0f;
+  int cur = 0;
+  while (nodes_[static_cast<size_t>(cur)].feature >= 0) {
+    const TreeNode& node = nodes_[static_cast<size_t>(cur)];
+    cur = (x[node.feature] <= node.threshold) ? node.left : node.right;
+  }
+  return nodes_[static_cast<size_t>(cur)].value;
+}
+
+}  // namespace qfcard::ml

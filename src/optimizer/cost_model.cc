@@ -1,0 +1,38 @@
+#include "optimizer/cost_model.h"
+
+namespace qfcard::opt {
+
+double PlanCost(const JoinPlan& plan, CostModelKind kind) {
+  double cost = 0.0;
+  for (const JoinPlan::Node& node : plan.nodes) {
+    if (node.table >= 0) continue;  // leaves are free in both models
+    switch (kind) {
+      case CostModelKind::kCout:
+        cost += node.est_rows;
+        break;
+      case CostModelKind::kHash: {
+        const JoinPlan::Node& left = plan.nodes[static_cast<size_t>(node.left)];
+        const JoinPlan::Node& right =
+            plan.nodes[static_cast<size_t>(node.right)];
+        cost += left.est_rows + right.est_rows + node.est_rows;
+        break;
+      }
+    }
+  }
+  return cost;
+}
+
+double PlanCostCout(const JoinPlan& plan) {
+  return PlanCost(plan, CostModelKind::kCout);
+}
+
+common::StatusOr<JoinPlan> ReannotatePlan(const JoinPlan& plan,
+                                          const SubsetCardFn& card_of) {
+  JoinPlan out = plan;
+  for (JoinPlan::Node& node : out.nodes) {
+    QFCARD_ASSIGN_OR_RETURN(node.est_rows, card_of(node.mask));
+  }
+  return out;
+}
+
+}  // namespace qfcard::opt

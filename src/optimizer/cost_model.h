@@ -1,0 +1,33 @@
+#ifndef QFCARD_OPTIMIZER_COST_MODEL_H_
+#define QFCARD_OPTIMIZER_COST_MODEL_H_
+
+#include "optimizer/join_order.h"
+
+namespace qfcard::opt {
+
+/// Plan cost functions over an annotated JoinPlan.
+enum class CostModelKind {
+  /// C_out: sum of (estimated) intermediate join result sizes. The standard
+  /// cost model for studying the impact of cardinality estimates.
+  kCout,
+  /// Hash-join cost: per join, build-side rows + probe-side rows + output
+  /// rows. A closer proxy for actual executor work.
+  kHash,
+};
+
+/// Cost of `plan` under `kind`, using the plan's `est_rows` annotations.
+double PlanCost(const JoinPlan& plan, CostModelKind kind);
+
+/// Shorthand for PlanCost(plan, kCout).
+double PlanCostCout(const JoinPlan& plan);
+
+/// Re-costs `plan` under a different cardinality source: replaces every
+/// node's `est_rows` with `card_of(node.mask)` and returns the re-annotated
+/// plan. Used to compute the *true* cost of a plan chosen with estimated
+/// cardinalities (Table 4's methodology).
+common::StatusOr<JoinPlan> ReannotatePlan(const JoinPlan& plan,
+                                          const SubsetCardFn& card_of);
+
+}  // namespace qfcard::opt
+
+#endif  // QFCARD_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,170 @@
+#include "optimizer/join_order.h"
+
+#include <limits>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace qfcard::opt {
+
+namespace {
+
+// Bitmask of a join predicate's two table slots.
+uint32_t JoinMask(const query::JoinPredicate& j) {
+  return (1u << j.left.table) | (1u << j.right.table);
+}
+
+// True if some join predicate connects a table in `a` with a table in `b`.
+bool Connected(const query::Query& q, uint32_t a, uint32_t b) {
+  for (const query::JoinPredicate& j : q.joins) {
+    const uint32_t m = JoinMask(j);
+    if ((m & a) != 0 && (m & b) != 0 && (m & a) != m && (m & b) != m) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+common::StatusOr<query::Query> InducedSubQuery(const query::Query& q,
+                                               uint32_t mask) {
+  query::Query sub;
+  std::vector<int> slot_map(q.tables.size(), -1);
+  for (size_t t = 0; t < q.tables.size(); ++t) {
+    if (mask & (1u << t)) {
+      slot_map[t] = static_cast<int>(sub.tables.size());
+      sub.tables.push_back(q.tables[t]);
+    }
+  }
+  if (sub.tables.empty()) {
+    return common::Status::InvalidArgument("empty table subset");
+  }
+  for (const query::JoinPredicate& j : q.joins) {
+    if ((JoinMask(j) & mask) == JoinMask(j)) {
+      query::JoinPredicate rj = j;
+      rj.left.table = slot_map[static_cast<size_t>(j.left.table)];
+      rj.right.table = slot_map[static_cast<size_t>(j.right.table)];
+      sub.joins.push_back(rj);
+    }
+  }
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    if ((mask & (1u << cp.col.table)) == 0) continue;
+    query::CompoundPredicate rp = cp;
+    rp.col.table = slot_map[static_cast<size_t>(cp.col.table)];
+    for (query::ConjunctiveClause& clause : rp.disjuncts) {
+      for (query::SimplePredicate& p : clause.preds) {
+        p.col.table = rp.col.table;
+      }
+    }
+    sub.predicates.push_back(std::move(rp));
+  }
+  return sub;
+}
+
+common::StatusOr<JoinPlan> JoinOrderOptimizer::Optimize(
+    const query::Query& q, const SubsetCardFn& card_of) {
+  const int n = static_cast<int>(q.tables.size());
+  if (n < 1 || n > 20) {
+    return common::Status::InvalidArgument(
+        "optimizer supports 1..20 tables");
+  }
+  const uint32_t full = (n == 32) ? 0xffffffffu : ((1u << n) - 1u);
+
+  struct Best {
+    double cost = std::numeric_limits<double>::infinity();
+    double rows = 0.0;
+    uint32_t left = 0;  // 0 => leaf
+    int node_id = -1;
+  };
+  std::map<uint32_t, Best> best;
+
+  JoinPlan plan;
+  // Leaves: cost 0 (C_out counts join outputs only).
+  for (int t = 0; t < n; ++t) {
+    const uint32_t mask = 1u << t;
+    QFCARD_ASSIGN_OR_RETURN(const double rows, card_of(mask));
+    Best b;
+    b.cost = 0.0;
+    b.rows = rows;
+    b.left = 0;
+    b.node_id = static_cast<int>(plan.nodes.size());
+    JoinPlan::Node node;
+    node.table = t;
+    node.mask = mask;
+    node.est_rows = rows;
+    plan.nodes.push_back(node);
+    best[mask] = b;
+  }
+
+  // DPsize: grow subsets by popcount.
+  for (int size = 2; size <= n; ++size) {
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (__builtin_popcount(mask) != size) continue;
+      Best candidate;
+      bool rows_known = false;
+      // Enumerate proper subsets as the left side.
+      for (uint32_t left = (mask - 1) & mask; left != 0;
+           left = (left - 1) & mask) {
+        const uint32_t right = mask & ~left;
+        if (left > right) continue;  // symmetric
+        const auto lit = best.find(left);
+        const auto rit = best.find(right);
+        if (lit == best.end() || rit == best.end()) continue;
+        if (!Connected(q, left, right)) continue;  // no cross products
+        if (!rows_known) {
+          // Cardinality of the joined subset is split-independent;
+          // compute it once per mask.
+          QFCARD_ASSIGN_OR_RETURN(candidate.rows, card_of(mask));
+          rows_known = true;
+        }
+        const double cost =
+            lit->second.cost + rit->second.cost + candidate.rows;
+        if (cost < candidate.cost) {
+          candidate.cost = cost;
+          candidate.left = left;
+        }
+      }
+      if (candidate.left != 0) best[mask] = candidate;
+    }
+  }
+
+  const auto it = best.find(full);
+  if (it == best.end()) {
+    return common::Status::InvalidArgument(
+        "join graph is disconnected; no plan without cross products");
+  }
+
+  // Materialize the plan tree top-down.
+  std::function<common::StatusOr<int>(uint32_t)> build =
+      [&](uint32_t mask) -> common::StatusOr<int> {
+    Best& b = best[mask];
+    if (b.node_id >= 0) return b.node_id;
+    QFCARD_ASSIGN_OR_RETURN(const int left_id, build(b.left));
+    QFCARD_ASSIGN_OR_RETURN(const int right_id, build(mask & ~b.left));
+    JoinPlan::Node node;
+    node.left = left_id;
+    node.right = right_id;
+    node.mask = mask;
+    node.est_rows = b.rows;
+    b.node_id = static_cast<int>(plan.nodes.size());
+    plan.nodes.push_back(node);
+    return b.node_id;
+  };
+  QFCARD_ASSIGN_OR_RETURN(plan.root, build(full));
+  return plan;
+}
+
+std::string JoinPlan::ToString(const query::Query& q) const {
+  std::function<std::string(int)> render = [&](int id) -> std::string {
+    const Node& node = nodes[static_cast<size_t>(id)];
+    if (node.table >= 0) {
+      return q.tables[static_cast<size_t>(node.table)].name;
+    }
+    return "(" + render(node.left) + " ⋈ " + render(node.right) + ")";
+  };
+  if (root < 0) return "<empty>";
+  return render(root);
+}
+
+}  // namespace qfcard::opt

@@ -1,0 +1,58 @@
+#ifndef QFCARD_OPTIMIZER_JOIN_ORDER_H_
+#define QFCARD_OPTIMIZER_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace qfcard::opt {
+
+/// A bushy join plan over the tables of one query. Nodes are stored in a
+/// flat vector; leaves carry a table slot, internal nodes join their
+/// children. `est_rows` is the optimizer's cardinality estimate for the
+/// node's output (the quantity the C_out cost model sums).
+struct JoinPlan {
+  struct Node {
+    int left = -1;
+    int right = -1;
+    int table = -1;  ///< leaf: slot into Query::tables
+    uint32_t mask = 0;  ///< bitmask of covered table slots
+    double est_rows = 0.0;
+  };
+  std::vector<Node> nodes;
+  int root = -1;
+
+  /// Parenthesized join order, e.g. "((t2 ⋈ t1) ⋈ t3)".
+  std::string ToString(const query::Query& q) const;
+};
+
+/// Produces a cardinality estimate for the sub-query induced by a subset of
+/// the query's tables (bitmask over Query::tables slots).
+using SubsetCardFn =
+    std::function<common::StatusOr<double>(uint32_t mask)>;
+
+/// Builds the sub-query induced by `mask`: the masked tables, the join
+/// predicates among them, and the selection predicates on them. This is
+/// what optimizers feed to a cardinality estimator per DP subset.
+common::StatusOr<query::Query> InducedSubQuery(const query::Query& q,
+                                               uint32_t mask);
+
+/// Dynamic-programming join-order optimizer (DPsize over connected
+/// subsets, bushy plans, no cross products) minimizing the C_out cost:
+/// the sum of estimated intermediate result sizes. Mirrors the defensive,
+/// small-search-space optimizer discussed around Table 4.
+class JoinOrderOptimizer {
+ public:
+  /// Optimizes `q` using `card_of` for subset cardinalities. `q` must have
+  /// a connected join graph.
+  static common::StatusOr<JoinPlan> Optimize(const query::Query& q,
+                                             const SubsetCardFn& card_of);
+};
+
+}  // namespace qfcard::opt
+
+#endif  // QFCARD_OPTIMIZER_JOIN_ORDER_H_

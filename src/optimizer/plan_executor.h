@@ -1,0 +1,28 @@
+#ifndef QFCARD_OPTIMIZER_PLAN_EXECUTOR_H_
+#define QFCARD_OPTIMIZER_PLAN_EXECUTOR_H_
+
+#include "optimizer/join_order.h"
+#include "storage/catalog.h"
+
+namespace qfcard::opt {
+
+/// Result of executing one plan in the in-process engine.
+struct ExecResult {
+  int64_t result_rows = 0;
+  double seconds = 0.0;
+  /// Sum of actual intermediate join result sizes (the realized C_out).
+  double intermediate_rows = 0.0;
+};
+
+/// Executes `plan` for `q` against real data: selections are pushed to the
+/// leaves, every internal node is a hash join (build on the smaller input).
+/// Wall time depends on the plan's true intermediate sizes, which is exactly
+/// how bad cardinality estimates become bad run times (Table 4's
+/// end-to-end measurement).
+common::StatusOr<ExecResult> ExecutePlan(const storage::Catalog& catalog,
+                                         const query::Query& q,
+                                         const JoinPlan& plan);
+
+}  // namespace qfcard::opt
+
+#endif  // QFCARD_OPTIMIZER_PLAN_EXECUTOR_H_

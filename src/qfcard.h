@@ -1,0 +1,74 @@
+#ifndef QFCARD_QFCARD_H_
+#define QFCARD_QFCARD_H_
+
+/// \mainpage qfcard
+///
+/// qfcard is a C++20 reproduction of "Enhanced Featurization of Queries
+/// with Mixed Combinations of Predicates for ML-based Cardinality
+/// Estimation" (Müller, Woltmann, Lehner; EDBT 2023).
+///
+/// Layering (bottom-up):
+///  - common/   : Status/StatusOr, deterministic RNG, env knobs
+///  - storage/  : columnar tables, dictionaries, catalog, CSV I/O
+///  - query/    : mixed-query AST, SQL parser, executors, schema graph
+///  - featurize/: the paper's four query featurization techniques
+///  - ml/       : gradient boosting, feed-forward nets, MSCN, metrics
+///  - estimators/: Postgres-style, sampling, QFT x model, local models
+///  - optimizer/: DP join ordering + plan execution (end-to-end experiment)
+///  - workload/ : synthetic forest/IMDb data and workload generators
+///  - eval/     : experiment harness and reporting
+///
+/// This umbrella header pulls in the full public API.
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "estimators/estimator.h"
+#include "estimators/iep.h"
+#include "estimators/local_models.h"
+#include "estimators/ml_estimator.h"
+#include "estimators/postgres.h"
+#include "estimators/sampling.h"
+#include "estimators/true_card.h"
+#include "eval/harness.h"
+#include "eval/report.h"
+#include "eval/summary.h"
+#include "featurize/conjunction.h"
+#include "featurize/disjunction.h"
+#include "featurize/extensions.h"
+#include "featurize/feature_schema.h"
+#include "featurize/featurizer.h"
+#include "featurize/join_encoding.h"
+#include "featurize/mscn_featurizer.h"
+#include "featurize/partitioner.h"
+#include "featurize/range.h"
+#include "featurize/singular.h"
+#include "ml/dataset.h"
+#include "ml/gbm.h"
+#include "ml/grid_search.h"
+#include "ml/linear.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+#include "ml/mscn.h"
+#include "ml/nn.h"
+#include "ml/tree.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/join_order.h"
+#include "optimizer/plan_executor.h"
+#include "query/executor.h"
+#include "query/join_executor.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "query/schema_graph.h"
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+#include "workload/forest.h"
+#include "workload/imdb.h"
+#include "workload/labeler.h"
+#include "workload/query_gen.h"
+
+#endif  // QFCARD_QFCARD_H_

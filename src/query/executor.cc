@@ -1,0 +1,92 @@
+#include "query/executor.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace qfcard::query {
+
+namespace {
+
+common::Status CheckSingleTable(const storage::Table& table, const Query& q) {
+  if (q.tables.size() != 1 || !q.joins.empty()) {
+    return common::Status::InvalidArgument(
+        "Executor handles single-table queries; use JoinExecutor for joins");
+  }
+  for (const CompoundPredicate& cp : q.predicates) {
+    if (cp.col.table != 0 || cp.col.column < 0 ||
+        cp.col.column >= table.num_columns()) {
+      return common::Status::OutOfRange("predicate column out of range");
+    }
+  }
+  return common::Status::Ok();
+}
+
+// Evaluates one conjunctive clause over `rows`, keeping survivors.
+void FilterClause(const storage::Table& table, const ConjunctiveClause& clause,
+                  const std::vector<int32_t>& rows,
+                  std::vector<int32_t>& survivors) {
+  survivors.clear();
+  for (const int32_t r : rows) {
+    bool ok = true;
+    for (const SimplePredicate& p : clause.preds) {
+      if (!EvalCmp(p.op, table.column(p.col.column).Get(r), p.value)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) survivors.push_back(r);
+  }
+}
+
+}  // namespace
+
+common::StatusOr<std::vector<int32_t>> Executor::Filter(
+    const storage::Table& table, const Query& q) {
+  QFCARD_RETURN_IF_ERROR(CheckSingleTable(table, q));
+  std::vector<int32_t> rows(static_cast<size_t>(table.num_rows()));
+  for (int64_t i = 0; i < table.num_rows(); ++i) {
+    rows[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  std::vector<int32_t> next;
+  next.reserve(rows.size());
+  for (const CompoundPredicate& cp : q.predicates) {
+    if (cp.disjuncts.size() == 1) {
+      // Common fast path: plain conjunction.
+      FilterClause(table, cp.disjuncts[0], rows, next);
+    } else {
+      next.clear();
+      for (const int32_t r : rows) {
+        if (EvalCompoundOnRow(table, r, cp)) next.push_back(r);
+      }
+    }
+    rows.swap(next);
+    if (rows.empty()) break;
+  }
+  return rows;
+}
+
+common::StatusOr<int64_t> Executor::Count(const storage::Table& table,
+                                          const Query& q) {
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<int32_t> rows, Filter(table, q));
+  if (q.group_by.empty()) return static_cast<int64_t>(rows.size());
+  // GROUP BY: the result size is the number of distinct grouping-key
+  // combinations among qualifying rows (Section 6).
+  std::unordered_set<uint64_t> groups;
+  groups.reserve(rows.size());
+  for (const int32_t r : rows) {
+    uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (const ColumnRef& g : q.group_by) {
+      const double v = table.column(g.column).Get(r);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      h ^= bits;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+    groups.insert(h);
+  }
+  return static_cast<int64_t>(groups.size());
+}
+
+}  // namespace qfcard::query

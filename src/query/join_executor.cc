@@ -1,0 +1,315 @@
+#include "query/join_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "query/executor.h"
+
+namespace qfcard::query {
+
+namespace {
+
+// Joined intermediate: row-id tuples, flat with stride = joined table count.
+struct TupleSet {
+  std::vector<int> table_indices;  // which Query::tables slots are joined
+  std::vector<int32_t> rows;       // flat tuples, stride = table_indices.size()
+
+  size_t stride() const { return table_indices.size(); }
+  size_t count() const {
+    return table_indices.empty() ? 0 : rows.size() / stride();
+  }
+  int SlotOf(int table_idx) const {
+    for (size_t i = 0; i < table_indices.size(); ++i) {
+      if (table_indices[i] == table_idx) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// Applies the single-table compound predicates of `q` that reference table
+// slot `t`, returning qualifying row ids.
+common::StatusOr<std::vector<int32_t>> FilterTable(
+    const storage::Table& table, const Query& q, int t) {
+  Query local;
+  local.tables.push_back(q.tables[static_cast<size_t>(t)]);
+  for (const CompoundPredicate& cp : q.predicates) {
+    if (cp.col.table != t) continue;
+    CompoundPredicate rebased = cp;
+    rebased.col.table = 0;
+    for (ConjunctiveClause& clause : rebased.disjuncts) {
+      for (SimplePredicate& p : clause.preds) p.col.table = 0;
+    }
+    local.predicates.push_back(std::move(rebased));
+  }
+  return Executor::Filter(table, local);
+}
+
+struct JoinStep {
+  int hash_col_new = -1;    // column of the new table used as hash key
+  int hash_slot_old = -1;   // tuple slot of the existing side
+  int hash_col_old = -1;    // column of the existing side
+  // Additional join predicates between the new table and existing slots,
+  // verified after the hash probe.
+  struct Verify {
+    int col_new;
+    int slot_old;
+    int col_old;
+  };
+  std::vector<Verify> verify;
+};
+
+}  // namespace
+
+common::StatusOr<int64_t> JoinExecutor::Count(const storage::Catalog& catalog,
+                                              const Query& q) {
+  QFCARD_RETURN_IF_ERROR(ValidateQuery(q, catalog));
+  std::vector<const storage::Table*> tables;
+  for (const TableRef& ref : q.tables) {
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* t, catalog.GetTable(ref.name));
+    tables.push_back(t);
+  }
+  if (tables.size() == 1) {
+    QFCARD_ASSIGN_OR_RETURN(const std::vector<int32_t> rows,
+                            FilterTable(*tables[0], q, 0));
+    return static_cast<int64_t>(rows.size());
+  }
+
+  // Push selections below the joins.
+  std::vector<std::vector<int32_t>> filtered(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    QFCARD_ASSIGN_OR_RETURN(filtered[t],
+                            FilterTable(*tables[t], q, static_cast<int>(t)));
+    if (filtered[t].empty()) return 0;
+  }
+
+  TupleSet tuples;
+  tuples.table_indices.push_back(0);
+  tuples.rows = filtered[0];
+
+  std::vector<bool> joined(tables.size(), false);
+  joined[0] = true;
+  for (size_t joined_count = 1; joined_count < tables.size(); ++joined_count) {
+    // Pick the next unjoined table connected to the current tuple set.
+    int next = -1;
+    JoinStep step;
+    for (size_t t = 0; t < tables.size() && next < 0; ++t) {
+      if (joined[t]) continue;
+      step = JoinStep{};
+      for (const JoinPredicate& j : q.joins) {
+        int col_new = -1;
+        int other_table = -1;
+        int col_old = -1;
+        if (j.left.table == static_cast<int>(t) && joined[static_cast<size_t>(j.right.table)]) {
+          col_new = j.left.column;
+          other_table = j.right.table;
+          col_old = j.right.column;
+        } else if (j.right.table == static_cast<int>(t) &&
+                   joined[static_cast<size_t>(j.left.table)]) {
+          col_new = j.right.column;
+          other_table = j.left.table;
+          col_old = j.left.column;
+        } else {
+          continue;
+        }
+        const int slot_old = tuples.SlotOf(other_table);
+        if (step.hash_col_new < 0) {
+          step.hash_col_new = col_new;
+          step.hash_slot_old = slot_old;
+          step.hash_col_old = col_old;
+        } else {
+          step.verify.push_back({col_new, slot_old, col_old});
+        }
+      }
+      if (step.hash_col_new >= 0) next = static_cast<int>(t);
+    }
+    if (next < 0) {
+      return common::Status::InvalidArgument(
+          "join graph is disconnected (cross products unsupported)");
+    }
+
+    // Build: hash the new table's filtered rows on the join key.
+    const storage::Table& new_tab = *tables[static_cast<size_t>(next)];
+    std::unordered_map<double, std::vector<int32_t>> build;
+    build.reserve(filtered[static_cast<size_t>(next)].size());
+    for (const int32_t r : filtered[static_cast<size_t>(next)]) {
+      build[new_tab.column(step.hash_col_new).Get(r)].push_back(r);
+    }
+
+    // Probe with existing tuples.
+    const size_t stride = tuples.stride();
+    TupleSet out;
+    out.table_indices = tuples.table_indices;
+    out.table_indices.push_back(next);
+    const bool last = joined_count + 1 == tables.size();
+    int64_t match_count = 0;
+    for (size_t i = 0; i < tuples.rows.size(); i += stride) {
+      const int32_t old_row =
+          tuples.rows[i + static_cast<size_t>(step.hash_slot_old)];
+      const double key = tables[static_cast<size_t>(
+                                    tuples.table_indices[static_cast<size_t>(
+                                        step.hash_slot_old)])]
+                             ->column(step.hash_col_old)
+                             .Get(old_row);
+      const auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (const int32_t new_row : it->second) {
+        bool ok = true;
+        for (const JoinStep::Verify& v : step.verify) {
+          const int32_t vs_row = tuples.rows[i + static_cast<size_t>(v.slot_old)];
+          const double lhs = new_tab.column(v.col_new).Get(new_row);
+          const double rhs =
+              tables[static_cast<size_t>(
+                         tuples.table_indices[static_cast<size_t>(v.slot_old)])]
+                  ->column(v.col_old)
+                  .Get(vs_row);
+          if (lhs != rhs) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        if (last) {
+          ++match_count;
+        } else {
+          out.rows.insert(out.rows.end(), tuples.rows.begin() + static_cast<long>(i),
+                          tuples.rows.begin() + static_cast<long>(i + stride));
+          out.rows.push_back(new_row);
+        }
+      }
+    }
+    if (last) return match_count;
+    joined[static_cast<size_t>(next)] = true;
+    tuples = std::move(out);
+    if (tuples.rows.empty()) return 0;
+  }
+  return static_cast<int64_t>(tuples.count());
+}
+
+common::StatusOr<storage::Table> JoinExecutor::Materialize(
+    const storage::Catalog& catalog,
+    const std::vector<std::string>& table_names, const SchemaGraph& graph) {
+  if (table_names.empty()) {
+    return common::Status::InvalidArgument("no tables to materialize");
+  }
+  if (!graph.IsConnected(table_names) && table_names.size() > 1) {
+    return common::Status::InvalidArgument(
+        "tables are not connected by key/foreign-key edges");
+  }
+  Query q;
+  for (const std::string& name : table_names) {
+    q.tables.push_back(TableRef{name, name});
+  }
+  QFCARD_RETURN_IF_ERROR(graph.PopulateJoins(catalog, q));
+
+  std::vector<const storage::Table*> tables;
+  for (const TableRef& ref : q.tables) {
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* t, catalog.GetTable(ref.name));
+    tables.push_back(t);
+  }
+
+  // Join all tables, materializing full tuples (same machinery as Count but
+  // without the last-step shortcut and without selections).
+  TupleSet tuples;
+  tuples.table_indices.push_back(0);
+  tuples.rows.resize(static_cast<size_t>(tables[0]->num_rows()));
+  for (int64_t i = 0; i < tables[0]->num_rows(); ++i) {
+    tuples.rows[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+
+  std::vector<bool> joined(tables.size(), false);
+  joined[0] = true;
+  for (size_t joined_count = 1; joined_count < tables.size(); ++joined_count) {
+    int next = -1;
+    int hash_col_new = -1;
+    int hash_slot_old = -1;
+    int hash_col_old = -1;
+    for (size_t t = 0; t < tables.size() && next < 0; ++t) {
+      if (joined[t]) continue;
+      for (const JoinPredicate& j : q.joins) {
+        if (j.left.table == static_cast<int>(t) &&
+            joined[static_cast<size_t>(j.right.table)]) {
+          next = static_cast<int>(t);
+          hash_col_new = j.left.column;
+          hash_slot_old = tuples.SlotOf(j.right.table);
+          hash_col_old = j.right.column;
+          break;
+        }
+        if (j.right.table == static_cast<int>(t) &&
+            joined[static_cast<size_t>(j.left.table)]) {
+          next = static_cast<int>(t);
+          hash_col_new = j.right.column;
+          hash_slot_old = tuples.SlotOf(j.left.table);
+          hash_col_old = j.left.column;
+          break;
+        }
+      }
+    }
+    if (next < 0) {
+      return common::Status::InvalidArgument(
+          "join graph is disconnected (cross products unsupported)");
+    }
+    const storage::Table& new_tab = *tables[static_cast<size_t>(next)];
+    std::unordered_map<double, std::vector<int32_t>> build;
+    for (int64_t r = 0; r < new_tab.num_rows(); ++r) {
+      build[new_tab.column(hash_col_new).Get(r)].push_back(
+          static_cast<int32_t>(r));
+    }
+    const size_t stride = tuples.stride();
+    TupleSet out;
+    out.table_indices = tuples.table_indices;
+    out.table_indices.push_back(next);
+    for (size_t i = 0; i < tuples.rows.size(); i += stride) {
+      const int32_t old_row =
+          tuples.rows[i + static_cast<size_t>(hash_slot_old)];
+      const double key =
+          tables[static_cast<size_t>(tuples.table_indices[static_cast<size_t>(
+                     hash_slot_old)])]
+              ->column(hash_col_old)
+              .Get(old_row);
+      const auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (const int32_t new_row : it->second) {
+        out.rows.insert(out.rows.end(), tuples.rows.begin() + static_cast<long>(i),
+                        tuples.rows.begin() + static_cast<long>(i + stride));
+        out.rows.push_back(new_row);
+      }
+    }
+    joined[static_cast<size_t>(next)] = true;
+    tuples = std::move(out);
+  }
+
+  // Gather columns. Output column order follows table_names; names are
+  // "<table>.<column>".
+  storage::Table result(SubSchemaKey(table_names));
+  const size_t stride = tuples.stride();
+  const size_t n_out = tuples.count();
+  for (size_t t = 0; t < table_names.size(); ++t) {
+    // slot of this table in the tuple layout
+    int slot = -1;
+    for (size_t s = 0; s < tuples.table_indices.size(); ++s) {
+      if (q.tables[static_cast<size_t>(tuples.table_indices[s])].name ==
+          table_names[t]) {
+        slot = static_cast<int>(s);
+        break;
+      }
+    }
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* src,
+                            catalog.GetTable(table_names[t]));
+    for (int c = 0; c < src->num_columns(); ++c) {
+      const storage::Column& src_col = src->column(c);
+      storage::Column col(table_names[t] + "." + src_col.name(),
+                          src_col.type());
+      col.Reserve(n_out);
+      for (size_t i = 0; i < tuples.rows.size(); i += stride) {
+        col.Append(src_col.Get(tuples.rows[i + static_cast<size_t>(slot)]));
+      }
+      if (src_col.has_dictionary()) col.SetDictionary(src_col.dictionary());
+      QFCARD_RETURN_IF_ERROR(result.AddColumn(std::move(col)));
+    }
+  }
+  QFCARD_RETURN_IF_ERROR(result.Validate());
+  return result;
+}
+
+}  // namespace qfcard::query

@@ -1,0 +1,36 @@
+#ifndef QFCARD_QUERY_JOIN_EXECUTOR_H_
+#define QFCARD_QUERY_JOIN_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "query/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace qfcard::query {
+
+/// Multi-table execution: exact counts for join queries and materialization
+/// of sub-schema joins for local models (Section 2.1.2 / 4.1).
+class JoinExecutor {
+ public:
+  /// Returns the exact count(*) of the (possibly joined) query `q` against
+  /// `catalog`. Selections are pushed below the joins; joins are executed as
+  /// hash joins in the order tables appear in `q.tables` (each table must
+  /// join with at least one earlier table).
+  static common::StatusOr<int64_t> Count(const storage::Catalog& catalog,
+                                         const Query& q);
+
+  /// Materializes the join of `table_names` along the key/foreign-key edges
+  /// of `graph`. The result's columns are named `<table>.<column>` for every
+  /// column of every input table, so the result can be queried as a single
+  /// table by Executor. Local models train on such materializations.
+  static common::StatusOr<storage::Table> Materialize(
+      const storage::Catalog& catalog,
+      const std::vector<std::string>& table_names, const SchemaGraph& graph);
+};
+
+}  // namespace qfcard::query
+
+#endif  // QFCARD_QUERY_JOIN_EXECUTOR_H_

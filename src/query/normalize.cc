@@ -1,0 +1,365 @@
+#include "query/normalize.h"
+
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace qfcard::query {
+
+namespace {
+
+// Upper bound on the number of conjunctive clauses a single compound
+// predicate may expand to during DNF rewriting. Mixed queries in the paper
+// have at most a handful of disjuncts per attribute; the cap only guards
+// against adversarial inputs.
+constexpr size_t kMaxDisjuncts = 256;
+
+struct Binder {
+  const storage::Catalog* catalog;
+  const RawQuery* raw;
+  std::vector<const storage::Table*> tables;
+
+  common::StatusOr<ColumnRef> ResolveColumn(const std::string& name) const {
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      const std::string alias = name.substr(0, dot);
+      const std::string col = name.substr(dot + 1);
+      for (size_t t = 0; t < raw->tables.size(); ++t) {
+        if (common::EqualsIgnoreCase(raw->tables[t].alias, alias) ||
+            common::EqualsIgnoreCase(raw->tables[t].name, alias)) {
+          QFCARD_ASSIGN_OR_RETURN(const int c, tables[t]->ColumnIndex(col));
+          return ColumnRef{static_cast<int>(t), c};
+        }
+      }
+      return common::Status::NotFound(
+          common::StrFormat("unknown table alias '%s'", alias.c_str()));
+    }
+    // Unqualified: must be unique across the query's tables.
+    int found_table = -1;
+    int found_col = -1;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      const auto idx = tables[t]->ColumnIndex(name);
+      if (idx.ok()) {
+        if (found_table >= 0) {
+          return common::Status::InvalidArgument(common::StrFormat(
+              "ambiguous column '%s'; qualify with a table alias",
+              name.c_str()));
+        }
+        found_table = static_cast<int>(t);
+        found_col = idx.value();
+      }
+    }
+    if (found_table < 0) {
+      return common::Status::NotFound(
+          common::StrFormat("unknown column '%s'", name.c_str()));
+    }
+    return ColumnRef{found_table, found_col};
+  }
+
+  // Binds a raw predicate, translating string literals into dictionary-code
+  // comparisons that preserve predicate semantics (lexicographic order maps
+  // to code order because the dictionary is sorted).
+  common::StatusOr<SimplePredicate> BindPredicate(const RawPredicate& p) const {
+    QFCARD_ASSIGN_OR_RETURN(const ColumnRef ref, ResolveColumn(p.column));
+    const storage::Column& col =
+        tables[static_cast<size_t>(ref.table)]->column(ref.column);
+    SimplePredicate out;
+    out.col = ref;
+    if (!p.is_string) {
+      out.op = p.op;
+      out.value = p.num;
+      return out;
+    }
+    if (!col.has_dictionary()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "string literal compared to non-string column '%s'",
+          col.name().c_str()));
+    }
+    const storage::Dictionary& dict = col.dictionary();
+    const auto exact = dict.Code(p.str);
+    const int64_t lb = dict.LowerBoundCode(p.str);
+    switch (p.op) {
+      case CmpOp::kEq:
+        out.op = CmpOp::kEq;
+        out.value = exact.ok() ? static_cast<double>(exact.value()) : -1.0;
+        break;
+      case CmpOp::kNe:
+        out.op = CmpOp::kNe;
+        out.value = exact.ok() ? static_cast<double>(exact.value()) : -1.0;
+        break;
+      case CmpOp::kLt:
+        // codes < lb  <=>  value < str (dictionary is sorted).
+        out.op = CmpOp::kLt;
+        out.value = static_cast<double>(lb);
+        break;
+      case CmpOp::kLe:
+        if (exact.ok()) {
+          out.op = CmpOp::kLe;
+          out.value = static_cast<double>(exact.value());
+        } else {
+          out.op = CmpOp::kLt;
+          out.value = static_cast<double>(lb);
+        }
+        break;
+      case CmpOp::kGt:
+        if (exact.ok()) {
+          out.op = CmpOp::kGt;
+          out.value = static_cast<double>(exact.value());
+        } else {
+          out.op = CmpOp::kGe;
+          out.value = static_cast<double>(lb);
+        }
+        break;
+      case CmpOp::kGe:
+        out.op = CmpOp::kGe;
+        out.value = static_cast<double>(lb);
+        break;
+    }
+    return out;
+  }
+
+  // Binds a prefix LIKE pattern ('abc%') to a dictionary-code range clause
+  // (Section 6: with a sorted dictionary, the rows matching a prefix form a
+  // contiguous code interval). Patterns without '%' bind as equality.
+  common::StatusOr<query::ConjunctiveClause> BindLikePredicate(
+      const RawPredicate& p) const {
+    QFCARD_ASSIGN_OR_RETURN(const ColumnRef ref, ResolveColumn(p.column));
+    const storage::Column& col =
+        tables[static_cast<size_t>(ref.table)]->column(ref.column);
+    if (!col.has_dictionary()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "LIKE on non-string column '%s'", col.name().c_str()));
+    }
+    const std::string& pattern = p.str;
+    if (pattern.find('_') != std::string::npos) {
+      return common::Status::Unimplemented(
+          "LIKE '_' wildcards are not supported");
+    }
+    const size_t pct = pattern.find('%');
+    query::ConjunctiveClause clause;
+    if (pct == std::string::npos) {
+      // No wildcard: plain equality.
+      RawPredicate eq = p;
+      eq.is_like = false;
+      eq.op = CmpOp::kEq;
+      QFCARD_ASSIGN_OR_RETURN(const SimplePredicate sp, BindPredicate(eq));
+      clause.preds.push_back(sp);
+      return clause;
+    }
+    if (pct != pattern.size() - 1 || pattern.rfind('%') != pct) {
+      return common::Status::Unimplemented(
+          "only prefix LIKE patterns ('abc%') are supported");
+    }
+    const std::string prefix = pattern.substr(0, pct);
+    const storage::Dictionary& dict = col.dictionary();
+    if (prefix.empty()) {
+      // LIKE '%' matches everything.
+      clause.preds.push_back(
+          SimplePredicate{ref, CmpOp::kGe, 0.0});
+      return clause;
+    }
+    const int64_t lo = dict.LowerBoundCode(prefix);
+    // Smallest string greater than every prefix extension: increment the
+    // last incrementable byte and truncate.
+    std::string succ = prefix;
+    int i = static_cast<int>(succ.size()) - 1;
+    for (; i >= 0; --i) {
+      if (static_cast<unsigned char>(succ[static_cast<size_t>(i)]) < 0xFF) {
+        succ[static_cast<size_t>(i)] =
+            static_cast<char>(succ[static_cast<size_t>(i)] + 1);
+        succ.resize(static_cast<size_t>(i) + 1);
+        break;
+      }
+    }
+    clause.preds.push_back(
+        SimplePredicate{ref, CmpOp::kGe, static_cast<double>(lo)});
+    if (i >= 0) {
+      const int64_t hi = dict.LowerBoundCode(succ);
+      clause.preds.push_back(
+          SimplePredicate{ref, CmpOp::kLt, static_cast<double>(hi)});
+    }
+    return clause;
+  }
+};
+
+// Flattens nested ANDs so the top level becomes a plain conjunct list.
+void CollectConjuncts(const BoolExpr& expr, std::vector<const BoolExpr*>& out) {
+  if (expr.kind == BoolExpr::Kind::kAnd) {
+    for (const BoolExpr& child : expr.children) CollectConjuncts(child, out);
+  } else {
+    out.push_back(&expr);
+  }
+}
+
+common::Status CollectAttributes(const BoolExpr& expr, const Binder& binder,
+                                 std::set<std::pair<int, int>>& attrs) {
+  switch (expr.kind) {
+    case BoolExpr::Kind::kLeaf: {
+      QFCARD_ASSIGN_OR_RETURN(const ColumnRef ref,
+                              binder.ResolveColumn(expr.leaf.column));
+      attrs.insert({ref.table, ref.column});
+      return common::Status::Ok();
+    }
+    case BoolExpr::Kind::kJoin:
+      return common::Status::InvalidArgument(
+          "join predicate nested inside a disjunction");
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr:
+      for (const BoolExpr& child : expr.children) {
+        QFCARD_RETURN_IF_ERROR(CollectAttributes(child, binder, attrs));
+      }
+      return common::Status::Ok();
+  }
+  return common::Status::Internal("corrupt BoolExpr");
+}
+
+// Rewrites a single-attribute boolean subtree into DNF.
+common::StatusOr<std::vector<ConjunctiveClause>> ToDnf(const BoolExpr& expr,
+                                                       const Binder& binder) {
+  switch (expr.kind) {
+    case BoolExpr::Kind::kLeaf: {
+      if (expr.leaf.is_like) {
+        QFCARD_ASSIGN_OR_RETURN(ConjunctiveClause clause,
+                                binder.BindLikePredicate(expr.leaf));
+        return std::vector<ConjunctiveClause>{std::move(clause)};
+      }
+      QFCARD_ASSIGN_OR_RETURN(SimplePredicate p,
+                              binder.BindPredicate(expr.leaf));
+      ConjunctiveClause clause;
+      clause.preds.push_back(p);
+      return std::vector<ConjunctiveClause>{std::move(clause)};
+    }
+    case BoolExpr::Kind::kJoin:
+      return common::Status::InvalidArgument(
+          "join predicate inside a compound predicate");
+    case BoolExpr::Kind::kOr: {
+      std::vector<ConjunctiveClause> out;
+      for (const BoolExpr& child : expr.children) {
+        QFCARD_ASSIGN_OR_RETURN(std::vector<ConjunctiveClause> sub,
+                                ToDnf(child, binder));
+        for (auto& clause : sub) out.push_back(std::move(clause));
+        if (out.size() > kMaxDisjuncts) {
+          return common::Status::OutOfRange("DNF expansion too large");
+        }
+      }
+      return out;
+    }
+    case BoolExpr::Kind::kAnd: {
+      std::vector<ConjunctiveClause> acc{ConjunctiveClause{}};
+      for (const BoolExpr& child : expr.children) {
+        QFCARD_ASSIGN_OR_RETURN(std::vector<ConjunctiveClause> sub,
+                                ToDnf(child, binder));
+        std::vector<ConjunctiveClause> next;
+        next.reserve(acc.size() * sub.size());
+        for (const ConjunctiveClause& a : acc) {
+          for (const ConjunctiveClause& b : sub) {
+            ConjunctiveClause merged = a;
+            merged.preds.insert(merged.preds.end(), b.preds.begin(),
+                                b.preds.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        if (next.size() > kMaxDisjuncts) {
+          return common::Status::OutOfRange("DNF expansion too large");
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  return common::Status::Internal("corrupt BoolExpr");
+}
+
+// Conjunction of two per-attribute DNFs -> cross-product DNF.
+common::StatusOr<std::vector<ConjunctiveClause>> AndDnf(
+    const std::vector<ConjunctiveClause>& a,
+    const std::vector<ConjunctiveClause>& b) {
+  std::vector<ConjunctiveClause> out;
+  out.reserve(a.size() * b.size());
+  for (const ConjunctiveClause& x : a) {
+    for (const ConjunctiveClause& y : b) {
+      ConjunctiveClause merged = x;
+      merged.preds.insert(merged.preds.end(), y.preds.begin(), y.preds.end());
+      out.push_back(std::move(merged));
+    }
+  }
+  if (out.size() > kMaxDisjuncts) {
+    return common::Status::OutOfRange("DNF expansion too large");
+  }
+  return out;
+}
+
+}  // namespace
+
+common::StatusOr<Query> BindAndNormalize(const RawQuery& raw,
+                                         const storage::Catalog& catalog) {
+  if (raw.tables.empty()) {
+    return common::Status::InvalidArgument("query has no tables");
+  }
+  Binder binder;
+  binder.catalog = &catalog;
+  binder.raw = &raw;
+  for (const TableRef& ref : raw.tables) {
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* t, catalog.GetTable(ref.name));
+    binder.tables.push_back(t);
+  }
+
+  Query q;
+  q.tables = raw.tables;
+
+  // keyed by attribute -> accumulated DNF; preserves first-seen order.
+  std::map<std::pair<int, int>, size_t> compound_of_attr;
+
+  if (raw.has_where) {
+    std::vector<const BoolExpr*> conjuncts;
+    CollectConjuncts(raw.where, conjuncts);
+    for (const BoolExpr* conj : conjuncts) {
+      if (conj->kind == BoolExpr::Kind::kJoin) {
+        JoinPredicate j;
+        QFCARD_ASSIGN_OR_RETURN(j.left, binder.ResolveColumn(conj->join.left));
+        QFCARD_ASSIGN_OR_RETURN(j.right,
+                                binder.ResolveColumn(conj->join.right));
+        q.joins.push_back(j);
+        continue;
+      }
+      std::set<std::pair<int, int>> attrs;
+      QFCARD_RETURN_IF_ERROR(CollectAttributes(*conj, binder, attrs));
+      if (attrs.size() != 1) {
+        return common::Status::InvalidArgument(
+            "WHERE clause disjoins predicates over different attributes; "
+            "not a mixed query (Definition 3.3)");
+      }
+      QFCARD_ASSIGN_OR_RETURN(std::vector<ConjunctiveClause> dnf,
+                              ToDnf(*conj, binder));
+      const std::pair<int, int> attr = *attrs.begin();
+      const auto it = compound_of_attr.find(attr);
+      if (it == compound_of_attr.end()) {
+        CompoundPredicate cp;
+        cp.col = ColumnRef{attr.first, attr.second};
+        cp.disjuncts = std::move(dnf);
+        compound_of_attr.emplace(attr, q.predicates.size());
+        q.predicates.push_back(std::move(cp));
+      } else {
+        CompoundPredicate& cp = q.predicates[it->second];
+        QFCARD_ASSIGN_OR_RETURN(cp.disjuncts, AndDnf(cp.disjuncts, dnf));
+      }
+    }
+  }
+
+  for (const std::string& g : raw.group_by) {
+    QFCARD_ASSIGN_OR_RETURN(const ColumnRef ref, binder.ResolveColumn(g));
+    q.group_by.push_back(ref);
+  }
+
+  QFCARD_RETURN_IF_ERROR(ValidateQuery(q, catalog));
+  return q;
+}
+
+common::StatusOr<Query> ParseQuery(std::string_view sql,
+                                   const storage::Catalog& catalog) {
+  QFCARD_ASSIGN_OR_RETURN(const RawQuery raw, ParseSql(sql));
+  return BindAndNormalize(raw, catalog);
+}
+
+}  // namespace qfcard::query

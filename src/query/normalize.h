@@ -1,0 +1,33 @@
+#ifndef QFCARD_QUERY_NORMALIZE_H_
+#define QFCARD_QUERY_NORMALIZE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/parser.h"
+#include "query/query.h"
+
+namespace qfcard::query {
+
+/// Binds a parsed RawQuery against `catalog` (resolving table aliases,
+/// column names, and string literals to dictionary codes) and normalizes the
+/// WHERE tree into the mixed-query form of Definition 3.3:
+///   - the top level must be a conjunction of join predicates and
+///     per-attribute subtrees;
+///   - each per-attribute subtree is rewritten into a disjunction of
+///     conjunctive clauses (DNF over one attribute);
+///   - multiple compound predicates over the same attribute are merged
+///     (conjunction of DNFs -> cross-product DNF).
+/// Queries whose WHERE clause disjoins predicates over *different*
+/// attributes are not mixed queries and are rejected with
+/// kInvalidArgument, matching the paper's scope.
+common::StatusOr<Query> BindAndNormalize(const RawQuery& raw,
+                                         const storage::Catalog& catalog);
+
+/// Convenience: ParseSql + BindAndNormalize.
+common::StatusOr<Query> ParseQuery(std::string_view sql,
+                                   const storage::Catalog& catalog);
+
+}  // namespace qfcard::query
+
+#endif  // QFCARD_QUERY_NORMALIZE_H_

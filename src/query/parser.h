@@ -1,0 +1,60 @@
+#ifndef QFCARD_QUERY_PARSER_H_
+#define QFCARD_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace qfcard::query {
+
+/// An unresolved comparison `column op literal` as written in SQL text.
+/// When `is_like` is set, `str` holds the LIKE pattern (prefix patterns
+/// like 'abc%' are supported per the paper's Section 6 extension) and `op`
+/// is meaningless.
+struct RawPredicate {
+  std::string column;  ///< possibly qualified, e.g. "t.a"
+  CmpOp op = CmpOp::kEq;
+  bool is_string = false;
+  bool is_like = false;
+  double num = 0.0;
+  std::string str;
+};
+
+/// An unresolved equi-join `left = right` between two column references.
+struct RawJoin {
+  std::string left;
+  std::string right;
+};
+
+/// Boolean expression tree over raw predicates, as parsed (before
+/// normalization into the mixed-query form).
+struct BoolExpr {
+  enum class Kind { kLeaf, kJoin, kAnd, kOr };
+  Kind kind = Kind::kLeaf;
+  RawPredicate leaf;            ///< when kind == kLeaf
+  RawJoin join;                 ///< when kind == kJoin
+  std::vector<BoolExpr> children;  ///< when kind is kAnd / kOr
+};
+
+/// Parse result of `SELECT count(*) FROM ... [WHERE ...] [GROUP BY ...]`.
+struct RawQuery {
+  std::vector<TableRef> tables;
+  bool has_where = false;
+  BoolExpr where;
+  std::vector<std::string> group_by;
+};
+
+/// Parses the SQL subset used throughout the paper:
+///   SELECT count(*) FROM t1 [a1], t2 [a2], ...
+///   [WHERE <boolean expression over simple predicates and equi-joins>]
+///   [GROUP BY col, ...] [;]
+/// Comparison operators: = != <> < <= > >=. Literals: numbers and
+/// single-quoted strings. AND binds tighter than OR; parentheses supported.
+common::StatusOr<RawQuery> ParseSql(std::string_view sql);
+
+}  // namespace qfcard::query
+
+#endif  // QFCARD_QUERY_PARSER_H_

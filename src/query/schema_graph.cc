@@ -1,0 +1,110 @@
+#include "query/schema_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace qfcard::query {
+
+namespace {
+
+int IndexOf(const std::vector<std::string>& names, const std::string& name) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<FkEdge> SchemaGraph::EdgesWithin(
+    const std::vector<std::string>& table_names) const {
+  std::vector<FkEdge> out;
+  for (const FkEdge& e : edges_) {
+    if (IndexOf(table_names, e.fk_table) >= 0 &&
+        IndexOf(table_names, e.pk_table) >= 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool SchemaGraph::IsConnected(
+    const std::vector<std::string>& table_names) const {
+  if (table_names.empty()) return false;
+  if (table_names.size() == 1) return true;
+  const std::vector<FkEdge> local = EdgesWithin(table_names);
+  std::vector<bool> visited(table_names.size(), false);
+  std::vector<int> stack{0};
+  visited[0] = true;
+  size_t seen = 1;
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    for (const FkEdge& e : local) {
+      const int a = IndexOf(table_names, e.fk_table);
+      const int b = IndexOf(table_names, e.pk_table);
+      int next = -1;
+      if (a == cur && !visited[static_cast<size_t>(b)]) next = b;
+      if (b == cur && !visited[static_cast<size_t>(a)]) next = a;
+      if (next >= 0) {
+        visited[static_cast<size_t>(next)] = true;
+        ++seen;
+        stack.push_back(next);
+      }
+    }
+  }
+  return seen == table_names.size();
+}
+
+common::Status SchemaGraph::PopulateJoins(const storage::Catalog& catalog,
+                                          Query& q) const {
+  q.joins.clear();
+  std::vector<std::string> names;
+  names.reserve(q.tables.size());
+  for (const TableRef& t : q.tables) names.push_back(t.name);
+  if (names.size() > 1 && !IsConnected(names)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "tables are not connected by key/foreign-key edges"));
+  }
+  for (const FkEdge& e : EdgesWithin(names)) {
+    const int ft = IndexOf(names, e.fk_table);
+    const int pt = IndexOf(names, e.pk_table);
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* fk_tab,
+                            catalog.GetTable(e.fk_table));
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* pk_tab,
+                            catalog.GetTable(e.pk_table));
+    QFCARD_ASSIGN_OR_RETURN(const int fc, fk_tab->ColumnIndex(e.fk_column));
+    QFCARD_ASSIGN_OR_RETURN(const int pc, pk_tab->ColumnIndex(e.pk_column));
+    JoinPredicate j;
+    j.left = ColumnRef{ft, fc};
+    j.right = ColumnRef{pt, pc};
+    q.joins.push_back(j);
+  }
+  return common::Status::Ok();
+}
+
+std::vector<std::vector<std::string>> SchemaGraph::EnumerateSubSchemas(
+    const std::vector<std::string>& all_tables, int min_tables,
+    int max_tables) const {
+  std::vector<std::vector<std::string>> out;
+  const size_t n = all_tables.size();
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    const int bits = __builtin_popcountll(mask);
+    if (bits < min_tables || bits > max_tables) continue;
+    std::vector<std::string> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) subset.push_back(all_tables[i]);
+    }
+    if (IsConnected(subset)) out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+std::string SubSchemaKey(std::vector<std::string> table_names) {
+  std::sort(table_names.begin(), table_names.end());
+  return common::Join(table_names, "+");
+}
+
+}  // namespace qfcard::query

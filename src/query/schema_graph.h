@@ -1,0 +1,60 @@
+#ifndef QFCARD_QUERY_SCHEMA_GRAPH_H_
+#define QFCARD_QUERY_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace qfcard::query {
+
+/// A key/foreign-key relationship: `fk_table.fk_column` references
+/// `pk_table.pk_column`. The paper assumes tables are joined following their
+/// key/foreign-key relationships (Section 2.1.2).
+struct FkEdge {
+  std::string fk_table;
+  std::string fk_column;
+  std::string pk_table;
+  std::string pk_column;
+};
+
+/// The key/foreign-key graph of a schema. Used to derive join predicates for
+/// a set of tables and to enumerate sub-schemata for local models.
+class SchemaGraph {
+ public:
+  void AddEdge(FkEdge edge) { edges_.push_back(std::move(edge)); }
+  const std::vector<FkEdge>& edges() const { return edges_; }
+
+  /// Returns the edges connecting tables within `table_names` (both
+  /// endpoints in the set).
+  std::vector<FkEdge> EdgesWithin(
+      const std::vector<std::string>& table_names) const;
+
+  /// True if `table_names` induces a connected subgraph (joinable without
+  /// cross products).
+  bool IsConnected(const std::vector<std::string>& table_names) const;
+
+  /// Builds the join predicates for a query over `q.tables`, following the
+  /// key/foreign-key edges, and stores them into `q.joins`. Fails if the
+  /// tables are not connected.
+  common::Status PopulateJoins(const storage::Catalog& catalog, Query& q) const;
+
+  /// Enumerates all connected sub-schemata (as sorted lists of table names)
+  /// with between `min_tables` and `max_tables` tables, out of `all_tables`.
+  std::vector<std::vector<std::string>> EnumerateSubSchemas(
+      const std::vector<std::string>& all_tables, int min_tables,
+      int max_tables) const;
+
+ private:
+  std::vector<FkEdge> edges_;
+};
+
+/// Canonical string key for a sub-schema (sorted table names joined by '+').
+std::string SubSchemaKey(std::vector<std::string> table_names);
+
+}  // namespace qfcard::query
+
+#endif  // QFCARD_QUERY_SCHEMA_GRAPH_H_

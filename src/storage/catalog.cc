@@ -1,0 +1,35 @@
+#include "storage/catalog.h"
+
+#include "common/str_util.h"
+
+namespace qfcard::storage {
+
+common::Status Catalog::AddTable(Table table) {
+  for (const auto& existing : tables_) {
+    if (existing->name() == table.name()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "catalog already has a table named '%s'", table.name().c_str()));
+    }
+  }
+  QFCARD_RETURN_IF_ERROR(table.Validate());
+  tables_.push_back(std::make_unique<Table>(std::move(table)));
+  return common::Status::Ok();
+}
+
+common::StatusOr<const Table*> Catalog::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t->name() == name) return static_cast<const Table*>(t.get());
+  }
+  return common::Status::NotFound(
+      common::StrFormat("no table '%s' in catalog", name.c_str()));
+}
+
+common::StatusOr<int> Catalog::TableIndex(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i]->name() == name) return static_cast<int>(i);
+  }
+  return common::Status::NotFound(
+      common::StrFormat("no table '%s' in catalog", name.c_str()));
+}
+
+}  // namespace qfcard::storage

@@ -1,0 +1,42 @@
+#ifndef QFCARD_STORAGE_CATALOG_H_
+#define QFCARD_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace qfcard::storage {
+
+/// Owns the tables of a database instance and resolves names.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Adds a table; name must be unique.
+  common::Status AddTable(Table table);
+
+  /// Returns the table named `name`, or an error.
+  common::StatusOr<const Table*> GetTable(const std::string& name) const;
+
+  /// Returns the index of table `name`, or an error. Indices are stable and
+  /// dense; join encodings (Section 2.1.2) use them as bit positions.
+  common::StatusOr<int> TableIndex(const std::string& name) const;
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(int idx) const { return *tables_[static_cast<size_t>(idx)]; }
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace qfcard::storage
+
+#endif  // QFCARD_STORAGE_CATALOG_H_

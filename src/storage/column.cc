@@ -1,0 +1,79 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace qfcard::storage {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kFloat64:
+      return "FLOAT64";
+    case ColumnType::kDictString:
+      return "DICT_STRING";
+  }
+  return "UNKNOWN";
+}
+
+Dictionary Dictionary::FromValues(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Dictionary dict;
+  dict.sorted_values_ = std::move(values);
+  dict.code_of_.reserve(dict.sorted_values_.size());
+  for (size_t i = 0; i < dict.sorted_values_.size(); ++i) {
+    dict.code_of_.emplace(dict.sorted_values_[i], static_cast<int64_t>(i));
+  }
+  return dict;
+}
+
+common::StatusOr<int64_t> Dictionary::Code(const std::string& value) const {
+  const auto it = code_of_.find(value);
+  if (it == code_of_.end()) {
+    return common::Status::NotFound(
+        common::StrFormat("value '%s' not in dictionary", value.c_str()));
+  }
+  return it->second;
+}
+
+int64_t Dictionary::LowerBoundCode(const std::string& value) const {
+  const auto it =
+      std::lower_bound(sorted_values_.begin(), sorted_values_.end(), value);
+  return static_cast<int64_t>(it - sorted_values_.begin());
+}
+
+const std::string& Dictionary::Value(int64_t code) const {
+  return sorted_values_[static_cast<size_t>(code)];
+}
+
+void Column::AppendBatch(const std::vector<double>& values) {
+  data_.insert(data_.end(), values.begin(), values.end());
+  stats_dirty_ = true;
+}
+
+const ColumnStats& Column::GetStats() const {
+  if (!stats_dirty_) return stats_;
+  stats_ = ColumnStats{};
+  stats_.rows = size();
+  if (!data_.empty()) {
+    double lo = data_[0];
+    double hi = data_[0];
+    for (const double v : data_) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    stats_.min = lo;
+    stats_.max = hi;
+    std::unordered_set<double> distinct(data_.begin(), data_.end());
+    stats_.distinct = static_cast<int64_t>(distinct.size());
+  }
+  stats_dirty_ = false;
+  return stats_;
+}
+
+}  // namespace qfcard::storage

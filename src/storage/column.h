@@ -1,0 +1,105 @@
+#ifndef QFCARD_STORAGE_COLUMN_H_
+#define QFCARD_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qfcard::storage {
+
+/// Logical type of a column. String columns are dictionary-encoded: values
+/// are stored as int64 codes into an attached Dictionary, which keeps every
+/// downstream component (predicates, featurization, histograms) purely
+/// numeric, as in the paper's string-predicate discussion (Section 6).
+enum class ColumnType {
+  kInt64,
+  kFloat64,
+  kDictString,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// Sorted string dictionary. Codes are dense [0, size) and respect
+/// lexicographic order, so range predicates on codes correspond to
+/// lexicographic ranges on the strings (required by the Section 6 extension).
+class Dictionary {
+ public:
+  /// Builds a dictionary from (not necessarily unique or sorted) values.
+  static Dictionary FromValues(std::vector<std::string> values);
+
+  /// Returns the code of `value`, or an error if absent.
+  common::StatusOr<int64_t> Code(const std::string& value) const;
+
+  /// Returns the code whose entry is the smallest value >= `value`
+  /// (i.e. lower bound); returns size() if all entries are smaller.
+  int64_t LowerBoundCode(const std::string& value) const;
+
+  /// Returns the string for `code`; code must be in [0, size).
+  const std::string& Value(int64_t code) const;
+
+  int64_t size() const { return static_cast<int64_t>(sorted_values_.size()); }
+
+ private:
+  std::vector<std::string> sorted_values_;
+  std::unordered_map<std::string, int64_t> code_of_;
+};
+
+/// Basic per-column statistics used by featurizers and the Postgres-style
+/// estimator. `min`/`max` define the attribute domain in the sense of the
+/// paper (Section 3: literals normalize against min(A)/max(A)).
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  int64_t distinct = 0;  ///< exact number of distinct values
+  int64_t rows = 0;
+};
+
+/// A typed, append-only column of values stored as doubles (int64 and
+/// dictionary codes are stored losslessly for |v| < 2^53, far above any
+/// domain used here).
+class Column {
+ public:
+  Column(std::string name, ColumnType type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+
+  /// True for types whose domain is integral (kInt64 and kDictString codes).
+  /// Determines the paper's open-range adjustment: for integral attributes
+  /// A < 5 equals A <= 4 (Section 3.1).
+  bool integral() const { return type_ != ColumnType::kFloat64; }
+
+  void Reserve(size_t n) { data_.reserve(n); }
+  void Append(double v) { data_.push_back(v); stats_dirty_ = true; }
+  void AppendBatch(const std::vector<double>& values);
+
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  double Get(int64_t row) const { return data_[static_cast<size_t>(row)]; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Attaches the dictionary for a kDictString column.
+  void SetDictionary(Dictionary dict) { dict_ = std::move(dict); has_dict_ = true; }
+  bool has_dictionary() const { return has_dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// Returns (computing and caching on first use) the column statistics.
+  const ColumnStats& GetStats() const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::vector<double> data_;
+  Dictionary dict_;
+  bool has_dict_ = false;
+
+  mutable ColumnStats stats_;
+  mutable bool stats_dirty_ = true;
+};
+
+}  // namespace qfcard::storage
+
+#endif  // QFCARD_STORAGE_COLUMN_H_

@@ -1,0 +1,129 @@
+#include "storage/csv.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace qfcard::storage {
+
+namespace {
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  std::strtod(s.c_str(), &end);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+common::Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::Internal(
+        common::StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    out << table.column(c).name();
+  }
+  out << '\n';
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const Column& col = table.column(c);
+      const double v = col.Get(r);
+      if (col.has_dictionary()) {
+        out << col.dictionary().Value(static_cast<int64_t>(v));
+      } else if (col.type() == ColumnType::kInt64) {
+        out << static_cast<long long>(v);
+      } else {
+        out << v;
+      }
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return common::Status::Internal(
+        common::StrFormat("write error on '%s'", path.c_str()));
+  }
+  return common::Status::Ok();
+}
+
+common::StatusOr<Table> ReadCsv(const std::string& path,
+                                const std::string& table_name) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::NotFound(
+        common::StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return common::Status::InvalidArgument(
+        common::StrFormat("'%s' is empty", path.c_str()));
+  }
+  const std::vector<std::string> header = common::Split(line, ',');
+  const size_t num_cols = header.size();
+  std::vector<std::vector<std::string>> cells(num_cols);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = common::Split(line, ',');
+    if (fields.size() != num_cols) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "'%s': row has %zu fields, header has %zu", path.c_str(),
+          fields.size(), num_cols));
+    }
+    for (size_t c = 0; c < num_cols; ++c) cells[c].push_back(fields[c]);
+  }
+
+  Table table(table_name);
+  for (size_t c = 0; c < num_cols; ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    for (const std::string& s : cells[c]) {
+      all_int = all_int && LooksLikeInt(s);
+      all_double = all_double && LooksLikeDouble(s);
+    }
+    if (all_int) {
+      Column col(header[c], ColumnType::kInt64);
+      col.Reserve(cells[c].size());
+      for (const std::string& s : cells[c]) col.Append(std::strtod(s.c_str(), nullptr));
+      QFCARD_RETURN_IF_ERROR(table.AddColumn(std::move(col)));
+    } else if (all_double) {
+      Column col(header[c], ColumnType::kFloat64);
+      col.Reserve(cells[c].size());
+      for (const std::string& s : cells[c]) col.Append(std::strtod(s.c_str(), nullptr));
+      QFCARD_RETURN_IF_ERROR(table.AddColumn(std::move(col)));
+    } else {
+      Dictionary dict = Dictionary::FromValues(cells[c]);
+      Column col(header[c], ColumnType::kDictString);
+      col.Reserve(cells[c].size());
+      for (const std::string& s : cells[c]) {
+        QFCARD_ASSIGN_OR_RETURN(const int64_t code, dict.Code(s));
+        col.Append(static_cast<double>(code));
+      }
+      col.SetDictionary(std::move(dict));
+      QFCARD_RETURN_IF_ERROR(table.AddColumn(std::move(col)));
+    }
+  }
+  QFCARD_RETURN_IF_ERROR(table.Validate());
+  return table;
+}
+
+}  // namespace qfcard::storage

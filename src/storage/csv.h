@@ -1,0 +1,23 @@
+#ifndef QFCARD_STORAGE_CSV_H_
+#define QFCARD_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace qfcard::storage {
+
+/// Writes `table` as a CSV file with a header row. Dictionary columns are
+/// written as their string values.
+common::Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV file with a header row into a table named `table_name`.
+/// Column types are inferred per column: all-integer -> kInt64, all-numeric
+/// -> kFloat64, otherwise kDictString (dictionary-encoded).
+common::StatusOr<Table> ReadCsv(const std::string& path,
+                                const std::string& table_name);
+
+}  // namespace qfcard::storage
+
+#endif  // QFCARD_STORAGE_CSV_H_

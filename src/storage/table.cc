@@ -1,0 +1,40 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace qfcard::storage {
+
+common::Status Table::AddColumn(Column column) {
+  for (const Column& existing : columns_) {
+    if (existing.name() == column.name()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "table '%s' already has a column named '%s'", name_.c_str(),
+          column.name().c_str()));
+    }
+  }
+  columns_.push_back(std::move(column));
+  return common::Status::Ok();
+}
+
+common::StatusOr<int> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return common::Status::NotFound(common::StrFormat(
+      "no column '%s' in table '%s'", name.c_str(), name_.c_str()));
+}
+
+common::Status Table::Validate() const {
+  if (columns_.empty()) return common::Status::Ok();
+  const int64_t rows = columns_[0].size();
+  for (const Column& col : columns_) {
+    if (col.size() != rows) {
+      return common::Status::FailedPrecondition(common::StrFormat(
+          "column '%s' has %lld rows, expected %lld", col.name().c_str(),
+          static_cast<long long>(col.size()), static_cast<long long>(rows)));
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace qfcard::storage

@@ -1,0 +1,53 @@
+#ifndef QFCARD_STORAGE_TABLE_H_
+#define QFCARD_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace qfcard::storage {
+
+/// A named collection of equal-length columns. Tables are built once by a
+/// generator or loader and treated as immutable afterwards (the paper assumes
+/// fixed data; data drift is modeled by rebuilding, Section 5.5.2).
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  // Movable, not copyable (columns can be large).
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a column; all columns must end up with equal length. Returns an
+  /// error if a column of that name already exists.
+  common::Status AddColumn(Column column);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const Column& column(int idx) const { return columns_[static_cast<size_t>(idx)]; }
+  Column& mutable_column(int idx) { return columns_[static_cast<size_t>(idx)]; }
+
+  /// Returns the index of the column named `name`, or an error.
+  common::StatusOr<int> ColumnIndex(const std::string& name) const;
+
+  /// Verifies all columns have the same length.
+  common::Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace qfcard::storage
+
+#endif  // QFCARD_STORAGE_TABLE_H_

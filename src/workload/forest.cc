@@ -1,0 +1,89 @@
+#include "workload/forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/str_util.h"
+
+namespace qfcard::workload {
+
+storage::Table MakeForestTable(const ForestOptions& options) {
+  common::Rng rng(options.seed);
+  storage::Table table("forest");
+  const int m = options.num_attributes;
+  const int64_t n = options.num_rows;
+
+  // Shared latent factors induce cross-attribute correlation.
+  std::vector<double> latent1(static_cast<size_t>(n));
+  std::vector<double> latent2(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    latent1[static_cast<size_t>(r)] = rng.Normal();
+    latent2[static_cast<size_t>(r)] = rng.Normal();
+  }
+
+  for (int a = 0; a < m; ++a) {
+    storage::Column col(common::StrFormat("A%d", a + 1),
+                        storage::ColumnType::kInt64);
+    col.Reserve(static_cast<size_t>(n));
+    const int kind = a % 4;
+    // Per-attribute weights on the latent factors (deterministic in `a`,
+    // bounded away from zero so every pair of same-kind attributes stays
+    // visibly correlated).
+    const double w1 = 0.6 + 0.25 * std::sin(1.3 * a);
+    const double w2 = 0.6 + 0.25 * std::cos(0.7 * a);
+    switch (kind) {
+      case 0: {
+        // Elevation-like: wide unimodal integral domain.
+        const double mean = 2800.0 + 50.0 * a;
+        const double sd = 350.0;
+        for (int64_t r = 0; r < n; ++r) {
+          const double v = mean + sd * (w1 * latent1[static_cast<size_t>(r)] +
+                                        (1.0 - w1) * rng.Normal());
+          col.Append(std::clamp(std::round(v), 1800.0, 3900.0));
+        }
+        break;
+      }
+      case 1: {
+        // Distance-like: right-skewed, long tail.
+        const double scale = 250.0 + 40.0 * a;
+        for (int64_t r = 0; r < n; ++r) {
+          const double skewed =
+              rng.Exponential(1.0 / scale) *
+              (1.0 + 0.5 * std::max(latent2[static_cast<size_t>(r)] * w2, -0.9));
+          col.Append(std::min(std::round(skewed), 7000.0));
+        }
+        break;
+      }
+      case 2: {
+        // Aspect-like: bounded, roughly uniform with a latent tilt.
+        for (int64_t r = 0; r < n; ++r) {
+          double v = rng.Uniform(0.0, 360.0) +
+                     40.0 * latent1[static_cast<size_t>(r)] * w2;
+          v = std::fmod(std::fmod(v, 360.0) + 360.0, 360.0);
+          col.Append(std::floor(v));
+        }
+        break;
+      }
+      default: {
+        // Categorical: small skewed domain (soil/wilderness indicators).
+        const int64_t domain = 2 + (a * 3) % 9;  // 2..10 values
+        for (int64_t r = 0; r < n; ++r) {
+          int64_t v;
+          if (latent2[static_cast<size_t>(r)] > 0.5) {
+            v = 0;  // correlated spike
+          } else {
+            v = rng.Zipf(domain, 1.1) - 1;
+          }
+          col.Append(static_cast<double>(v));
+        }
+        break;
+      }
+    }
+    QFCARD_CHECK_OK(table.AddColumn(std::move(col)));
+  }
+  QFCARD_CHECK_OK(table.Validate());
+  return table;
+}
+
+}  // namespace qfcard::workload

@@ -1,0 +1,31 @@
+#ifndef QFCARD_WORKLOAD_FOREST_H_
+#define QFCARD_WORKLOAD_FOREST_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace qfcard::workload {
+
+/// Parameters for the synthetic forest-covertype-like table. The UCI
+/// covertype data the paper uses (580k rows x 55 attributes) is substituted
+/// by a deterministic generator that reproduces the distributional traits
+/// that stress cardinality estimators: wide unimodal continuous attributes
+/// (elevation), heavily skewed distances, bounded circular attributes
+/// (aspect), small-domain categorical attributes (soil/wilderness
+/// indicators), and cross-attribute correlation through shared latent
+/// factors (which breaks the independence assumption Postgres-style
+/// estimators rely on).
+struct ForestOptions {
+  int64_t num_rows = 60000;
+  int num_attributes = 12;
+  uint64_t seed = 42;
+};
+
+/// Builds the synthetic forest table. Columns are named "A1".."Am" as in
+/// the paper's example queries, all INT64.
+storage::Table MakeForestTable(const ForestOptions& options);
+
+}  // namespace qfcard::workload
+
+#endif  // QFCARD_WORKLOAD_FOREST_H_

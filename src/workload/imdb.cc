@@ -1,0 +1,223 @@
+#include "workload/imdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace qfcard::workload {
+
+namespace {
+
+struct SatelliteSpec {
+  const char* name;
+  double base_fanout;
+  int fanout_cap;
+};
+
+constexpr SatelliteSpec kSatellites[] = {
+    {"cast_info", 1.8, 6},
+    {"movie_info", 1.4, 6},
+    {"movie_companies", 0.9, 5},
+    {"movie_keyword", 1.2, 6},
+    {"movie_info_idx", 0.5, 3},
+};
+
+}  // namespace
+
+ImdbDatabase MakeImdbDatabase(const ImdbOptions& options) {
+  common::Rng rng(options.seed);
+  ImdbDatabase db;
+  const int64_t n = options.num_titles;
+
+  // title -------------------------------------------------------------
+  std::vector<double> years(static_cast<size_t>(n));
+  std::vector<double> popularity(static_cast<size_t>(n));
+  {
+    storage::Table title("title");
+    storage::Column id("id", storage::ColumnType::kInt64);
+    storage::Column year("production_year", storage::ColumnType::kInt64);
+    storage::Column kind("kind_id", storage::ColumnType::kInt64);
+    storage::Column season("season_nr", storage::ColumnType::kInt64);
+    for (int64_t i = 0; i < n; ++i) {
+      id.Append(static_cast<double>(i));
+      const double y =
+          std::max(1880.0, 2019.0 - std::floor(rng.Exponential(0.04)));
+      years[static_cast<size_t>(i)] = y;
+      year.Append(y);
+      kind.Append(static_cast<double>(rng.Zipf(7, 1.0)));
+      season.Append(static_cast<double>(
+          rng.Bernoulli(0.25) ? rng.Zipf(15, 1.2) : 0));
+      // Popularity drives satellite fanout; correlated with recency so that
+      // predicates on production_year interact with join sizes (the
+      // correlation JOB-light punishes independence assumptions with).
+      const double recency = (y - 1880.0) / 140.0;
+      popularity[static_cast<size_t>(i)] =
+          std::min(rng.Exponential(1.0), 3.0) * (0.5 + 1.2 * recency);
+    }
+    QFCARD_CHECK_OK(title.AddColumn(std::move(id)));
+    QFCARD_CHECK_OK(title.AddColumn(std::move(year)));
+    QFCARD_CHECK_OK(title.AddColumn(std::move(kind)));
+    QFCARD_CHECK_OK(title.AddColumn(std::move(season)));
+    QFCARD_CHECK_OK(db.catalog.AddTable(std::move(title)));
+  }
+  db.table_names.push_back("title");
+
+  // satellites ---------------------------------------------------------
+  for (const SatelliteSpec& spec : kSatellites) {
+    storage::Table table(spec.name);
+    storage::Column movie_id("movie_id", storage::ColumnType::kInt64);
+    std::vector<int64_t> fanouts(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const double lambda = spec.base_fanout * options.fanout_scale *
+                            popularity[static_cast<size_t>(i)];
+      // Rounded, capped draw around lambda.
+      const double raw = lambda * (0.5 + rng.Uniform01());
+      int64_t f = static_cast<int64_t>(std::floor(raw));
+      if (rng.Bernoulli(raw - std::floor(raw))) ++f;
+      fanouts[static_cast<size_t>(i)] =
+          std::min<int64_t>(f, spec.fanout_cap);
+      for (int64_t k = 0; k < fanouts[static_cast<size_t>(i)]; ++k) {
+        movie_id.Append(static_cast<double>(i));
+      }
+    }
+    const int64_t rows = movie_id.size();
+    QFCARD_CHECK_OK(table.AddColumn(std::move(movie_id)));
+
+    const std::string name = spec.name;
+    const auto add_zipf = [&](const char* col_name, int64_t domain, double s) {
+      storage::Column col(col_name, storage::ColumnType::kInt64);
+      for (int64_t r = 0; r < rows; ++r) {
+        col.Append(static_cast<double>(rng.Zipf(domain, s)));
+      }
+      QFCARD_CHECK_OK(table.AddColumn(std::move(col)));
+    };
+    if (name == "cast_info") {
+      add_zipf("role_id", 11, 1.0);
+      storage::Column quality("person_quality", storage::ColumnType::kInt64);
+      for (int64_t r = 0; r < rows; ++r) {
+        quality.Append(std::clamp(std::round(rng.Normal(50.0, 18.0)), 0.0, 100.0));
+      }
+      QFCARD_CHECK_OK(table.AddColumn(std::move(quality)));
+    } else if (name == "movie_info") {
+      add_zipf("info_type_id", 110, 1.0);
+    } else if (name == "movie_companies") {
+      add_zipf("company_id", 500, 1.1);
+      add_zipf("company_type_id", 2, 0.5);
+    } else if (name == "movie_keyword") {
+      add_zipf("keyword_id", 1000, 1.1);
+    } else {  // movie_info_idx
+      add_zipf("info_type_id", 5, 1.0);
+      storage::Column rating("rating", storage::ColumnType::kInt64);
+      for (int64_t r = 0; r < rows; ++r) {
+        rating.Append(std::clamp(std::round(rng.Normal(62.0, 15.0)), 10.0, 100.0));
+      }
+      QFCARD_CHECK_OK(table.AddColumn(std::move(rating)));
+    }
+    QFCARD_CHECK_OK(table.Validate());
+    QFCARD_CHECK_OK(db.catalog.AddTable(std::move(table)));
+    db.table_names.push_back(name);
+    db.graph.AddEdge(query::FkEdge{name, "movie_id", "title", "id"});
+  }
+  return db;
+}
+
+std::vector<query::Query> MakeJobLightWorkload(const ImdbDatabase& db,
+                                               const JobLightOptions& options,
+                                               common::Rng& rng) {
+  // Predicate-eligible columns per table: (column name, is_range).
+  struct PredCol {
+    const char* table;
+    const char* column;
+    bool range;
+  };
+  static constexpr PredCol kPredCols[] = {
+      {"title", "production_year", true},
+      {"title", "kind_id", false},
+      {"title", "season_nr", false},
+      {"cast_info", "role_id", false},
+      {"cast_info", "person_quality", true},
+      {"movie_info", "info_type_id", false},
+      {"movie_companies", "company_id", false},
+      {"movie_companies", "company_type_id", false},
+      {"movie_keyword", "keyword_id", false},
+      {"movie_info_idx", "info_type_id", false},
+      {"movie_info_idx", "rating", true},
+  };
+
+  std::vector<query::Query> out;
+  out.reserve(static_cast<size_t>(options.count));
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < options.count && attempts < options.count * 50) {
+    ++attempts;
+    query::Query q;
+    q.tables.push_back(query::TableRef{"title", "title"});
+    const int n_tables =
+        static_cast<int>(rng.UniformInt(options.min_tables, options.max_tables));
+    const std::vector<int> sat_order = rng.SampleWithoutReplacement(
+        static_cast<int>(std::size(kSatellites)), n_tables - 1);
+    for (const int s : sat_order) {
+      q.tables.push_back(query::TableRef{kSatellites[s].name,
+                                         kSatellites[s].name});
+    }
+    if (!db.graph.PopulateJoins(db.catalog, q).ok()) continue;
+
+    // Candidate predicate columns restricted to the chosen tables.
+    std::vector<std::pair<int, const PredCol*>> candidates;  // (slot, col)
+    for (size_t slot = 0; slot < q.tables.size(); ++slot) {
+      for (const PredCol& pc : kPredCols) {
+        if (q.tables[slot].name == pc.table) {
+          candidates.push_back({static_cast<int>(slot), &pc});
+        }
+      }
+    }
+    const int n_preds = static_cast<int>(rng.UniformInt(
+        options.min_pred_attrs,
+        std::min<int64_t>(options.max_pred_attrs,
+                          static_cast<int64_t>(candidates.size()))));
+    const std::vector<int> chosen = rng.SampleWithoutReplacement(
+        static_cast<int>(candidates.size()), n_preds);
+    bool ok = true;
+    for (const int ci : chosen) {
+      const auto& [slot, pc] = candidates[static_cast<size_t>(ci)];
+      const auto table_or = db.catalog.GetTable(pc->table);
+      if (!table_or.ok()) {
+        ok = false;
+        break;
+      }
+      const storage::Table& table = *table_or.value();
+      const auto col_or = table.ColumnIndex(pc->column);
+      if (!col_or.ok()) {
+        ok = false;
+        break;
+      }
+      const int col = col_or.value();
+      const storage::Column& column = table.column(col);
+      query::CompoundPredicate cp;
+      cp.col = query::ColumnRef{slot, col};
+      query::ConjunctiveClause clause;
+      if (pc->range) {
+        // Closed range between two sampled data values (at most one range
+        // per attribute, as in JOB-light).
+        double a = column.Get(rng.UniformInt(0, column.size() - 1));
+        double b = column.Get(rng.UniformInt(0, column.size() - 1));
+        if (a > b) std::swap(a, b);
+        clause.preds.push_back(
+            query::SimplePredicate{cp.col, query::CmpOp::kGe, a});
+        clause.preds.push_back(
+            query::SimplePredicate{cp.col, query::CmpOp::kLe, b});
+      } else {
+        const double v = column.Get(rng.UniformInt(0, column.size() - 1));
+        clause.preds.push_back(
+            query::SimplePredicate{cp.col, query::CmpOp::kEq, v});
+      }
+      cp.disjuncts.push_back(std::move(clause));
+      q.predicates.push_back(std::move(cp));
+    }
+    if (!ok) continue;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qfcard::workload

@@ -1,0 +1,66 @@
+#ifndef QFCARD_WORKLOAD_IMDB_H_
+#define QFCARD_WORKLOAD_IMDB_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "query/query.h"
+#include "query/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace qfcard::workload {
+
+/// Parameters for the synthetic IMDb-like database. The real IMDb dataset
+/// (2.5M movies) is substituted by a generator reproducing what makes
+/// JOB-light hard: a fact table (`title`) referenced by five satellite
+/// tables via key/foreign-key edges, with *skewed, year-correlated fanout*
+/// (popular/recent titles have many cast and info rows), and skewed
+/// categorical attributes. Estimators assuming fanout/predicate
+/// independence misestimate exactly as they do on real IMDb.
+struct ImdbOptions {
+  int64_t num_titles = 30000;
+  double fanout_scale = 1.0;
+  uint64_t seed = 7;
+};
+
+/// The generated database: catalog plus key/foreign-key graph.
+struct ImdbDatabase {
+  storage::Catalog catalog;
+  query::SchemaGraph graph;
+  /// All table names, title first.
+  std::vector<std::string> table_names;
+};
+
+/// Builds the six-table synthetic IMDb database:
+///   title(id, production_year, kind_id, season_nr)
+///   cast_info(movie_id, role_id, person_quality)
+///   movie_info(movie_id, info_type_id)
+///   movie_companies(movie_id, company_id, company_type_id)
+///   movie_keyword(movie_id, keyword_id)
+///   movie_info_idx(movie_id, info_type_id, rating)
+ImdbDatabase MakeImdbDatabase(const ImdbOptions& options);
+
+/// Options for JOB-light-style join queries: 2-5 tables (title plus 1-4
+/// satellites), conjunctive predicates on 1-4 attributes with at most one
+/// point or range predicate per attribute (Section 5's description of
+/// JOB-light).
+struct JobLightOptions {
+  int count = 70;
+  int min_tables = 2;
+  int max_tables = 5;
+  int min_pred_attrs = 1;
+  int max_pred_attrs = 4;
+};
+
+/// Generates the JOB-light-like workload over `db`. Queries have joins
+/// populated along the key/foreign-key graph and deterministic contents for
+/// a given `rng` state.
+std::vector<query::Query> MakeJobLightWorkload(const ImdbDatabase& db,
+                                               const JobLightOptions& options,
+                                               common::Rng& rng);
+
+}  // namespace qfcard::workload
+
+#endif  // QFCARD_WORKLOAD_IMDB_H_

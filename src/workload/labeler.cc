@@ -1,0 +1,105 @@
+#include "workload/labeler.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/str_util.h"
+#include "query/executor.h"
+#include "query/join_executor.h"
+#include "query/normalize.h"
+
+namespace qfcard::workload {
+
+common::StatusOr<std::vector<LabeledQuery>> LabelOnTable(
+    const storage::Table& table, const std::vector<query::Query>& queries,
+    bool drop_empty) {
+  std::vector<LabeledQuery> out;
+  out.reserve(queries.size());
+  for (const query::Query& q : queries) {
+    QFCARD_ASSIGN_OR_RETURN(const int64_t card, query::Executor::Count(table, q));
+    if (drop_empty && card == 0) continue;
+    out.push_back(LabeledQuery{q, static_cast<double>(card)});
+  }
+  return out;
+}
+
+common::StatusOr<std::vector<LabeledQuery>> LabelOnCatalog(
+    const storage::Catalog& catalog, const std::vector<query::Query>& queries,
+    bool drop_empty) {
+  std::vector<LabeledQuery> out;
+  out.reserve(queries.size());
+  for (const query::Query& q : queries) {
+    QFCARD_ASSIGN_OR_RETURN(const int64_t card,
+                            query::JoinExecutor::Count(catalog, q));
+    if (drop_empty && card == 0) continue;
+    out.push_back(LabeledQuery{q, static_cast<double>(card)});
+  }
+  return out;
+}
+
+common::Status SaveWorkload(const std::vector<LabeledQuery>& queries,
+                            const storage::Catalog& catalog,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::Internal(
+        common::StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  for (const LabeledQuery& lq : queries) {
+    QFCARD_ASSIGN_OR_RETURN(const std::string sql,
+                            query::QueryToSql(lq.query, catalog));
+    out << common::StrFormat("%.17g", lq.card) << '\t' << sql << '\n';
+  }
+  if (!out.good()) {
+    return common::Status::Internal(
+        common::StrFormat("write error on '%s'", path.c_str()));
+  }
+  return common::Status::Ok();
+}
+
+common::StatusOr<std::vector<LabeledQuery>> LoadWorkload(
+    const storage::Catalog& catalog, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::NotFound(
+        common::StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::vector<LabeledQuery> out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "%s:%d: expected 'card<TAB>sql'", path.c_str(), line_no));
+    }
+    LabeledQuery lq;
+    char* end = nullptr;
+    lq.card = std::strtod(line.c_str(), &end);
+    if (end == line.c_str()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "%s:%d: bad cardinality", path.c_str(), line_no));
+    }
+    QFCARD_ASSIGN_OR_RETURN(lq.query,
+                            query::ParseQuery(line.substr(tab + 1), catalog));
+    out.push_back(std::move(lq));
+  }
+  return out;
+}
+
+DriftSplit SplitByNumAttributes(std::vector<LabeledQuery> queries,
+                                int max_attrs) {
+  DriftSplit split;
+  for (LabeledQuery& lq : queries) {
+    if (lq.query.NumAttributes() <= max_attrs) {
+      split.low.push_back(std::move(lq));
+    } else {
+      split.high.push_back(std::move(lq));
+    }
+  }
+  return split;
+}
+
+}  // namespace qfcard::workload

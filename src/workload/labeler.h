@@ -1,0 +1,57 @@
+#ifndef QFCARD_WORKLOAD_LABELER_H_
+#define QFCARD_WORKLOAD_LABELER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace qfcard::workload {
+
+/// A query paired with its true cardinality (the training/evaluation unit
+/// throughout the paper).
+struct LabeledQuery {
+  query::Query query;
+  double card = 0.0;
+};
+
+/// Executes single-table `queries` against `table` and returns the labeled
+/// set. When `drop_empty` is set, queries with empty results are discarded
+/// (the paper "considers only queries with non-empty results").
+common::StatusOr<std::vector<LabeledQuery>> LabelOnTable(
+    const storage::Table& table, const std::vector<query::Query>& queries,
+    bool drop_empty);
+
+/// Executes (possibly joined) `queries` against `catalog`, labeling them
+/// with exact counts.
+common::StatusOr<std::vector<LabeledQuery>> LabelOnCatalog(
+    const storage::Catalog& catalog, const std::vector<query::Query>& queries,
+    bool drop_empty);
+
+/// Splits labeled queries into those mentioning at most `max_attrs`
+/// attributes and the rest — the query-drift protocol of Section 5.5.1
+/// (train on low-dimensional queries, test on high-dimensional ones).
+struct DriftSplit {
+  std::vector<LabeledQuery> low;   ///< <= max_attrs attributes
+  std::vector<LabeledQuery> high;  ///< > max_attrs attributes
+};
+DriftSplit SplitByNumAttributes(std::vector<LabeledQuery> queries,
+                                int max_attrs);
+
+/// Persists a labeled workload as a text file, one "cardinality<TAB>SQL"
+/// line per query (SQL via QueryToSql). Enables sharing workloads between
+/// runs without re-executing the labeling scan.
+common::Status SaveWorkload(const std::vector<LabeledQuery>& queries,
+                            const storage::Catalog& catalog,
+                            const std::string& path);
+
+/// Loads a workload saved by SaveWorkload, re-parsing each SQL line against
+/// `catalog`.
+common::StatusOr<std::vector<LabeledQuery>> LoadWorkload(
+    const storage::Catalog& catalog, const std::string& path);
+
+}  // namespace qfcard::workload
+
+#endif  // QFCARD_WORKLOAD_LABELER_H_

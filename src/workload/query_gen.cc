@@ -1,0 +1,93 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qfcard::workload {
+
+PredicateGenOptions ConjunctiveWorkloadOptions(int max_attrs) {
+  PredicateGenOptions opts;
+  opts.max_attrs = max_attrs;
+  return opts;
+}
+
+PredicateGenOptions MixedWorkloadOptions(int max_attrs) {
+  PredicateGenOptions opts;
+  opts.max_attrs = max_attrs;
+  opts.min_disjuncts = 1;
+  opts.max_disjuncts = 3;  // the paper repeats the generation 1..3 times
+  return opts;
+}
+
+std::vector<query::Query> GeneratePredicateWorkload(
+    const storage::Table& table, int count, const PredicateGenOptions& options,
+    common::Rng& rng) {
+  std::vector<int> allowed = options.allowed_attrs;
+  if (allowed.empty()) {
+    for (int c = 0; c < table.num_columns(); ++c) allowed.push_back(c);
+  }
+  std::vector<query::Query> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    query::Query q;
+    q.tables.push_back(query::TableRef{table.name(), table.name()});
+    const int k = static_cast<int>(rng.UniformInt(
+        options.min_attrs,
+        std::min<int64_t>(options.max_attrs,
+                          static_cast<int64_t>(allowed.size()))));
+    std::vector<int> attr_order = allowed;
+    rng.Shuffle(attr_order);
+    for (int ai = 0; ai < k; ++ai) {
+      const int col_idx = attr_order[static_cast<size_t>(ai)];
+      const storage::Column& col = table.column(col_idx);
+      if (col.size() == 0) continue;
+      query::CompoundPredicate cp;
+      cp.col = query::ColumnRef{0, col_idx};
+      const int m = static_cast<int>(
+          rng.UniformInt(options.min_disjuncts, options.max_disjuncts));
+      for (int d = 0; d < m; ++d) {
+        // Closed range between two sampled data values.
+        double a = col.Get(rng.UniformInt(0, col.size() - 1));
+        double b = col.Get(rng.UniformInt(0, col.size() - 1));
+        if (a > b) std::swap(a, b);
+        query::ConjunctiveClause clause;
+        clause.preds.push_back(
+            query::SimplePredicate{cp.col, query::CmpOp::kGe, a});
+        clause.preds.push_back(
+            query::SimplePredicate{cp.col, query::CmpOp::kLe, b});
+        // Not-equal predicates excluding values inside the range.
+        const int l =
+            static_cast<int>(rng.UniformInt(0, options.max_not_equals));
+        std::set<double> excluded;
+        for (int ni = 0; ni < l; ++ni) {
+          double v;
+          if (col.integral() && b - a >= 1.0) {
+            v = static_cast<double>(
+                rng.UniformInt(static_cast<int64_t>(a), static_cast<int64_t>(b)));
+          } else {
+            v = col.Get(rng.UniformInt(0, col.size() - 1));
+            if (v < a || v > b) continue;
+          }
+          if (!excluded.insert(v).second) continue;
+          clause.preds.push_back(
+              query::SimplePredicate{cp.col, query::CmpOp::kNe, v});
+        }
+        cp.disjuncts.push_back(std::move(clause));
+      }
+      q.predicates.push_back(std::move(cp));
+    }
+    if (options.max_group_by_attrs > 0) {
+      const int g = static_cast<int>(
+          rng.UniformInt(0, options.max_group_by_attrs));
+      const std::vector<int> group_attrs = rng.SampleWithoutReplacement(
+          table.num_columns(), g);
+      for (const int a : group_attrs) {
+        q.group_by.push_back(query::ColumnRef{0, a});
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace qfcard::workload

@@ -1,0 +1,45 @@
+#ifndef QFCARD_WORKLOAD_QUERY_GEN_H_
+#define QFCARD_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace qfcard::workload {
+
+/// Parameters of the paper's single-table workload generators (Section 5,
+/// "Data sets & query workloads"): draw k distinct attributes uniformly at
+/// random, generate a closed range predicate per attribute, add l in
+/// [0, max_not_equals] not-equal predicates excluding values inside the
+/// range; for mixed workloads repeat the per-attribute generation m in
+/// [min_disjuncts, max_disjuncts] times and connect the repetitions by OR.
+struct PredicateGenOptions {
+  int min_attrs = 1;
+  int max_attrs = 8;
+  int max_not_equals = 5;
+  int min_disjuncts = 1;
+  int max_disjuncts = 1;  ///< > 1 yields mixed queries (Definition 3.3)
+  /// Attribute (column) indices eligible for predicates; empty = all.
+  std::vector<int> allowed_attrs;
+  /// When > 0, each query additionally groups by 0..max_group_by_attrs
+  /// randomly chosen attributes (Section 6 extension; the query's result
+  /// size becomes the number of groups).
+  int max_group_by_attrs = 0;
+};
+
+/// Generates `count` single-table queries over `table` (a base table or a
+/// materialized sub-schema join). Range endpoints are sampled from actual
+/// column values, so most queries have non-empty results.
+std::vector<query::Query> GeneratePredicateWorkload(
+    const storage::Table& table, int count, const PredicateGenOptions& options,
+    common::Rng& rng);
+
+/// Convenience presets matching the paper's two forest workloads.
+PredicateGenOptions ConjunctiveWorkloadOptions(int max_attrs);
+PredicateGenOptions MixedWorkloadOptions(int max_attrs);
+
+}  // namespace qfcard::workload
+
+#endif  // QFCARD_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,399 @@
+#include "query/executor.h"
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "query/join_executor.h"
+#include "query/schema_graph.h"
+#include "test_util.h"
+
+namespace qfcard::query {
+namespace {
+
+using testutil::AddCompound;
+using testutil::AddPredicate;
+using testutil::IntColumn;
+using testutil::SingleTableQuery;
+using testutil::SmallTable;
+
+// Brute-force reference: evaluate every compound on every row.
+int64_t NaiveCount(const storage::Table& t, const Query& q) {
+  int64_t count = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    bool ok = true;
+    for (const CompoundPredicate& cp : q.predicates) {
+      if (!EvalCompoundOnRow(t, r, cp)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++count;
+  }
+  return count;
+}
+
+TEST(ExecutorTest, EmptyPredicateListCountsAllRows) {
+  const storage::Table t = SmallTable();
+  const Query q = SingleTableQuery("small");
+  ASSERT_TRUE(Executor::Count(t, q).ok());
+  EXPECT_EQ(Executor::Count(t, q).value(), 10);
+}
+
+TEST(ExecutorTest, SimpleRange) {
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  AddCompound(q, 0, {{{CmpOp::kGe, 3}, {CmpOp::kLe, 7}}});
+  EXPECT_EQ(Executor::Count(t, q).value(), 5);
+}
+
+TEST(ExecutorTest, DisjunctionAcrossClauses) {
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  AddCompound(q, 0, {{{CmpOp::kLe, 1}}, {{CmpOp::kGe, 9}}});
+  EXPECT_EQ(Executor::Count(t, q).value(), 3);  // {0,1,9}
+}
+
+TEST(ExecutorTest, MultiAttributeConjunction) {
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  AddPredicate(q, 0, CmpOp::kGe, 2);
+  AddPredicate(q, 1, CmpOp::kLt, 70);  // b < 70 -> a < 7
+  EXPECT_EQ(Executor::Count(t, q).value(), 5);  // a in {2..6}
+}
+
+TEST(ExecutorTest, RejectsJoinQueries) {
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  q.tables.push_back(TableRef{"other", "other"});
+  EXPECT_EQ(Executor::Count(t, q).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, FilterReturnsRowIds) {
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  AddCompound(q, 0, {{{CmpOp::kEq, 4}}});
+  const auto rows_or = Executor::Filter(t, q);
+  ASSERT_TRUE(rows_or.ok());
+  ASSERT_EQ(rows_or.value().size(), 1u);
+  EXPECT_EQ(rows_or.value()[0], 4);
+}
+
+TEST(ExecutorTest, GroupByCountsGroups) {
+  storage::Table t("t");
+  QFCARD_CHECK_OK(t.AddColumn(IntColumn("g", {1, 1, 2, 2, 3, 3})));
+  QFCARD_CHECK_OK(t.AddColumn(IntColumn("v", {5, 6, 7, 8, 9, 10})));
+  Query q = SingleTableQuery("t");
+  AddPredicate(q, 1, CmpOp::kLe, 8);  // rows 0..3 -> groups {1,2}
+  q.group_by.push_back(ColumnRef{0, 0});
+  EXPECT_EQ(Executor::Count(t, q).value(), 2);
+}
+
+// Property test: executor agrees with per-row brute force on randomized
+// mixed queries over a randomized table.
+class ExecutorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorFuzzTest, MatchesNaiveEvaluation) {
+  common::Rng rng(GetParam());
+  storage::Table t("fuzz");
+  const int64_t rows = 500;
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      values.push_back(static_cast<double>(rng.UniformInt(0, 30)));
+    }
+    QFCARD_CHECK_OK(
+        t.AddColumn(IntColumn("c" + std::to_string(c), values)));
+  }
+  for (int iter = 0; iter < 20; ++iter) {
+    Query q = SingleTableQuery("fuzz");
+    const int n_attrs = static_cast<int>(rng.UniformInt(1, 4));
+    const std::vector<int> attrs = rng.SampleWithoutReplacement(4, n_attrs);
+    for (const int a : attrs) {
+      const int n_clauses = static_cast<int>(rng.UniformInt(1, 3));
+      std::vector<std::vector<std::pair<CmpOp, double>>> clauses;
+      for (int cl = 0; cl < n_clauses; ++cl) {
+        const int n_preds = static_cast<int>(rng.UniformInt(1, 3));
+        std::vector<std::pair<CmpOp, double>> preds;
+        for (int p = 0; p < n_preds; ++p) {
+          const CmpOp op = static_cast<CmpOp>(rng.UniformInt(0, 5));
+          preds.push_back({op, static_cast<double>(rng.UniformInt(0, 30))});
+        }
+        clauses.push_back(std::move(preds));
+      }
+      AddCompound(q, a, clauses);
+    }
+    const auto count_or = Executor::Count(t, q);
+    ASSERT_TRUE(count_or.ok()) << count_or.status();
+    EXPECT_EQ(count_or.value(), NaiveCount(t, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+// orders(id, cust_id, amount) -> customers(id, region)
+storage::Catalog MakeJoinCatalog() {
+  storage::Catalog cat;
+  storage::Table customers("customers");
+  QFCARD_CHECK_OK(customers.AddColumn(IntColumn("id", {0, 1, 2})));
+  QFCARD_CHECK_OK(customers.AddColumn(IntColumn("region", {10, 20, 10})));
+  QFCARD_CHECK_OK(cat.AddTable(std::move(customers)));
+
+  storage::Table orders("orders");
+  QFCARD_CHECK_OK(
+      orders.AddColumn(IntColumn("id", {0, 1, 2, 3, 4, 5})));
+  QFCARD_CHECK_OK(
+      orders.AddColumn(IntColumn("cust_id", {0, 0, 1, 1, 2, 9})));
+  QFCARD_CHECK_OK(
+      orders.AddColumn(IntColumn("amount", {5, 15, 25, 35, 45, 55})));
+  QFCARD_CHECK_OK(cat.AddTable(std::move(orders)));
+  return cat;
+}
+
+SchemaGraph MakeJoinGraph() {
+  SchemaGraph g;
+  g.AddEdge(FkEdge{"orders", "cust_id", "customers", "id"});
+  return g;
+}
+
+Query MakeJoinQuery() {
+  Query q;
+  q.tables.push_back(TableRef{"orders", "orders"});
+  q.tables.push_back(TableRef{"customers", "customers"});
+  q.joins.push_back(JoinPredicate{ColumnRef{0, 1}, ColumnRef{1, 0}});
+  return q;
+}
+
+TEST(JoinExecutorTest, PlainJoinCount) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  const Query q = MakeJoinQuery();
+  // orders rows with cust_id in {0,1,2} = 5 (cust_id 9 dangles).
+  EXPECT_EQ(JoinExecutor::Count(cat, q).value(), 5);
+}
+
+TEST(JoinExecutorTest, JoinWithSelections) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  Query q = MakeJoinQuery();
+  // region = 10 keeps customers {0, 2}; orders for those: {0,1} and {4}.
+  CompoundPredicate cp;
+  cp.col = ColumnRef{1, 1};
+  ConjunctiveClause clause;
+  clause.preds.push_back(SimplePredicate{cp.col, CmpOp::kEq, 10});
+  cp.disjuncts.push_back(clause);
+  q.predicates.push_back(cp);
+  EXPECT_EQ(JoinExecutor::Count(cat, q).value(), 3);
+}
+
+TEST(JoinExecutorTest, SelectionsOnBothSides) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  Query q = MakeJoinQuery();
+  CompoundPredicate region;
+  region.col = ColumnRef{1, 1};
+  ConjunctiveClause rc;
+  rc.preds.push_back(SimplePredicate{region.col, CmpOp::kEq, 10});
+  region.disjuncts.push_back(rc);
+  q.predicates.push_back(region);
+  CompoundPredicate amount;
+  amount.col = ColumnRef{0, 2};
+  ConjunctiveClause ac;
+  ac.preds.push_back(SimplePredicate{amount.col, CmpOp::kGt, 10});
+  amount.disjuncts.push_back(ac);
+  q.predicates.push_back(amount);
+  // Qualifying: order1(cust0, 15), order4(cust2, 45).
+  EXPECT_EQ(JoinExecutor::Count(cat, q).value(), 2);
+}
+
+TEST(JoinExecutorTest, SingleTableFallback) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  Query q;
+  q.tables.push_back(TableRef{"orders", "orders"});
+  EXPECT_EQ(JoinExecutor::Count(cat, q).value(), 6);
+}
+
+TEST(JoinExecutorTest, MaterializeProducesJoinedTable) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  const SchemaGraph graph = MakeJoinGraph();
+  const auto mat_or =
+      JoinExecutor::Materialize(cat, {"orders", "customers"}, graph);
+  ASSERT_TRUE(mat_or.ok()) << mat_or.status();
+  const storage::Table& mat = mat_or.value();
+  EXPECT_EQ(mat.num_rows(), 5);
+  EXPECT_EQ(mat.num_columns(), 5);
+  ASSERT_TRUE(mat.ColumnIndex("orders.amount").ok());
+  ASSERT_TRUE(mat.ColumnIndex("customers.region").ok());
+  // Count over the materialization matches the join count with selections.
+  Query local;
+  local.tables.push_back(TableRef{mat.name(), mat.name()});
+  const int region_col = mat.ColumnIndex("customers.region").value();
+  testutil::AddPredicate(local, region_col, CmpOp::kEq, 10);
+  EXPECT_EQ(Executor::Count(mat, local).value(), 3);
+}
+
+// Fuzz: three-table joins with random FK values and random selections,
+// checked against a brute-force triple nested loop.
+class JoinFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinFuzzTest, MatchesNestedLoopReference) {
+  common::Rng rng(GetParam());
+  storage::Catalog cat;
+  // dim(id, x), fact(dim_id, y), extra(dim_id, z): two satellites around dim.
+  const int64_t n_dim = 20;
+  {
+    storage::Table dim("dim");
+    std::vector<double> id;
+    std::vector<double> x;
+    for (int64_t i = 0; i < n_dim; ++i) {
+      id.push_back(static_cast<double>(i));
+      x.push_back(static_cast<double>(rng.UniformInt(0, 9)));
+    }
+    QFCARD_CHECK_OK(dim.AddColumn(IntColumn("id", id)));
+    QFCARD_CHECK_OK(dim.AddColumn(IntColumn("x", x)));
+    QFCARD_CHECK_OK(cat.AddTable(std::move(dim)));
+  }
+  for (const char* name : {"fact", "extra"}) {
+    storage::Table t(name);
+    std::vector<double> fk;
+    std::vector<double> payload;
+    const int64_t rows = rng.UniformInt(30, 80);
+    for (int64_t i = 0; i < rows; ++i) {
+      // Some dangling FKs on purpose.
+      fk.push_back(static_cast<double>(rng.UniformInt(0, n_dim + 4)));
+      payload.push_back(static_cast<double>(rng.UniformInt(0, 9)));
+    }
+    QFCARD_CHECK_OK(t.AddColumn(IntColumn("dim_id", fk)));
+    QFCARD_CHECK_OK(t.AddColumn(IntColumn(name[0] == 'f' ? "y" : "z", payload)));
+    QFCARD_CHECK_OK(cat.AddTable(std::move(t)));
+  }
+  const storage::Table& dim = *cat.GetTable("dim").value();
+  const storage::Table& fact = *cat.GetTable("fact").value();
+  const storage::Table& extra = *cat.GetTable("extra").value();
+
+  for (int iter = 0; iter < 10; ++iter) {
+    Query q;
+    q.tables.push_back(TableRef{"dim", "dim"});
+    q.tables.push_back(TableRef{"fact", "fact"});
+    q.tables.push_back(TableRef{"extra", "extra"});
+    q.joins.push_back(JoinPredicate{ColumnRef{1, 0}, ColumnRef{0, 0}});
+    q.joins.push_back(JoinPredicate{ColumnRef{2, 0}, ColumnRef{0, 0}});
+    // Random selections on x / y / z.
+    const auto maybe_pred = [&](int slot, int col) {
+      if (!rng.Bernoulli(0.7)) return;
+      CompoundPredicate cp;
+      cp.col = ColumnRef{slot, col};
+      ConjunctiveClause clause;
+      clause.preds.push_back(SimplePredicate{
+          cp.col, static_cast<CmpOp>(rng.UniformInt(0, 5)),
+          static_cast<double>(rng.UniformInt(0, 9))});
+      cp.disjuncts.push_back(clause);
+      q.predicates.push_back(cp);
+    };
+    maybe_pred(0, 1);
+    maybe_pred(1, 1);
+    maybe_pred(2, 1);
+
+    // Brute force.
+    int64_t expected = 0;
+    for (int64_t d = 0; d < dim.num_rows(); ++d) {
+      bool dim_ok = true;
+      for (const CompoundPredicate& cp : q.predicates) {
+        if (cp.col.table == 0 && !EvalCompoundOnRow(dim, d, cp)) dim_ok = false;
+      }
+      if (!dim_ok) continue;
+      for (int64_t f = 0; f < fact.num_rows(); ++f) {
+        if (fact.column(0).Get(f) != dim.column(0).Get(d)) continue;
+        bool fact_ok = true;
+        for (const CompoundPredicate& cp : q.predicates) {
+          if (cp.col.table == 1 && !EvalCompoundOnRow(fact, f, cp)) {
+            fact_ok = false;
+          }
+        }
+        if (!fact_ok) continue;
+        for (int64_t e = 0; e < extra.num_rows(); ++e) {
+          if (extra.column(0).Get(e) != dim.column(0).Get(d)) continue;
+          bool extra_ok = true;
+          for (const CompoundPredicate& cp : q.predicates) {
+            if (cp.col.table == 2 && !EvalCompoundOnRow(extra, e, cp)) {
+              extra_ok = false;
+            }
+          }
+          if (extra_ok) ++expected;
+        }
+      }
+    }
+    const auto count_or = JoinExecutor::Count(cat, q);
+    ASSERT_TRUE(count_or.ok()) << count_or.status();
+    EXPECT_EQ(count_or.value(), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinFuzzTest,
+                         ::testing::Values(11u, 12u, 13u, 14u));
+
+TEST(SchemaGraphTest, ConnectivityAndEnumeration) {
+  SchemaGraph g;
+  g.AddEdge(FkEdge{"b", "a_id", "a", "id"});
+  g.AddEdge(FkEdge{"c", "a_id", "a", "id"});
+  EXPECT_TRUE(g.IsConnected({"a", "b"}));
+  EXPECT_TRUE(g.IsConnected({"a", "b", "c"}));
+  EXPECT_FALSE(g.IsConnected({"b", "c"}));
+  EXPECT_TRUE(g.IsConnected({"b"}));
+  const auto subs = g.EnumerateSubSchemas({"a", "b", "c"}, 2, 3);
+  // {a,b}, {a,c}, {a,b,c} are connected; {b,c} is not.
+  EXPECT_EQ(subs.size(), 3u);
+}
+
+TEST(SchemaGraphTest, PopulateJoinsBuildsPredicates) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  const SchemaGraph graph = MakeJoinGraph();
+  Query q;
+  q.tables.push_back(TableRef{"customers", "customers"});
+  q.tables.push_back(TableRef{"orders", "orders"});
+  ASSERT_TRUE(graph.PopulateJoins(cat, q).ok());
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_EQ(JoinExecutor::Count(cat, q).value(), 5);
+}
+
+TEST(SchemaGraphTest, PopulateJoinsRejectsDisconnectedTables) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  SchemaGraph empty_graph;
+  Query q;
+  q.tables.push_back(TableRef{"orders", "orders"});
+  q.tables.push_back(TableRef{"customers", "customers"});
+  EXPECT_EQ(empty_graph.PopulateJoins(cat, q).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(JoinExecutorTest, DisconnectedJoinGraphRejected) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  Query q;
+  q.tables.push_back(TableRef{"orders", "orders"});
+  q.tables.push_back(TableRef{"customers", "customers"});
+  // No join predicates: a cross product, which the executor refuses.
+  EXPECT_EQ(JoinExecutor::Count(cat, q).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(JoinExecutorTest, EmptySelectionShortCircuits) {
+  const storage::Catalog cat = MakeJoinCatalog();
+  Query q = MakeJoinQuery();
+  CompoundPredicate cp;
+  cp.col = ColumnRef{0, 2};  // orders.amount
+  ConjunctiveClause clause;
+  clause.preds.push_back(SimplePredicate{cp.col, CmpOp::kGt, 1e9});
+  cp.disjuncts.push_back(clause);
+  q.predicates.push_back(cp);
+  EXPECT_EQ(JoinExecutor::Count(cat, q).value(), 0);
+}
+
+TEST(SchemaGraphTest, SubSchemaKeyIsOrderInvariant) {
+  EXPECT_EQ(SubSchemaKey({"b", "a"}), SubSchemaKey({"a", "b"}));
+  EXPECT_EQ(SubSchemaKey({"a", "b"}), "a+b");
+}
+
+}  // namespace
+}  // namespace qfcard::query

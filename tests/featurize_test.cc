@@ -1,0 +1,502 @@
+#include "featurize/feature_schema.h"
+
+#include "common/random.h"
+#include "featurize/extensions.h"
+#include "featurize/join_encoding.h"
+#include "featurize/mscn_featurizer.h"
+#include "featurize/partitioner.h"
+#include "featurize/range.h"
+#include "featurize/singular.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/imdb.h"
+
+namespace qfcard::featurize {
+namespace {
+
+using query::CmpOp;
+using testutil::AddCompound;
+using testutil::AddPredicate;
+using testutil::SingleTableQuery;
+using testutil::SmallTable;
+
+// Schema of the paper's Section 3.2 example: A in [-9, 50], B in [0, 115],
+// C in {1, 2}; all integral.
+FeatureSchema PaperSchema() {
+  std::vector<AttributeInfo> attrs(3);
+  attrs[0] = AttributeInfo{"A", -9, 50, true, 60};
+  attrs[1] = AttributeInfo{"B", 0, 115, true, 116};
+  attrs[2] = AttributeInfo{"C", 1, 2, true, 2};
+  return FeatureSchema(std::move(attrs));
+}
+
+TEST(FeatureSchemaTest, FromTableUsesStats) {
+  const storage::Table t = SmallTable();
+  const FeatureSchema schema = FeatureSchema::FromTable(t);
+  ASSERT_EQ(schema.num_attributes(), 2);
+  EXPECT_EQ(schema.attr(0).name, "a");
+  EXPECT_EQ(schema.attr(0).min, 0);
+  EXPECT_EQ(schema.attr(0).max, 9);
+  EXPECT_TRUE(schema.attr(0).integral);
+  EXPECT_EQ(schema.attr(1).max, 90);
+}
+
+TEST(FeatureSchemaTest, DomainSize) {
+  EXPECT_DOUBLE_EQ((AttributeInfo{"x", 0, 9, true, 10}).DomainSize(), 10.0);
+  EXPECT_DOUBLE_EQ((AttributeInfo{"x", 0.0, 2.5, false, 0}).DomainSize(), 2.5);
+  EXPECT_DOUBLE_EQ((AttributeInfo{"x", 5, 5, true, 1}).DomainSize(), 1.0);
+}
+
+TEST(EquiWidthPartitionerTest, PaperIndexFormula) {
+  // Section 3.2: A in [-9, 50], n = 12 -> value 7 maps to index
+  // floor((7 - (-9)) / (50 - (-9) + 1) * 12) = floor(3.2) = 3.
+  const AttributeInfo a{"A", -9, 50, true, 60};
+  const EquiWidthPartitioner& part = EquiWidthPartitioner::Get();
+  EXPECT_EQ(part.NumPartitions(a, 12), 12);
+  EXPECT_EQ(part.IndexOf(a, 12, 7), 3);
+  EXPECT_EQ(part.IndexOf(a, 12, -9), 0);
+  EXPECT_EQ(part.IndexOf(a, 12, 50), 11);
+}
+
+TEST(EquiWidthPartitionerTest, SmallDomainShrinksToDomain) {
+  const AttributeInfo c{"C", 1, 2, true, 2};
+  const EquiWidthPartitioner& part = EquiWidthPartitioner::Get();
+  EXPECT_EQ(part.NumPartitions(c, 12), 2);
+  EXPECT_EQ(part.IndexOf(c, 12, 1), 0);
+  EXPECT_EQ(part.IndexOf(c, 12, 2), 1);
+}
+
+TEST(EquiWidthPartitionerTest, ClampsOutOfDomainValues) {
+  const AttributeInfo a{"A", 0, 9, true, 10};
+  const EquiWidthPartitioner& part = EquiWidthPartitioner::Get();
+  EXPECT_EQ(part.IndexOf(a, 5, -100), 0);
+  EXPECT_EQ(part.IndexOf(a, 5, 100), 4);
+}
+
+TEST(EquiWidthPartitionerTest, ContinuousDomain) {
+  const AttributeInfo x{"x", 0.0, 1.0, false, 0};
+  const EquiWidthPartitioner& part = EquiWidthPartitioner::Get();
+  EXPECT_EQ(part.NumPartitions(x, 4), 4);
+  EXPECT_EQ(part.IndexOf(x, 4, 0.0), 0);
+  EXPECT_EQ(part.IndexOf(x, 4, 0.49), 1);
+  EXPECT_EQ(part.IndexOf(x, 4, 1.0), 3);  // max value lands in last partition
+}
+
+TEST(EquiDepthPartitionerTest, BalancesSkewedData) {
+  storage::Table t("t");
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(1);
+  for (int i = 0; i < 100; ++i) values.push_back(i + 2);
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("x", values)));
+  const EquiDepthPartitioner part = EquiDepthPartitioner::FromTable(t, 8);
+  const FeatureSchema schema = FeatureSchema::FromTable(t);
+  // The spike at 1 collapses many quantiles; far fewer than 8 partitions.
+  EXPECT_LT(part.NumPartitions(schema.attr(0), 8), 8);
+  EXPECT_GE(part.NumPartitions(schema.attr(0), 8), 2);
+  // Index is monotone in the value.
+  int prev = -1;
+  for (const double v : {1.0, 2.0, 50.0, 101.0}) {
+    const int idx = part.IndexOf(schema.attr(0), 8, v);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(VOptimalPartitionerTest, IsolatesFrequencySpikes) {
+  // A huge spike at one value should get its own partition boundary.
+  storage::Table t("t");
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(10);
+  for (int i = 0; i < 100; ++i) values.push_back(i % 20);
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("x", values)));
+  const VOptimalPartitioner part = VOptimalPartitioner::FromTable(t, 4);
+  const FeatureSchema schema = FeatureSchema::FromTable(t);
+  const AttributeInfo& attr = schema.attr(0);
+  EXPECT_LE(part.NumPartitions(attr, 4), 4);
+  EXPECT_GE(part.NumPartitions(attr, 4), 2);
+  // The spike value must not share its partition with every other value:
+  // some value below and some above 10 land in different partitions than
+  // at least one other probe.
+  const int spike = part.IndexOf(attr, 4, 10);
+  int distinct_partitions = 1;
+  int prev = part.IndexOf(attr, 4, 0);
+  for (const double v : {5.0, 9.0, 10.0, 11.0, 19.0}) {
+    const int idx = part.IndexOf(attr, 4, v);
+    EXPECT_GE(idx, prev);  // monotone
+    if (idx != prev) ++distinct_partitions;
+    prev = idx;
+  }
+  EXPECT_GE(distinct_partitions, 2);
+  (void)spike;
+}
+
+TEST(VOptimalPartitionerTest, MonotoneAndInRange) {
+  common::Rng rng(123);
+  storage::Table t("t");
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<double>(rng.Zipf(200, 1.2)));
+  }
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("x", values)));
+  const VOptimalPartitioner part = VOptimalPartitioner::FromTable(t, 16);
+  const FeatureSchema schema = FeatureSchema::FromTable(t);
+  const AttributeInfo& attr = schema.attr(0);
+  const int n = part.NumPartitions(attr, 16);
+  EXPECT_LE(n, 16);
+  int prev = -1;
+  for (double v = attr.min; v <= attr.max; v += 1.0) {
+    const int idx = part.IndexOf(attr, 16, v);
+    EXPECT_GE(idx, prev);
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, n);
+    prev = idx;
+  }
+}
+
+TEST(VOptimalPartitionerTest, UnknownAttributeFallsBackToEquiWidth) {
+  storage::Table t("t");
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("x", {1, 2, 3})));
+  const VOptimalPartitioner part = VOptimalPartitioner::FromTable(t, 8);
+  const AttributeInfo other{"unrelated", 0, 99, true, 100};
+  EXPECT_EQ(part.NumPartitions(other, 8),
+            EquiWidthPartitioner::Get().NumPartitions(other, 8));
+  EXPECT_EQ(part.IndexOf(other, 8, 50),
+            EquiWidthPartitioner::Get().IndexOf(other, 8, 50));
+}
+
+// ---------------------------------------------------------------------------
+// Singular Predicate Encoding
+// ---------------------------------------------------------------------------
+
+TEST(SingularEncodingTest, LayoutMatchesPaperExample) {
+  // Section 2.1.1: m = 3, query A > 5 AND B = 7 (A in [-9,50], B in [0,115]).
+  const SingularEncoding enc(PaperSchema());
+  ASSERT_EQ(enc.dim(), 12);
+  query::Query q = SingleTableQuery("t");
+  AddPredicate(q, 0, CmpOp::kGt, 5);
+  AddPredicate(q, 1, CmpOp::kEq, 7);
+  const auto vec_or = enc.Featurize(q);
+  ASSERT_TRUE(vec_or.ok()) << vec_or.status();
+  const std::vector<float>& v = vec_or.value();
+  // A: op bits {=,>,<} = 010, literal (5+9)/59.
+  EXPECT_EQ(v[0], 0.0f);
+  EXPECT_EQ(v[1], 1.0f);
+  EXPECT_EQ(v[2], 0.0f);
+  EXPECT_NEAR(v[3], 14.0 / 59.0, 1e-6);
+  // B: 100, 7/115.
+  EXPECT_EQ(v[4], 1.0f);
+  EXPECT_EQ(v[5], 0.0f);
+  EXPECT_EQ(v[6], 0.0f);
+  EXPECT_NEAR(v[7], 7.0 / 115.0, 1e-6);
+  // C: no predicate -> all zero.
+  for (int i = 8; i < 12; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], 0.0f);
+}
+
+TEST(SingularEncodingTest, CompoundOpsSetTwoBits) {
+  const SingularEncoding enc(PaperSchema());
+  query::Query q = SingleTableQuery("t");
+  AddPredicate(q, 0, CmpOp::kGe, 0);
+  const std::vector<float> v = enc.Featurize(q).value();
+  EXPECT_EQ(v[0], 1.0f);  // =
+  EXPECT_EQ(v[1], 1.0f);  // >
+  EXPECT_EQ(v[2], 0.0f);
+}
+
+TEST(SingularEncodingTest, DropsSecondPredicatePerAttribute) {
+  const SingularEncoding enc(PaperSchema());
+  query::Query q1 = SingleTableQuery("t");
+  AddCompound(q1, 0, {{{CmpOp::kGe, 10}, {CmpOp::kLe, 40}}});
+  query::Query q2 = SingleTableQuery("t");
+  AddCompound(q2, 0, {{{CmpOp::kGe, 10}, {CmpOp::kLe, 20}}});
+  // Information loss: both queries share a feature vector (only >= 10 kept).
+  EXPECT_EQ(enc.Featurize(q1).value(), enc.Featurize(q2).value());
+}
+
+TEST(SingularEncodingTest, RejectsDisjunctions) {
+  const SingularEncoding enc(PaperSchema());
+  query::Query q = SingleTableQuery("t");
+  AddCompound(q, 0, {{{CmpOp::kLe, 0}}, {{CmpOp::kGe, 40}}});
+  EXPECT_EQ(enc.Featurize(q).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Range Predicate Encoding
+// ---------------------------------------------------------------------------
+
+TEST(RangeEncodingTest, NoPredicateIsFullDomain) {
+  const RangeEncoding enc(PaperSchema());
+  ASSERT_EQ(enc.dim(), 6);
+  const query::Query q = SingleTableQuery("t");
+  const std::vector<float> v = enc.Featurize(q).value();
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_EQ(v[static_cast<size_t>(2 * a)], 0.0f);
+    EXPECT_EQ(v[static_cast<size_t>(2 * a + 1)], 1.0f);
+  }
+}
+
+TEST(RangeEncodingTest, ClosedRangeNormalized) {
+  const RangeEncoding enc(PaperSchema());
+  query::Query q = SingleTableQuery("t");
+  AddCompound(q, 1, {{{CmpOp::kGe, 23}, {CmpOp::kLe, 92}}});
+  const std::vector<float> v = enc.Featurize(q).value();
+  EXPECT_NEAR(v[2], 23.0 / 115.0, 1e-6);
+  EXPECT_NEAR(v[3], 92.0 / 115.0, 1e-6);
+}
+
+TEST(RangeEncodingTest, EqualityCollapsesToPoint) {
+  const RangeEncoding enc(PaperSchema());
+  query::Query q = SingleTableQuery("t");
+  AddPredicate(q, 0, CmpOp::kEq, 5);
+  const std::vector<float> v = enc.Featurize(q).value();
+  EXPECT_NEAR(v[0], 14.0 / 59.0, 1e-6);
+  EXPECT_FLOAT_EQ(v[0], v[1]);
+}
+
+TEST(RangeEncodingTest, OpenRangesCloseWithIntegralStep) {
+  // A < 5 on an integral domain equals [min(A), 4] (Section 3.1).
+  const RangeEncoding enc(PaperSchema());
+  query::Query q = SingleTableQuery("t");
+  AddPredicate(q, 0, CmpOp::kLt, 5);
+  const std::vector<float> v = enc.Featurize(q).value();
+  EXPECT_EQ(v[0], 0.0f);
+  EXPECT_NEAR(v[1], 13.0 / 59.0, 1e-6);
+}
+
+TEST(RangeEncodingTest, NotEqualIsDropped) {
+  const RangeEncoding enc(PaperSchema());
+  query::Query q1 = SingleTableQuery("t");
+  AddCompound(q1, 0, {{{CmpOp::kGe, 0}, {CmpOp::kLe, 20}, {CmpOp::kNe, 10}}});
+  query::Query q2 = SingleTableQuery("t");
+  AddCompound(q2, 0, {{{CmpOp::kGe, 0}, {CmpOp::kLe, 20}}});
+  EXPECT_EQ(enc.Featurize(q1).value(), enc.Featurize(q2).value());
+}
+
+TEST(RangeEncodingTest, MultipleRangesIntersect) {
+  const RangeEncoding enc(PaperSchema());
+  query::Query q = SingleTableQuery("t");
+  AddCompound(q, 0, {{{CmpOp::kGe, 0},
+                      {CmpOp::kGe, 10},
+                      {CmpOp::kLe, 45},
+                      {CmpOp::kLe, 30}}});
+  const std::vector<float> v = enc.Featurize(q).value();
+  EXPECT_NEAR(v[0], 19.0 / 59.0, 1e-6);  // lo = 10
+  EXPECT_NEAR(v[1], 39.0 / 59.0, 1e-6);  // hi = 30
+}
+
+// ---------------------------------------------------------------------------
+// Decorators and global encodings
+// ---------------------------------------------------------------------------
+
+TEST(GroupByAppendTest, SetsGroupingBits) {
+  auto inner = std::make_unique<RangeEncoding>(PaperSchema());
+  const int inner_dim = inner->dim();
+  const GroupByAppendFeaturizer enc(std::move(inner), 3);
+  ASSERT_EQ(enc.dim(), inner_dim + 3);
+  query::Query q = SingleTableQuery("t");
+  q.group_by.push_back(query::ColumnRef{0, 1});
+  const std::vector<float> v = enc.Featurize(q).value();
+  EXPECT_EQ(v[static_cast<size_t>(inner_dim + 0)], 0.0f);
+  EXPECT_EQ(v[static_cast<size_t>(inner_dim + 1)], 1.0f);
+  EXPECT_EQ(v[static_cast<size_t>(inner_dim + 2)], 0.0f);
+}
+
+TEST(FactoryTest, MakesAllKinds) {
+  for (const QftKind kind : {QftKind::kSimple, QftKind::kRange,
+                             QftKind::kConjunctive, QftKind::kComplex}) {
+    const auto f = MakeFeaturizer(kind, PaperSchema());
+    ASSERT_NE(f, nullptr);
+    EXPECT_GT(f->dim(), 0);
+    EXPECT_STREQ(f->name().c_str(), QftKindToString(kind));
+  }
+}
+
+TEST(GlobalFeaturizerTest, AppendsTableBitmap) {
+  workload::ImdbOptions opts;
+  opts.num_titles = 200;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(opts);
+  const GlobalFeatureSchema global =
+      GlobalFeatureSchema::FromCatalog(db.catalog);
+  auto inner = std::make_unique<RangeEncoding>(global.schema());
+  const int inner_dim = inner->dim();
+  const GlobalFeaturizer enc(&db.catalog, std::move(inner));
+  ASSERT_EQ(enc.dim(), inner_dim + db.catalog.num_tables());
+
+  query::Query q;
+  q.tables.push_back(query::TableRef{"title", "title"});
+  q.tables.push_back(query::TableRef{"cast_info", "cast_info"});
+  QFCARD_CHECK_OK(db.graph.PopulateJoins(db.catalog, q));
+  const std::vector<float> v = enc.Featurize(q).value();
+  const int title_idx = db.catalog.TableIndex("title").value();
+  const int ci_idx = db.catalog.TableIndex("cast_info").value();
+  const int mi_idx = db.catalog.TableIndex("movie_info").value();
+  EXPECT_EQ(v[static_cast<size_t>(inner_dim + title_idx)], 1.0f);
+  EXPECT_EQ(v[static_cast<size_t>(inner_dim + ci_idx)], 1.0f);
+  EXPECT_EQ(v[static_cast<size_t>(inner_dim + mi_idx)], 0.0f);
+}
+
+TEST(GlobalFeaturizerTest, PredicatesMapToGlobalAttributeSlots) {
+  // Two tiny tables; a predicate on the second table must land in the
+  // second table's block of the global conjunction encoding.
+  storage::Catalog cat;
+  storage::Table a("a");
+  QFCARD_CHECK_OK(a.AddColumn(testutil::IntColumn("x", {0, 1, 2, 3})));
+  QFCARD_CHECK_OK(cat.AddTable(std::move(a)));
+  storage::Table b("b");
+  QFCARD_CHECK_OK(b.AddColumn(testutil::IntColumn("y", {0, 1, 2, 3})));
+  QFCARD_CHECK_OK(cat.AddTable(std::move(b)));
+
+  const GlobalFeatureSchema global = GlobalFeatureSchema::FromCatalog(cat);
+  ASSERT_EQ(global.schema().num_attributes(), 2);
+  EXPECT_EQ(global.schema().attr(0).name, "a.x");
+  EXPECT_EQ(global.schema().attr(1).name, "b.y");
+  EXPECT_EQ(global.GlobalIndex(1, 0).value(), 1);
+
+  ConjunctionOptions opts;
+  opts.max_partitions = 4;
+  opts.append_attr_selectivity = false;
+  const GlobalFeaturizer enc(
+      &cat,
+      std::make_unique<ConjunctionEncoding>(global.schema(), opts));
+  // Query over only table b, with b.y = 2.
+  query::Query q;
+  q.tables.push_back(query::TableRef{"b", "b"});
+  testutil::AddPredicate(q, 0, CmpOp::kEq, 2);
+  const std::vector<float> v = enc.Featurize(q).value();
+  // Block 0 (a.x, 4 entries, untouched) all ones.
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(v[static_cast<size_t>(i)], 1.0f);
+  // Block 1 (b.y): exact small-domain equality keeps only entry 2.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(v[static_cast<size_t>(4 + i)], i == 2 ? 1.0f : 0.0f);
+  }
+  // Table bitmap: only b set.
+  EXPECT_FLOAT_EQ(v[8], 0.0f);
+  EXPECT_FLOAT_EQ(v[9], 1.0f);
+}
+
+TEST(MscnFeaturizerTest, SetShapes) {
+  workload::ImdbOptions opts;
+  opts.num_titles = 200;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(opts);
+  const MscnFeaturizer feat(&db.catalog, &db.graph,
+                            MscnFeaturizer::PredMode::kPerPredicate);
+  query::Query q;
+  q.tables.push_back(query::TableRef{"title", "title"});
+  q.tables.push_back(query::TableRef{"movie_keyword", "movie_keyword"});
+  QFCARD_CHECK_OK(db.graph.PopulateJoins(db.catalog, q));
+  // Two predicates on one attribute -> two per-predicate vectors.
+  const storage::Table& title = *db.catalog.GetTable("title").value();
+  const int year = title.ColumnIndex("production_year").value();
+  testutil::AddCompound(q, year, {{{CmpOp::kGe, 1990}, {CmpOp::kLe, 2000}}});
+  const auto sample_or = feat.Featurize(q);
+  ASSERT_TRUE(sample_or.ok()) << sample_or.status();
+  const MscnSample& s = sample_or.value();
+  EXPECT_EQ(s.table_vecs.size(), 2u);
+  EXPECT_EQ(s.join_vecs.size(), 1u);
+  EXPECT_EQ(s.pred_vecs.size(), 2u);
+  EXPECT_EQ(static_cast<int>(s.pred_vecs[0].size()), feat.pred_dim());
+}
+
+TEST(MscnFeaturizerTest, PerAttributeModeMergesPredicates) {
+  workload::ImdbOptions opts;
+  opts.num_titles = 200;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(opts);
+  ConjunctionOptions copts;
+  copts.max_partitions = 8;
+  const MscnFeaturizer feat(&db.catalog, &db.graph,
+                            MscnFeaturizer::PredMode::kPerAttributeQft, copts);
+  query::Query q;
+  q.tables.push_back(query::TableRef{"title", "title"});
+  const storage::Table& title = *db.catalog.GetTable("title").value();
+  const int year = title.ColumnIndex("production_year").value();
+  testutil::AddCompound(q, year, {{{CmpOp::kGe, 1990}, {CmpOp::kLe, 2000}}});
+  const MscnSample s = feat.Featurize(q).value();
+  EXPECT_EQ(s.pred_vecs.size(), 1u);  // one vector per attribute
+  EXPECT_TRUE(s.join_vecs.empty());
+}
+
+TEST(MscnFeaturizerTest, PerPredicateModeRejectsDisjunctions) {
+  workload::ImdbOptions opts;
+  opts.num_titles = 200;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(opts);
+  const MscnFeaturizer feat(&db.catalog, &db.graph,
+                            MscnFeaturizer::PredMode::kPerPredicate);
+  query::Query q;
+  q.tables.push_back(query::TableRef{"title", "title"});
+  const storage::Table& title = *db.catalog.GetTable("title").value();
+  const int year = title.ColumnIndex("production_year").value();
+  testutil::AddCompound(q, year,
+                        {{{CmpOp::kLe, 1950}}, {{CmpOp::kGe, 2000}}});
+  EXPECT_EQ(feat.Featurize(q).status().code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(MscnFeaturizerTest, UnknownJoinEdgeIsNotFound) {
+  workload::ImdbOptions opts;
+  opts.num_titles = 100;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(opts);
+  query::SchemaGraph empty_graph;  // featurizer knows no edges
+  const MscnFeaturizer feat(&db.catalog, &empty_graph,
+                            MscnFeaturizer::PredMode::kPerPredicate);
+  query::Query q;
+  q.tables.push_back(query::TableRef{"title", "title"});
+  q.tables.push_back(query::TableRef{"cast_info", "cast_info"});
+  QFCARD_CHECK_OK(db.graph.PopulateJoins(db.catalog, q));
+  EXPECT_EQ(feat.Featurize(q).status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(GroupByAppendTest, RejectsOutOfRangeGroupingAttribute) {
+  auto inner = std::make_unique<RangeEncoding>(FeatureSchema(
+      {std::vector<AttributeInfo>{AttributeInfo{"x", 0, 9, true, 10}}}));
+  const GroupByAppendFeaturizer enc(std::move(inner), 1);
+  query::Query q = testutil::SingleTableQuery("t");
+  q.group_by.push_back(query::ColumnRef{0, 5});
+  EXPECT_EQ(enc.Featurize(q).status().code(),
+            common::StatusCode::kOutOfRange);
+}
+
+TEST(MscnFeaturizerTest, PerAttributeRangeMode) {
+  workload::ImdbOptions opts;
+  opts.num_titles = 200;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(opts);
+  const MscnFeaturizer feat(&db.catalog, &db.graph,
+                            MscnFeaturizer::PredMode::kPerAttributeRange);
+  query::Query q;
+  q.tables.push_back(query::TableRef{"title", "title"});
+  const storage::Table& title = *db.catalog.GetTable("title").value();
+  const int year = title.ColumnIndex("production_year").value();
+  testutil::AddCompound(q, year, {{{CmpOp::kGe, 1990}, {CmpOp::kLe, 2000}}});
+  const MscnSample s = feat.Featurize(q).value();
+  ASSERT_EQ(s.pred_vecs.size(), 1u);
+  const GlobalFeatureSchema global = GlobalFeatureSchema::FromCatalog(db.catalog);
+  const int num_attrs = global.schema().num_attributes();
+  const float lo = s.pred_vecs[0][static_cast<size_t>(num_attrs)];
+  const float hi = s.pred_vecs[0][static_cast<size_t>(num_attrs) + 1];
+  EXPECT_GT(hi, lo);
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f);
+  // Disjunctions are rejected in this mode.
+  query::Query disj;
+  disj.tables.push_back(query::TableRef{"title", "title"});
+  testutil::AddCompound(disj, year, {{{CmpOp::kLe, 1950}}, {{CmpOp::kGe, 2000}}});
+  EXPECT_FALSE(feat.Featurize(disj).ok());
+}
+
+TEST(MscnFeaturizerTest, PerAttributeModeSupportsDisjunctions) {
+  workload::ImdbOptions opts;
+  opts.num_titles = 200;
+  const workload::ImdbDatabase db = workload::MakeImdbDatabase(opts);
+  const MscnFeaturizer feat(&db.catalog, &db.graph,
+                            MscnFeaturizer::PredMode::kPerAttributeQft);
+  query::Query q;
+  q.tables.push_back(query::TableRef{"title", "title"});
+  const storage::Table& title = *db.catalog.GetTable("title").value();
+  const int year = title.ColumnIndex("production_year").value();
+  testutil::AddCompound(q, year,
+                        {{{CmpOp::kLe, 1950}}, {{CmpOp::kGe, 2000}}});
+  EXPECT_TRUE(feat.Featurize(q).ok());
+}
+
+}  // namespace
+}  // namespace qfcard::featurize

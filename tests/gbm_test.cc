@@ -1,0 +1,246 @@
+#include "ml/gbm.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+#include "ml/tree.h"
+
+namespace qfcard::ml {
+namespace {
+
+TEST(BinnedFeaturesTest, CodesAreMonotoneInValue) {
+  common::Rng rng(1);
+  Matrix x(200, 1);
+  for (int r = 0; r < 200; ++r) x.At(r, 0) = static_cast<float>(rng.Uniform(0, 100));
+  const BinnedFeatures binned = BinnedFeatures::Build(x, 16);
+  EXPECT_EQ(binned.num_rows(), 200);
+  EXPECT_EQ(binned.num_features(), 1);
+  EXPECT_LE(binned.NumBins(0), 16);
+  EXPECT_GE(binned.NumBins(0), 2);
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j < 200; ++j) {
+      if (x.At(i, 0) < x.At(j, 0)) {
+        EXPECT_LE(binned.Code(0, i), binned.Code(0, j));
+      }
+    }
+  }
+}
+
+TEST(BinnedFeaturesTest, ThresholdsSeparateBins) {
+  Matrix x(6, 1);
+  const float values[6] = {1, 1, 2, 2, 3, 3};
+  for (int r = 0; r < 6; ++r) x.At(r, 0) = values[r];
+  const BinnedFeatures binned = BinnedFeatures::Build(x, 4);
+  // Rows with x <= Threshold(0, b) have codes <= b.
+  for (int b = 0; b + 1 < binned.NumBins(0); ++b) {
+    const float th = binned.Threshold(0, b);
+    for (int r = 0; r < 6; ++r) {
+      if (x.At(r, 0) <= th) {
+        EXPECT_LE(binned.Code(0, r), b);
+      } else {
+        EXPECT_GT(binned.Code(0, r), b);
+      }
+    }
+  }
+}
+
+TEST(BinnedFeaturesTest, ConstantColumnHasOneBin) {
+  Matrix x(10, 1);
+  for (int r = 0; r < 10; ++r) x.At(r, 0) = 5.0f;
+  const BinnedFeatures binned = BinnedFeatures::Build(x, 8);
+  EXPECT_EQ(binned.NumBins(0), 1);
+}
+
+TEST(RegressionTreeTest, FitsStepFunctionExactly) {
+  Matrix x(100, 1);
+  std::vector<float> y(100);
+  std::vector<int> rows(100);
+  for (int r = 0; r < 100; ++r) {
+    x.At(r, 0) = static_cast<float>(r);
+    y[static_cast<size_t>(r)] = r < 50 ? -1.0f : 3.0f;
+    rows[static_cast<size_t>(r)] = r;
+  }
+  const BinnedFeatures binned = BinnedFeatures::Build(x, 32);
+  RegressionTree tree;
+  RegressionTree::Params params;
+  params.max_depth = 2;
+  params.min_samples_leaf = 5;
+  tree.Fit(binned, y, rows, params, nullptr);
+  const float lo = 10.0f;
+  const float hi = 80.0f;
+  EXPECT_FLOAT_EQ(tree.Predict(&lo), -1.0f);
+  EXPECT_FLOAT_EQ(tree.Predict(&hi), 3.0f);
+  EXPECT_GT(tree.SizeBytes(), 0u);
+}
+
+TEST(RegressionTreeTest, DepthZeroPredictsMean) {
+  Matrix x(4, 1);
+  std::vector<float> y{1, 2, 3, 4};
+  std::vector<int> rows{0, 1, 2, 3};
+  for (int r = 0; r < 4; ++r) x.At(r, 0) = static_cast<float>(r);
+  const BinnedFeatures binned = BinnedFeatures::Build(x, 8);
+  RegressionTree tree;
+  RegressionTree::Params params;
+  params.max_depth = 0;
+  params.min_samples_leaf = 1;
+  tree.Fit(binned, y, rows, params, nullptr);
+  const float v = 2.0f;
+  EXPECT_FLOAT_EQ(tree.Predict(&v), 2.5f);
+}
+
+TEST(RegressionTreeTest, RespectsMinSamplesLeaf) {
+  Matrix x(10, 1);
+  std::vector<float> y(10);
+  std::vector<int> rows(10);
+  for (int r = 0; r < 10; ++r) {
+    x.At(r, 0) = static_cast<float>(r);
+    y[static_cast<size_t>(r)] = static_cast<float>(r);
+    rows[static_cast<size_t>(r)] = r;
+  }
+  const BinnedFeatures binned = BinnedFeatures::Build(x, 32);
+  RegressionTree tree;
+  RegressionTree::Params params;
+  params.max_depth = 10;
+  params.min_samples_leaf = 6;  // 2 * 6 > 10 -> no split possible
+  tree.Fit(binned, y, rows, params, nullptr);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+}
+
+Dataset MakeAdditiveDataset(int n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.Uniform(0, 1));
+    const float b = static_cast<float>(rng.Uniform(0, 1));
+    const float c = static_cast<float>(rng.Uniform(0, 1));
+    xs.push_back({a, b, c});
+    ys.push_back(4.0f * a + std::sin(6.28f * b) + 0.5f * c * c);
+  }
+  return Dataset::FromVectors(xs, ys).value();
+}
+
+TEST(GradientBoostingTest, LearnsAdditiveFunction) {
+  const Dataset train = MakeAdditiveDataset(2000, 31);
+  const Dataset test = MakeAdditiveDataset(300, 32);
+  GbmParams params;
+  params.num_trees = 120;
+  params.learning_rate = 0.1;
+  params.max_depth = 4;
+  params.min_samples_leaf = 10;
+  params.early_stopping_rounds = 0;
+  GradientBoosting model(params);
+  ASSERT_TRUE(model.Fit(train, nullptr).ok());
+  const double rmse = Rmse(model.PredictBatch(test.x), test.y);
+  EXPECT_LT(rmse, 0.25);
+  // Far better than predicting the mean (label sd is ~1.3).
+  EXPECT_GT(model.num_trees(), 50);
+}
+
+TEST(GradientBoostingTest, MoreTreesReduceTrainError) {
+  const Dataset train = MakeAdditiveDataset(1000, 33);
+  GbmParams small;
+  small.num_trees = 10;
+  small.early_stopping_rounds = 0;
+  GbmParams large = small;
+  large.num_trees = 100;
+  GradientBoosting m_small(small);
+  GradientBoosting m_large(large);
+  ASSERT_TRUE(m_small.Fit(train, nullptr).ok());
+  ASSERT_TRUE(m_large.Fit(train, nullptr).ok());
+  EXPECT_LT(Rmse(m_large.PredictBatch(train.x), train.y),
+            Rmse(m_small.PredictBatch(train.x), train.y));
+}
+
+TEST(GradientBoostingTest, EarlyStoppingTruncates) {
+  const Dataset train = MakeAdditiveDataset(800, 34);
+  const Dataset valid = MakeAdditiveDataset(200, 35);
+  GbmParams params;
+  params.num_trees = 400;
+  params.learning_rate = 0.3;
+  params.early_stopping_rounds = 5;
+  GradientBoosting model(params);
+  ASSERT_TRUE(model.Fit(train, &valid).ok());
+  EXPECT_LT(model.num_trees(), 400);
+}
+
+TEST(GradientBoostingTest, EmptyTrainingSetRejected) {
+  Dataset empty;
+  GradientBoosting model;
+  EXPECT_FALSE(model.Fit(empty, nullptr).ok());
+}
+
+TEST(GradientBoostingTest, ConstantLabelsPredictConstant) {
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back({static_cast<float>(i)});
+    ys.push_back(7.0f);
+  }
+  const Dataset data = Dataset::FromVectors(xs, ys).value();
+  GradientBoosting model;
+  ASSERT_TRUE(model.Fit(data, nullptr).ok());
+  const float x = 50.0f;
+  EXPECT_NEAR(model.Predict(&x), 7.0f, 1e-4);
+}
+
+TEST(GradientBoostingTest, SubsampleAndColsampleStillLearn) {
+  const Dataset train = MakeAdditiveDataset(1500, 36);
+  GbmParams params;
+  params.num_trees = 150;
+  params.subsample = 0.7;
+  params.colsample = 0.7;
+  params.early_stopping_rounds = 0;
+  GradientBoosting model(params);
+  ASSERT_TRUE(model.Fit(train, nullptr).ok());
+  EXPECT_LT(Rmse(model.PredictBatch(train.x), train.y), 0.35);
+}
+
+TEST(GradientBoostingTest, SerializationRoundTrip) {
+  const Dataset train = MakeAdditiveDataset(600, 40);
+  GbmParams params;
+  params.num_trees = 40;
+  params.learning_rate = 0.17;
+  params.early_stopping_rounds = 0;
+  GradientBoosting model(params);
+  ASSERT_TRUE(model.Fit(train, nullptr).ok());
+
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(model.Serialize(&blob).ok());
+  EXPECT_GT(blob.size(), 100u);
+
+  GradientBoosting restored;  // default hyperparameters differ on purpose
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.num_trees(), model.num_trees());
+  for (int i = 0; i < train.num_rows(); i += 37) {
+    EXPECT_FLOAT_EQ(restored.Predict(train.x.Row(i)),
+                    model.Predict(train.x.Row(i)));
+  }
+}
+
+TEST(GradientBoostingTest, DeserializeRejectsGarbage) {
+  GradientBoosting model;
+  EXPECT_FALSE(model.Deserialize({1, 2, 3}).ok());
+  std::vector<uint8_t> wrong_magic(16, 0);
+  EXPECT_FALSE(model.Deserialize(wrong_magic).ok());
+}
+
+TEST(GradientBoostingTest, DeterministicForFixedSeed) {
+  const Dataset train = MakeAdditiveDataset(500, 37);
+  GbmParams params;
+  params.num_trees = 30;
+  params.subsample = 0.8;
+  params.seed = 5;
+  params.early_stopping_rounds = 0;
+  GradientBoosting m1(params);
+  GradientBoosting m2(params);
+  ASSERT_TRUE(m1.Fit(train, nullptr).ok());
+  ASSERT_TRUE(m2.Fit(train, nullptr).ok());
+  const float x[3] = {0.2f, 0.4f, 0.6f};
+  EXPECT_FLOAT_EQ(m1.Predict(x), m2.Predict(x));
+}
+
+}  // namespace
+}  // namespace qfcard::ml

@@ -1,0 +1,207 @@
+#include "ml/nn.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "ml/metrics.h"
+
+namespace qfcard::ml {
+namespace {
+
+TEST(MlpTest, ForwardShapes) {
+  common::Rng rng(1);
+  internal::Mlp mlp;
+  mlp.Init({3, 5, 2}, /*relu_last=*/false, rng);
+  Matrix x(4, 3);
+  for (float& v : x.data()) v = static_cast<float>(rng.Normal());
+  const Matrix& out = mlp.Forward(x);
+  EXPECT_EQ(out.rows(), 4);
+  EXPECT_EQ(out.cols(), 2);
+  EXPECT_EQ(mlp.input_dim(), 3);
+  EXPECT_EQ(mlp.output_dim(), 2);
+  EXPECT_EQ(mlp.NumParams(), 3u * 5u + 5u + 5u * 2u + 2u);
+}
+
+TEST(MlpTest, PredictOneMatchesBatchForward) {
+  common::Rng rng(2);
+  internal::Mlp mlp;
+  mlp.Init({4, 6, 1}, /*relu_last=*/false, rng);
+  Matrix x(3, 4);
+  for (float& v : x.data()) v = static_cast<float>(rng.Normal());
+  const Matrix out = mlp.Forward(x);
+  for (int r = 0; r < 3; ++r) {
+    float single = 0.0f;
+    mlp.PredictOne(x.Row(r), &single);
+    EXPECT_NEAR(single, out.At(r, 0), 1e-5);
+  }
+}
+
+// Numerical gradient check: analytic gradients from Backward match finite
+// differences of the loss.
+TEST(MlpTest, GradientCheck) {
+  common::Rng rng(3);
+  internal::Mlp mlp;
+  mlp.Init({3, 4, 1}, /*relu_last=*/false, rng);
+  Matrix x(5, 3);
+  std::vector<float> y(5);
+  for (float& v : x.data()) v = static_cast<float>(rng.Normal());
+  for (float& v : y) v = static_cast<float>(rng.Normal());
+
+  const auto loss = [&]() {
+    const Matrix& out = mlp.Forward(x);
+    double acc = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      const double d = out.At(i, 0) - y[static_cast<size_t>(i)];
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  // Analytic gradients.
+  const Matrix& out = mlp.Forward(x);
+  Matrix grad(5, 1);
+  for (int i = 0; i < 5; ++i) {
+    grad.At(i, 0) = 2.0f * (out.At(i, 0) - y[static_cast<size_t>(i)]);
+  }
+  mlp.Backward(grad, /*need_input_grad=*/false);
+
+  const double eps = 1e-3;
+  for (int layer = 0; layer < mlp.num_layers(); ++layer) {
+    Matrix& w = mlp.weight(layer);
+    const Matrix analytic = mlp.weight_grad(layer);
+    // Spot-check a handful of weights per layer.
+    for (size_t i = 0; i < w.data().size(); i += std::max<size_t>(1, w.data().size() / 5)) {
+      const float orig = w.data()[i];
+      w.data()[i] = orig + static_cast<float>(eps);
+      const double up = loss();
+      w.data()[i] = orig - static_cast<float>(eps);
+      const double down = loss();
+      w.data()[i] = orig;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(analytic.data()[i], numeric,
+                  2e-2 * std::max(1.0, std::abs(numeric)))
+          << "layer " << layer << " weight " << i;
+    }
+  }
+}
+
+TEST(FeedForwardNetTest, LearnsLinearFunction) {
+  common::Rng rng(7);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 1500; ++i) {
+    const float a = static_cast<float>(rng.Uniform(-1, 1));
+    const float b = static_cast<float>(rng.Uniform(-1, 1));
+    xs.push_back({a, b});
+    ys.push_back(2.0f * a - b + 1.0f);
+  }
+  const Dataset data = Dataset::FromVectors(xs, ys).value();
+  NnParams params;
+  params.hidden = {16};
+  params.max_epochs = 250;
+  params.max_steps = 3000;
+  params.early_stopping_rounds = 0;
+  FeedForwardNet model(params);
+  ASSERT_TRUE(model.Fit(data, nullptr).ok());
+  EXPECT_LT(Rmse(model.PredictBatch(data.x), data.y), 0.12);
+}
+
+TEST(FeedForwardNetTest, LearnsNonlinearFunction) {
+  common::Rng rng(8);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 2500; ++i) {
+    const float a = static_cast<float>(rng.Uniform(-1, 1));
+    const float b = static_cast<float>(rng.Uniform(-1, 1));
+    xs.push_back({a, b});
+    ys.push_back(a * b);  // XOR-like interaction
+  }
+  const Dataset data = Dataset::FromVectors(xs, ys).value();
+  NnParams params;
+  params.hidden = {32, 16};
+  params.max_epochs = 120;
+  params.max_steps = 8000;
+  params.early_stopping_rounds = 0;
+  FeedForwardNet model(params);
+  ASSERT_TRUE(model.Fit(data, nullptr).ok());
+  const double rmse = Rmse(model.PredictBatch(data.x), data.y);
+  EXPECT_LT(rmse, 0.15);  // label sd is ~1/3; interaction must be learned
+}
+
+TEST(FeedForwardNetTest, EarlyStoppingUsesValidationSet) {
+  common::Rng rng(9);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back({static_cast<float>(rng.Uniform(-1, 1))});
+    ys.push_back(static_cast<float>(rng.Normal()));  // pure noise
+  }
+  const Dataset train = Dataset::FromVectors(xs, ys).value();
+  const Dataset valid = train.Head(100);
+  NnParams params;
+  params.hidden = {16};
+  params.max_epochs = 200;
+  params.max_steps = 100000;
+  params.early_stopping_rounds = 3;
+  FeedForwardNet model(params);
+  // On pure noise, validation stops improving quickly; Fit must return.
+  ASSERT_TRUE(model.Fit(train, &valid).ok());
+}
+
+TEST(FeedForwardNetTest, SizeBytesMatchesParameterCount) {
+  common::Rng rng(10);
+  std::vector<std::vector<float>> xs{{1, 2, 3}};
+  std::vector<float> ys{1};
+  const Dataset data = Dataset::FromVectors(xs, ys).value();
+  NnParams params;
+  params.hidden = {8, 4};
+  params.max_epochs = 1;
+  params.max_steps = 1;
+  FeedForwardNet model(params);
+  ASSERT_TRUE(model.Fit(data, nullptr).ok());
+  const size_t expected = (3 * 8 + 8 + 8 * 4 + 4 + 4 * 1 + 1) * sizeof(float);
+  EXPECT_EQ(model.SizeBytes(), expected);
+}
+
+TEST(FeedForwardNetTest, SerializationRoundTrip) {
+  common::Rng rng(11);
+  std::vector<std::vector<float>> xs;
+  std::vector<float> ys;
+  for (int i = 0; i < 300; ++i) {
+    const float a = static_cast<float>(rng.Uniform(-1, 1));
+    xs.push_back({a, a * a});
+    ys.push_back(a + 0.5f);
+  }
+  const Dataset data = Dataset::FromVectors(xs, ys).value();
+  NnParams params;
+  params.hidden = {12, 6};
+  params.max_epochs = 10;
+  params.max_steps = 100;
+  FeedForwardNet model(params);
+  ASSERT_TRUE(model.Fit(data, nullptr).ok());
+
+  std::vector<uint8_t> blob;
+  ASSERT_TRUE(model.Serialize(&blob).ok());
+  FeedForwardNet restored;  // architecture comes from the blob
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  for (int i = 0; i < data.num_rows(); i += 29) {
+    EXPECT_FLOAT_EQ(restored.Predict(data.x.Row(i)),
+                    model.Predict(data.x.Row(i)));
+  }
+  EXPECT_EQ(restored.SizeBytes(), model.SizeBytes());
+}
+
+TEST(FeedForwardNetTest, DeserializeRejectsGarbage) {
+  FeedForwardNet model;
+  EXPECT_FALSE(model.Deserialize({9, 9, 9}).ok());
+}
+
+TEST(FeedForwardNetTest, EmptyTrainingSetRejected) {
+  Dataset empty;
+  FeedForwardNet model;
+  EXPECT_FALSE(model.Fit(empty, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace qfcard::ml

@@ -1,0 +1,165 @@
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+
+namespace qfcard::storage {
+namespace {
+
+Column MakeIntColumn(const std::string& name, std::vector<double> values) {
+  Column col(name, ColumnType::kInt64);
+  col.AppendBatch(values);
+  return col;
+}
+
+TEST(DictionaryTest, CodesRespectLexicographicOrder) {
+  Dictionary dict = Dictionary::FromValues({"cherry", "apple", "banana", "apple"});
+  EXPECT_EQ(dict.size(), 3);
+  ASSERT_TRUE(dict.Code("apple").ok());
+  EXPECT_EQ(dict.Code("apple").value(), 0);
+  EXPECT_EQ(dict.Code("banana").value(), 1);
+  EXPECT_EQ(dict.Code("cherry").value(), 2);
+  EXPECT_EQ(dict.Value(1), "banana");
+}
+
+TEST(DictionaryTest, MissingValueIsNotFound) {
+  Dictionary dict = Dictionary::FromValues({"a", "b"});
+  EXPECT_EQ(dict.Code("zzz").status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(DictionaryTest, LowerBoundCode) {
+  Dictionary dict = Dictionary::FromValues({"b", "d", "f"});
+  EXPECT_EQ(dict.LowerBoundCode("a"), 0);
+  EXPECT_EQ(dict.LowerBoundCode("b"), 0);
+  EXPECT_EQ(dict.LowerBoundCode("c"), 1);
+  EXPECT_EQ(dict.LowerBoundCode("f"), 2);
+  EXPECT_EQ(dict.LowerBoundCode("z"), 3);
+}
+
+TEST(ColumnTest, StatsComputedAndCached) {
+  Column col = MakeIntColumn("a", {5, 1, 9, 5, 3});
+  const ColumnStats& stats = col.GetStats();
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_EQ(stats.max, 9);
+  EXPECT_EQ(stats.distinct, 4);
+  EXPECT_EQ(stats.rows, 5);
+}
+
+TEST(ColumnTest, StatsRefreshAfterAppend) {
+  Column col = MakeIntColumn("a", {1, 2});
+  EXPECT_EQ(col.GetStats().max, 2);
+  col.Append(10);
+  EXPECT_EQ(col.GetStats().max, 10);
+  EXPECT_EQ(col.GetStats().rows, 3);
+}
+
+TEST(ColumnTest, IntegralityByType) {
+  EXPECT_TRUE(Column("a", ColumnType::kInt64).integral());
+  EXPECT_TRUE(Column("a", ColumnType::kDictString).integral());
+  EXPECT_FALSE(Column("a", ColumnType::kFloat64).integral());
+}
+
+TEST(ColumnTest, EmptyColumnStats) {
+  Column col("a", ColumnType::kInt64);
+  const ColumnStats& stats = col.GetStats();
+  EXPECT_EQ(stats.rows, 0);
+  EXPECT_EQ(stats.distinct, 0);
+}
+
+TEST(TableTest, AddAndLookupColumns) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1, 2})).ok());
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("b", {3, 4})).ok());
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.num_rows(), 2);
+  ASSERT_TRUE(t.ColumnIndex("b").ok());
+  EXPECT_EQ(t.ColumnIndex("b").value(), 1);
+  EXPECT_EQ(t.ColumnIndex("zz").status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1})).ok());
+  EXPECT_EQ(t.AddColumn(MakeIntColumn("a", {2})).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, ValidateCatchesRaggedColumns) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1, 2})).ok());
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("b", {3})).ok());
+  EXPECT_EQ(t.Validate().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(CatalogTest, AddAndResolve) {
+  Catalog cat;
+  Table t("orders");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1})).ok());
+  ASSERT_TRUE(cat.AddTable(std::move(t)).ok());
+  EXPECT_EQ(cat.num_tables(), 1);
+  ASSERT_TRUE(cat.GetTable("orders").ok());
+  EXPECT_EQ(cat.TableIndex("orders").value(), 0);
+  EXPECT_EQ(cat.GetTable("nope").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog cat;
+  Table t1("t");
+  ASSERT_TRUE(cat.AddTable(std::move(t1)).ok());
+  Table t2("t");
+  EXPECT_EQ(cat.AddTable(std::move(t2)).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath() {
+    return (std::filesystem::temp_directory_path() /
+            ("qfcard_csv_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv"))
+        .string();
+  }
+  void TearDown() override { std::remove(TempPath().c_str()); }
+};
+
+TEST_F(CsvTest, RoundTripTypedColumns) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("ints", {1, -2, 3})).ok());
+  Column floats("floats", ColumnType::kFloat64);
+  floats.AppendBatch({1.5, 2.25, -0.5});
+  ASSERT_TRUE(t.AddColumn(std::move(floats)).ok());
+  Dictionary dict = Dictionary::FromValues({"x", "y", "z"});
+  Column strings("strings", ColumnType::kDictString);
+  strings.Append(static_cast<double>(dict.Code("y").value()));
+  strings.Append(static_cast<double>(dict.Code("x").value()));
+  strings.Append(static_cast<double>(dict.Code("z").value()));
+  strings.SetDictionary(std::move(dict));
+  ASSERT_TRUE(t.AddColumn(std::move(strings)).ok());
+
+  ASSERT_TRUE(WriteCsv(t, TempPath()).ok());
+  const auto loaded_or = ReadCsv(TempPath(), "t2");
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const Table& loaded = loaded_or.value();
+  EXPECT_EQ(loaded.num_rows(), 3);
+  EXPECT_EQ(loaded.column(0).type(), ColumnType::kInt64);
+  EXPECT_EQ(loaded.column(1).type(), ColumnType::kFloat64);
+  EXPECT_EQ(loaded.column(2).type(), ColumnType::kDictString);
+  EXPECT_EQ(loaded.column(0).Get(1), -2);
+  EXPECT_DOUBLE_EQ(loaded.column(1).Get(2), -0.5);
+  EXPECT_EQ(loaded.column(2).dictionary().Value(
+                static_cast<int64_t>(loaded.column(2).Get(0))),
+            "y");
+}
+
+TEST_F(CsvTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadCsv("/nonexistent/nope.csv", "t").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qfcard::storage

@@ -1,0 +1,90 @@
+#ifndef QFCARD_TESTS_TEST_UTIL_H_
+#define QFCARD_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace qfcard::testutil {
+
+/// Builds an INT64 column from values.
+inline storage::Column IntColumn(const std::string& name,
+                                 std::vector<double> values) {
+  storage::Column col(name, storage::ColumnType::kInt64);
+  col.AppendBatch(values);
+  return col;
+}
+
+/// Builds a FLOAT64 column from values.
+inline storage::Column FloatColumn(const std::string& name,
+                                   std::vector<double> values) {
+  storage::Column col(name, storage::ColumnType::kFloat64);
+  col.AppendBatch(values);
+  return col;
+}
+
+/// Builds a single-table query skeleton over `table_name`.
+inline query::Query SingleTableQuery(const std::string& table_name) {
+  query::Query q;
+  q.tables.push_back(query::TableRef{table_name, table_name});
+  return q;
+}
+
+/// Appends a single-clause compound predicate on column `col`.
+inline void AddPredicate(query::Query& q, int col, query::CmpOp op,
+                         double value) {
+  const query::ColumnRef ref{0, col};
+  query::CompoundPredicate cp;
+  cp.col = ref;
+  query::ConjunctiveClause clause;
+  clause.preds.push_back(query::SimplePredicate{ref, op, value});
+  cp.disjuncts.push_back(std::move(clause));
+  q.predicates.push_back(std::move(cp));
+}
+
+/// Appends a compound predicate with explicit clauses, each a list of
+/// (op, value) pairs, on column `col`.
+inline void AddCompound(
+    query::Query& q, int col,
+    const std::vector<std::vector<std::pair<query::CmpOp, double>>>& clauses) {
+  const query::ColumnRef ref{0, col};
+  query::CompoundPredicate cp;
+  cp.col = ref;
+  for (const auto& clause_spec : clauses) {
+    query::ConjunctiveClause clause;
+    for (const auto& [op, value] : clause_spec) {
+      clause.preds.push_back(query::SimplePredicate{ref, op, value});
+    }
+    cp.disjuncts.push_back(std::move(clause));
+  }
+  q.predicates.push_back(std::move(cp));
+}
+
+/// A tiny two-column table: a = 0..9, b = (0,10,20,...,90).
+inline storage::Table SmallTable() {
+  storage::Table t("small");
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(i);
+    b.push_back(10.0 * i);
+  }
+  QFCARD_CHECK_OK(t.AddColumn(IntColumn("a", a)));
+  QFCARD_CHECK_OK(t.AddColumn(IntColumn("b", b)));
+  return t;
+}
+
+/// Catalog holding SmallTable().
+inline storage::Catalog SmallCatalog() {
+  storage::Catalog cat;
+  QFCARD_CHECK_OK(cat.AddTable(SmallTable()));
+  return cat;
+}
+
+}  // namespace qfcard::testutil
+
+#endif  // QFCARD_TESTS_TEST_UTIL_H_

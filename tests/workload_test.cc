@@ -1,0 +1,376 @@
+#include "workload/forest.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "query/executor.h"
+#include "query/join_executor.h"
+#include "query/normalize.h"
+#include "workload/imdb.h"
+#include "workload/labeler.h"
+#include "workload/query_gen.h"
+
+namespace qfcard::workload {
+namespace {
+
+TEST(ForestTest, ShapeAndDeterminism) {
+  ForestOptions opts;
+  opts.num_rows = 2000;
+  opts.num_attributes = 8;
+  const storage::Table t1 = MakeForestTable(opts);
+  EXPECT_EQ(t1.num_rows(), 2000);
+  EXPECT_EQ(t1.num_columns(), 8);
+  EXPECT_EQ(t1.column(0).name(), "A1");
+  const storage::Table t2 = MakeForestTable(opts);
+  for (int c = 0; c < 8; ++c) {
+    for (int64_t r = 0; r < 100; ++r) {
+      ASSERT_EQ(t1.column(c).Get(r), t2.column(c).Get(r));
+    }
+  }
+}
+
+TEST(ForestTest, AttributeKindsHaveExpectedDomains) {
+  ForestOptions opts;
+  opts.num_rows = 5000;
+  opts.num_attributes = 8;
+  const storage::Table t = MakeForestTable(opts);
+  // Kind 0 (A1, A5): wide elevation-like domain.
+  EXPECT_GT(t.column(0).GetStats().distinct, 200);
+  // Kind 3 (A4, A8): small categorical domain.
+  EXPECT_LE(t.column(3).GetStats().distinct, 12);
+  // Kind 1 (A2, A6): skewed; mean far below max.
+  const storage::ColumnStats& s = t.column(1).GetStats();
+  double mean = 0;
+  for (const double v : t.column(1).data()) mean += v;
+  mean /= static_cast<double>(t.column(1).size());
+  EXPECT_LT(mean, (s.min + s.max) / 2.0);
+}
+
+TEST(ForestTest, AttributesAreCorrelated) {
+  // A1 and A5 share the first latent factor; their correlation should be
+  // clearly nonzero (this is what breaks the independence assumption).
+  ForestOptions opts;
+  opts.num_rows = 8000;
+  opts.num_attributes = 8;
+  const storage::Table t = MakeForestTable(opts);
+  const auto corr = [&](int c1, int c2) {
+    double m1 = 0;
+    double m2 = 0;
+    const int64_t n = t.num_rows();
+    for (int64_t r = 0; r < n; ++r) {
+      m1 += t.column(c1).Get(r);
+      m2 += t.column(c2).Get(r);
+    }
+    m1 /= static_cast<double>(n);
+    m2 /= static_cast<double>(n);
+    double cov = 0;
+    double v1 = 0;
+    double v2 = 0;
+    for (int64_t r = 0; r < n; ++r) {
+      const double d1 = t.column(c1).Get(r) - m1;
+      const double d2 = t.column(c2).Get(r) - m2;
+      cov += d1 * d2;
+      v1 += d1 * d1;
+      v2 += d2 * d2;
+    }
+    return cov / std::sqrt(v1 * v2);
+  };
+  EXPECT_GT(std::abs(corr(0, 4)), 0.15);
+}
+
+TEST(QueryGenTest, ConjunctiveWorkloadShape) {
+  ForestOptions fopts;
+  fopts.num_rows = 1000;
+  fopts.num_attributes = 6;
+  const storage::Table t = MakeForestTable(fopts);
+  common::Rng rng(3);
+  PredicateGenOptions opts = ConjunctiveWorkloadOptions(4);
+  opts.max_not_equals = 3;
+  const std::vector<query::Query> queries =
+      GeneratePredicateWorkload(t, 200, opts, rng);
+  EXPECT_EQ(queries.size(), 200u);
+  for (const query::Query& q : queries) {
+    EXPECT_GE(q.NumAttributes(), 1);
+    EXPECT_LE(q.NumAttributes(), 4);
+    EXPECT_TRUE(q.IsConjunctive());
+    // Range bounds plus up to 3 not-equals per attribute.
+    for (const query::CompoundPredicate& cp : q.predicates) {
+      EXPECT_GE(cp.disjuncts[0].preds.size(), 2u);
+      EXPECT_LE(cp.disjuncts[0].preds.size(), 5u);
+    }
+  }
+}
+
+TEST(QueryGenTest, MixedWorkloadHasDisjunctions) {
+  ForestOptions fopts;
+  fopts.num_rows = 1000;
+  fopts.num_attributes = 6;
+  const storage::Table t = MakeForestTable(fopts);
+  common::Rng rng(5);
+  const std::vector<query::Query> queries =
+      GeneratePredicateWorkload(t, 200, MixedWorkloadOptions(4), rng);
+  int with_disjunction = 0;
+  for (const query::Query& q : queries) {
+    for (const query::CompoundPredicate& cp : q.predicates) {
+      EXPECT_GE(cp.disjuncts.size(), 1u);
+      EXPECT_LE(cp.disjuncts.size(), 3u);
+      if (cp.disjuncts.size() > 1) ++with_disjunction;
+    }
+  }
+  EXPECT_GT(with_disjunction, 50);
+}
+
+TEST(QueryGenTest, RespectsAllowedAttributes) {
+  ForestOptions fopts;
+  fopts.num_rows = 500;
+  fopts.num_attributes = 6;
+  const storage::Table t = MakeForestTable(fopts);
+  common::Rng rng(7);
+  PredicateGenOptions opts;
+  opts.allowed_attrs = {1, 3};
+  opts.max_attrs = 6;
+  const std::vector<query::Query> queries =
+      GeneratePredicateWorkload(t, 50, opts, rng);
+  for (const query::Query& q : queries) {
+    for (const query::CompoundPredicate& cp : q.predicates) {
+      EXPECT_TRUE(cp.col.column == 1 || cp.col.column == 3);
+    }
+  }
+}
+
+TEST(QueryGenTest, GeneratedQueriesAreValidAndMostlyNonEmpty) {
+  ForestOptions fopts;
+  fopts.num_rows = 2000;
+  fopts.num_attributes = 8;
+  const storage::Table t = MakeForestTable(fopts);
+  storage::Catalog cat;
+  QFCARD_CHECK_OK(cat.AddTable(MakeForestTable(fopts)));
+  common::Rng rng(9);
+  const std::vector<query::Query> queries =
+      GeneratePredicateWorkload(t, 300, ConjunctiveWorkloadOptions(5), rng);
+  for (const query::Query& q : queries) {
+    ASSERT_TRUE(query::ValidateQuery(q, cat).ok());
+  }
+  const auto labeled_or = LabelOnTable(t, queries, /*drop_empty=*/true);
+  ASSERT_TRUE(labeled_or.ok());
+  // Sampling range endpoints from data keeps a good share of results
+  // non-empty even on this small 2000-row table (the paper's 580k-row table
+  // makes empty intersections much rarer).
+  EXPECT_GT(labeled_or.value().size(), 120u);
+}
+
+TEST(QueryGenTest, RoundTripsThroughSqlText) {
+  ForestOptions fopts;
+  fopts.num_rows = 500;
+  fopts.num_attributes = 4;
+  storage::Catalog cat;
+  QFCARD_CHECK_OK(cat.AddTable(MakeForestTable(fopts)));
+  const storage::Table& t = *cat.GetTable("forest").value();
+  common::Rng rng(11);
+  const std::vector<query::Query> queries =
+      GeneratePredicateWorkload(t, 50, MixedWorkloadOptions(3), rng);
+  for (const query::Query& q : queries) {
+    const auto sql_or = query::QueryToSql(q, cat);
+    ASSERT_TRUE(sql_or.ok()) << sql_or.status();
+    const auto reparsed_or = query::ParseQuery(sql_or.value(), cat);
+    ASSERT_TRUE(reparsed_or.ok())
+        << reparsed_or.status() << "\nSQL: " << sql_or.value();
+    // Semantics preserved: equal counts.
+    EXPECT_EQ(query::Executor::Count(t, q).value(),
+              query::Executor::Count(t, reparsed_or.value()).value())
+        << sql_or.value();
+  }
+}
+
+TEST(QueryGenTest, GroupByAttributesGenerated) {
+  ForestOptions fopts;
+  fopts.num_rows = 500;
+  fopts.num_attributes = 6;
+  const storage::Table t = MakeForestTable(fopts);
+  common::Rng rng(15);
+  PredicateGenOptions opts = ConjunctiveWorkloadOptions(3);
+  opts.max_group_by_attrs = 2;
+  const std::vector<query::Query> queries =
+      GeneratePredicateWorkload(t, 100, opts, rng);
+  int with_groupby = 0;
+  for (const query::Query& q : queries) {
+    EXPECT_LE(q.group_by.size(), 2u);
+    if (!q.group_by.empty()) ++with_groupby;
+  }
+  EXPECT_GT(with_groupby, 20);
+  // Grouped labels count groups, bounded by qualifying rows.
+  const auto labeled_or = LabelOnTable(t, queries, true);
+  ASSERT_TRUE(labeled_or.ok());
+  for (const LabeledQuery& lq : labeled_or.value()) {
+    EXPECT_GE(lq.card, 1.0);
+    EXPECT_LE(lq.card, 500.0);
+  }
+}
+
+TEST(LabelerTest, SaveLoadWorkloadRoundTrip) {
+  ForestOptions fopts;
+  fopts.num_rows = 800;
+  fopts.num_attributes = 5;
+  storage::Catalog cat;
+  QFCARD_CHECK_OK(cat.AddTable(MakeForestTable(fopts)));
+  const storage::Table& t = *cat.GetTable("forest").value();
+  common::Rng rng(17);
+  const std::vector<query::Query> queries =
+      GeneratePredicateWorkload(t, 60, MixedWorkloadOptions(3), rng);
+  const std::vector<LabeledQuery> labeled =
+      LabelOnTable(t, queries, true).value();
+  ASSERT_FALSE(labeled.empty());
+
+  const std::string path = "/tmp/qfcard_workload_test.tsv";
+  ASSERT_TRUE(SaveWorkload(labeled, cat, path).ok());
+  const auto loaded_or = LoadWorkload(cat, path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const std::vector<LabeledQuery>& loaded = loaded_or.value();
+  ASSERT_EQ(loaded.size(), labeled.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].card, labeled[i].card);
+    // Semantics preserved through the SQL round trip.
+    EXPECT_EQ(query::Executor::Count(t, loaded[i].query).value(),
+              static_cast<int64_t>(labeled[i].card));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LabelerTest, LoadWorkloadRejectsMalformed) {
+  storage::Catalog cat;
+  ForestOptions fopts;
+  fopts.num_rows = 10;
+  fopts.num_attributes = 2;
+  QFCARD_CHECK_OK(cat.AddTable(MakeForestTable(fopts)));
+  const std::string path = "/tmp/qfcard_workload_bad.tsv";
+  {
+    std::ofstream out(path);
+    out << "not-a-line-without-tab\n";
+  }
+  EXPECT_FALSE(LoadWorkload(cat, path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadWorkload(cat, "/nonexistent/x.tsv").status().code(),
+            common::StatusCode::kNotFound);
+}
+
+TEST(LabelerTest, DropsEmptyResults) {
+  ForestOptions fopts;
+  fopts.num_rows = 100;
+  fopts.num_attributes = 4;
+  const storage::Table t = MakeForestTable(fopts);
+  query::Query impossible;
+  impossible.tables.push_back(query::TableRef{"forest", "forest"});
+  query::CompoundPredicate cp;
+  cp.col = query::ColumnRef{0, 0};
+  query::ConjunctiveClause clause;
+  clause.preds.push_back(
+      query::SimplePredicate{cp.col, query::CmpOp::kLt, -1e9});
+  cp.disjuncts.push_back(clause);
+  impossible.predicates.push_back(cp);
+  const auto kept_or = LabelOnTable(t, {impossible}, true);
+  ASSERT_TRUE(kept_or.ok());
+  EXPECT_TRUE(kept_or.value().empty());
+  const auto all_or = LabelOnTable(t, {impossible}, false);
+  ASSERT_TRUE(all_or.ok());
+  EXPECT_EQ(all_or.value().size(), 1u);
+}
+
+TEST(LabelerTest, DriftSplitPartitions) {
+  std::vector<LabeledQuery> queries(5);
+  for (int i = 0; i < 5; ++i) {
+    queries[static_cast<size_t>(i)].query.tables.push_back(
+        query::TableRef{"t", "t"});
+    for (int a = 0; a <= i; ++a) {
+      query::CompoundPredicate cp;
+      cp.col = query::ColumnRef{0, a};
+      query::ConjunctiveClause clause;
+      clause.preds.push_back(
+          query::SimplePredicate{cp.col, query::CmpOp::kGe, 0});
+      cp.disjuncts.push_back(clause);
+      queries[static_cast<size_t>(i)].query.predicates.push_back(cp);
+    }
+  }
+  const DriftSplit split = SplitByNumAttributes(std::move(queries), 2);
+  EXPECT_EQ(split.low.size(), 2u);   // 1 and 2 attributes
+  EXPECT_EQ(split.high.size(), 3u);  // 3, 4, 5 attributes
+}
+
+TEST(ImdbTest, SchemaShape) {
+  ImdbOptions opts;
+  opts.num_titles = 1000;
+  const ImdbDatabase db = MakeImdbDatabase(opts);
+  EXPECT_EQ(db.catalog.num_tables(), 6);
+  EXPECT_EQ(db.graph.edges().size(), 5u);
+  const storage::Table& title = *db.catalog.GetTable("title").value();
+  EXPECT_EQ(title.num_rows(), 1000);
+  const storage::Table& ci = *db.catalog.GetTable("cast_info").value();
+  EXPECT_GT(ci.num_rows(), 500);
+  // FK values reference existing title ids.
+  const storage::ColumnStats& fk =
+      ci.column(ci.ColumnIndex("movie_id").value()).GetStats();
+  EXPECT_GE(fk.min, 0);
+  EXPECT_LT(fk.max, 1000);
+}
+
+TEST(ImdbTest, FanoutCorrelatesWithYear) {
+  ImdbOptions opts;
+  opts.num_titles = 4000;
+  const ImdbDatabase db = MakeImdbDatabase(opts);
+  const storage::Table& title = *db.catalog.GetTable("title").value();
+  const storage::Table& ci = *db.catalog.GetTable("cast_info").value();
+  std::vector<int> fanout(4000, 0);
+  const int movie_col = ci.ColumnIndex("movie_id").value();
+  for (int64_t r = 0; r < ci.num_rows(); ++r) {
+    ++fanout[static_cast<size_t>(ci.column(movie_col).Get(r))];
+  }
+  const int year_col = title.ColumnIndex("production_year").value();
+  double recent_fanout = 0;
+  int64_t recent = 0;
+  double old_fanout = 0;
+  int64_t old = 0;
+  for (int64_t r = 0; r < 4000; ++r) {
+    if (title.column(year_col).Get(r) >= 2000) {
+      recent_fanout += fanout[static_cast<size_t>(r)];
+      ++recent;
+    } else if (title.column(year_col).Get(r) <= 1960) {
+      old_fanout += fanout[static_cast<size_t>(r)];
+      ++old;
+    }
+  }
+  ASSERT_GT(recent, 0);
+  ASSERT_GT(old, 0);
+  EXPECT_GT(recent_fanout / recent, 1.3 * (old_fanout / old));
+}
+
+TEST(ImdbTest, JobLightWorkloadShape) {
+  ImdbOptions opts;
+  opts.num_titles = 1500;
+  const ImdbDatabase db = MakeImdbDatabase(opts);
+  common::Rng rng(13);
+  JobLightOptions jopts;
+  const std::vector<query::Query> queries =
+      MakeJobLightWorkload(db, jopts, rng);
+  EXPECT_EQ(queries.size(), 70u);
+  std::set<size_t> table_counts;
+  for (const query::Query& q : queries) {
+    ASSERT_TRUE(query::ValidateQuery(q, db.catalog).ok());
+    EXPECT_GE(q.tables.size(), 2u);
+    EXPECT_LE(q.tables.size(), 5u);
+    EXPECT_EQ(q.tables[0].name, "title");
+    EXPECT_EQ(q.joins.size(), q.tables.size() - 1);  // star joins
+    EXPECT_GE(q.NumAttributes(), 1);
+    EXPECT_LE(q.NumAttributes(), 4);
+    EXPECT_TRUE(q.IsConjunctive());
+    table_counts.insert(q.tables.size());
+    // Labels computable.
+    ASSERT_TRUE(query::JoinExecutor::Count(db.catalog, q).ok());
+  }
+  EXPECT_GE(table_counts.size(), 3u);  // variety of join sizes
+}
+
+}  // namespace
+}  // namespace qfcard::workload
