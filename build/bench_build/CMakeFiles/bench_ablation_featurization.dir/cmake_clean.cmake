@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_featurization"
+  "../bench/bench_ablation_featurization.pdb"
+  "CMakeFiles/bench_ablation_featurization.dir/bench_ablation_featurization.cc.o"
+  "CMakeFiles/bench_ablation_featurization.dir/bench_ablation_featurization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_featurization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

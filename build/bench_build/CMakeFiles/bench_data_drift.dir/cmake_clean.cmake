@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_data_drift"
+  "../bench/bench_data_drift.pdb"
+  "CMakeFiles/bench_data_drift.dir/bench_data_drift.cc.o"
+  "CMakeFiles/bench_data_drift.dir/bench_data_drift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_qft_model_matrix"
+  "../bench/bench_fig1_qft_model_matrix.pdb"
+  "CMakeFiles/bench_fig1_qft_model_matrix.dir/bench_fig1_qft_model_matrix.cc.o"
+  "CMakeFiles/bench_fig1_qft_model_matrix.dir/bench_fig1_qft_model_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_qft_model_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

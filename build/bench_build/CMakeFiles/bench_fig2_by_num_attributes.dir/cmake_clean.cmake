@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_by_num_attributes"
+  "../bench/bench_fig2_by_num_attributes.pdb"
+  "CMakeFiles/bench_fig2_by_num_attributes.dir/bench_fig2_by_num_attributes.cc.o"
+  "CMakeFiles/bench_fig2_by_num_attributes.dir/bench_fig2_by_num_attributes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_by_num_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_by_num_attributes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_by_num_predicates"
+  "../bench/bench_fig3_by_num_predicates.pdb"
+  "CMakeFiles/bench_fig3_by_num_predicates.dir/bench_fig3_by_num_predicates.cc.o"
+  "CMakeFiles/bench_fig3_by_num_predicates.dir/bench_fig3_by_num_predicates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_by_num_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

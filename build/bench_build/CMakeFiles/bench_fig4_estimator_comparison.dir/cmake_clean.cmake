@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_estimator_comparison"
+  "../bench/bench_fig4_estimator_comparison.pdb"
+  "CMakeFiles/bench_fig4_estimator_comparison.dir/bench_fig4_estimator_comparison.cc.o"
+  "CMakeFiles/bench_fig4_estimator_comparison.dir/bench_fig4_estimator_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_estimator_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

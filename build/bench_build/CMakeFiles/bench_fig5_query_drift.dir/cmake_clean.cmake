@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_query_drift"
+  "../bench/bench_fig5_query_drift.pdb"
+  "CMakeFiles/bench_fig5_query_drift.dir/bench_fig5_query_drift.cc.o"
+  "CMakeFiles/bench_fig5_query_drift.dir/bench_fig5_query_drift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_query_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_memory_footprint"
+  "../bench/bench_memory_footprint.pdb"
+  "CMakeFiles/bench_memory_footprint.dir/bench_memory_footprint.cc.o"
+  "CMakeFiles/bench_memory_footprint.dir/bench_memory_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

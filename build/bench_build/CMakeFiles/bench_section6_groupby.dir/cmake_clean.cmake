@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_section6_groupby"
+  "../bench/bench_section6_groupby.pdb"
+  "CMakeFiles/bench_section6_groupby.dir/bench_section6_groupby.cc.o"
+  "CMakeFiles/bench_section6_groupby.dir/bench_section6_groupby.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section6_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

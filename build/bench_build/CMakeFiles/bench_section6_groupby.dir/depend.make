@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_section6_groupby.
+# This may be replaced when dependencies are built.

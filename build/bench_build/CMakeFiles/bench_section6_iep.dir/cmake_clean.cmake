@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_section6_iep"
+  "../bench/bench_section6_iep.pdb"
+  "CMakeFiles/bench_section6_iep.dir/bench_section6_iep.cc.o"
+  "CMakeFiles/bench_section6_iep.dir/bench_section6_iep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section6_iep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_joblight"
+  "../bench/bench_table1_joblight.pdb"
+  "CMakeFiles/bench_table1_joblight.dir/bench_table1_joblight.cc.o"
+  "CMakeFiles/bench_table1_joblight.dir/bench_table1_joblight.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_joblight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

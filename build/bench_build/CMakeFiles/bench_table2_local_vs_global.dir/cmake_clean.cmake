@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_local_vs_global"
+  "../bench/bench_table2_local_vs_global.pdb"
+  "CMakeFiles/bench_table2_local_vs_global.dir/bench_table2_local_vs_global.cc.o"
+  "CMakeFiles/bench_table2_local_vs_global.dir/bench_table2_local_vs_global.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_local_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_attr_sel"
+  "../bench/bench_table3_attr_sel.pdb"
+  "CMakeFiles/bench_table3_attr_sel.dir/bench_table3_attr_sel.cc.o"
+  "CMakeFiles/bench_table3_attr_sel.dir/bench_table3_attr_sel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_attr_sel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_end_to_end"
+  "../bench/bench_table4_end_to_end.pdb"
+  "CMakeFiles/bench_table4_end_to_end.dir/bench_table4_end_to_end.cc.o"
+  "CMakeFiles/bench_table4_end_to_end.dir/bench_table4_end_to_end.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_vector_length"
+  "../bench/bench_table5_vector_length.pdb"
+  "CMakeFiles/bench_table5_vector_length.dir/bench_table5_vector_length.cc.o"
+  "CMakeFiles/bench_table5_vector_length.dir/bench_table5_vector_length.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_vector_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

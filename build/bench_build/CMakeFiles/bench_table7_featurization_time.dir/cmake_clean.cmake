@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_featurization_time"
+  "../bench/bench_table7_featurization_time.pdb"
+  "CMakeFiles/bench_table7_featurization_time.dir/bench_table7_featurization_time.cc.o"
+  "CMakeFiles/bench_table7_featurization_time.dir/bench_table7_featurization_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_featurization_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

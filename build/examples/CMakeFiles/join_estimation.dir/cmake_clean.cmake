@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_estimation.dir/join_estimation.cpp.o"
+  "CMakeFiles/join_estimation.dir/join_estimation.cpp.o.d"
+  "join_estimation"
+  "join_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_workload_demo.dir/mixed_workload_demo.cpp.o"
+  "CMakeFiles/mixed_workload_demo.dir/mixed_workload_demo.cpp.o.d"
+  "mixed_workload_demo"
+  "mixed_workload_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_workload_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

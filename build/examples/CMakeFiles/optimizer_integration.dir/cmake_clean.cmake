@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_integration.dir/optimizer_integration.cpp.o"
+  "CMakeFiles/optimizer_integration.dir/optimizer_integration.cpp.o.d"
+  "optimizer_integration"
+  "optimizer_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfcard_cli.dir/qfcard_cli.cpp.o"
+  "CMakeFiles/qfcard_cli.dir/qfcard_cli.cpp.o.d"
+  "qfcard_cli"
+  "qfcard_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfcard_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_orders.dir/tpch_orders.cpp.o"
+  "CMakeFiles/tpch_orders.dir/tpch_orders.cpp.o.d"
+  "tpch_orders"
+  "tpch_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

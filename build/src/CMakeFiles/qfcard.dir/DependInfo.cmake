@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/qfcard.dir/common/env.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/common/env.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/qfcard.dir/common/random.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/qfcard.dir/common/status.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/qfcard.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/common/str_util.cc.o.d"
+  "/root/repo/src/estimators/iep.cc" "src/CMakeFiles/qfcard.dir/estimators/iep.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/estimators/iep.cc.o.d"
+  "/root/repo/src/estimators/local_models.cc" "src/CMakeFiles/qfcard.dir/estimators/local_models.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/estimators/local_models.cc.o.d"
+  "/root/repo/src/estimators/ml_estimator.cc" "src/CMakeFiles/qfcard.dir/estimators/ml_estimator.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/estimators/ml_estimator.cc.o.d"
+  "/root/repo/src/estimators/postgres.cc" "src/CMakeFiles/qfcard.dir/estimators/postgres.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/estimators/postgres.cc.o.d"
+  "/root/repo/src/estimators/sampling.cc" "src/CMakeFiles/qfcard.dir/estimators/sampling.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/estimators/sampling.cc.o.d"
+  "/root/repo/src/estimators/true_card.cc" "src/CMakeFiles/qfcard.dir/estimators/true_card.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/estimators/true_card.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/qfcard.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/qfcard.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/summary.cc" "src/CMakeFiles/qfcard.dir/eval/summary.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/eval/summary.cc.o.d"
+  "/root/repo/src/featurize/conjunction.cc" "src/CMakeFiles/qfcard.dir/featurize/conjunction.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/conjunction.cc.o.d"
+  "/root/repo/src/featurize/disjunction.cc" "src/CMakeFiles/qfcard.dir/featurize/disjunction.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/disjunction.cc.o.d"
+  "/root/repo/src/featurize/extensions.cc" "src/CMakeFiles/qfcard.dir/featurize/extensions.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/extensions.cc.o.d"
+  "/root/repo/src/featurize/feature_schema.cc" "src/CMakeFiles/qfcard.dir/featurize/feature_schema.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/feature_schema.cc.o.d"
+  "/root/repo/src/featurize/join_encoding.cc" "src/CMakeFiles/qfcard.dir/featurize/join_encoding.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/join_encoding.cc.o.d"
+  "/root/repo/src/featurize/mscn_featurizer.cc" "src/CMakeFiles/qfcard.dir/featurize/mscn_featurizer.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/mscn_featurizer.cc.o.d"
+  "/root/repo/src/featurize/partitioner.cc" "src/CMakeFiles/qfcard.dir/featurize/partitioner.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/partitioner.cc.o.d"
+  "/root/repo/src/featurize/range.cc" "src/CMakeFiles/qfcard.dir/featurize/range.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/range.cc.o.d"
+  "/root/repo/src/featurize/singular.cc" "src/CMakeFiles/qfcard.dir/featurize/singular.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/featurize/singular.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/qfcard.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/gbm.cc" "src/CMakeFiles/qfcard.dir/ml/gbm.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/gbm.cc.o.d"
+  "/root/repo/src/ml/grid_search.cc" "src/CMakeFiles/qfcard.dir/ml/grid_search.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/grid_search.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/CMakeFiles/qfcard.dir/ml/linear.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/linear.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/qfcard.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/qfcard.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mscn.cc" "src/CMakeFiles/qfcard.dir/ml/mscn.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/mscn.cc.o.d"
+  "/root/repo/src/ml/nn.cc" "src/CMakeFiles/qfcard.dir/ml/nn.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/nn.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/CMakeFiles/qfcard.dir/ml/tree.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/ml/tree.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/qfcard.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/join_order.cc" "src/CMakeFiles/qfcard.dir/optimizer/join_order.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/optimizer/join_order.cc.o.d"
+  "/root/repo/src/optimizer/plan_executor.cc" "src/CMakeFiles/qfcard.dir/optimizer/plan_executor.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/optimizer/plan_executor.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/qfcard.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/join_executor.cc" "src/CMakeFiles/qfcard.dir/query/join_executor.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/query/join_executor.cc.o.d"
+  "/root/repo/src/query/normalize.cc" "src/CMakeFiles/qfcard.dir/query/normalize.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/query/normalize.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/qfcard.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/qfcard.dir/query/query.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/query/query.cc.o.d"
+  "/root/repo/src/query/schema_graph.cc" "src/CMakeFiles/qfcard.dir/query/schema_graph.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/query/schema_graph.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/qfcard.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/qfcard.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/qfcard.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/qfcard.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/storage/table.cc.o.d"
+  "/root/repo/src/workload/forest.cc" "src/CMakeFiles/qfcard.dir/workload/forest.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/workload/forest.cc.o.d"
+  "/root/repo/src/workload/imdb.cc" "src/CMakeFiles/qfcard.dir/workload/imdb.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/workload/imdb.cc.o.d"
+  "/root/repo/src/workload/labeler.cc" "src/CMakeFiles/qfcard.dir/workload/labeler.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/workload/labeler.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/qfcard.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/qfcard.dir/workload/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

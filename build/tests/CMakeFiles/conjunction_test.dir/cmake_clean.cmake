@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conjunction_test.dir/conjunction_test.cc.o"
+  "CMakeFiles/conjunction_test.dir/conjunction_test.cc.o.d"
+  "conjunction_test"
+  "conjunction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conjunction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjunction_test.dir/disjunction_test.cc.o"
+  "CMakeFiles/disjunction_test.dir/disjunction_test.cc.o.d"
+  "disjunction_test"
+  "disjunction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjunction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbm_test.dir/gbm_test.cc.o"
+  "CMakeFiles/gbm_test.dir/gbm_test.cc.o.d"
+  "gbm_test"
+  "gbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_models_test.dir/local_models_test.cc.o"
+  "CMakeFiles/local_models_test.dir/local_models_test.cc.o.d"
+  "local_models_test"
+  "local_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

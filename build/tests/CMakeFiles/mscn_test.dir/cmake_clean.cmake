@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscn_test.dir/mscn_test.cc.o"
+  "CMakeFiles/mscn_test.dir/mscn_test.cc.o.d"
+  "mscn_test"
+  "mscn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
