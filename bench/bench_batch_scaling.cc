@@ -1,0 +1,149 @@
+// Batch-API scaling: wall-clock of the pipeline stages (labeling,
+// featurization, batched estimation) at 1 thread vs N threads, asserting on
+// the way that every parallel result is byte-identical to the serial one.
+// N defaults to the hardware concurrency; override with QFCARD_THREADS.
+// Speedup is ~1x on a single-core machine by construction.
+
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.h"
+
+namespace qfcard::bench {
+namespace {
+
+struct StageTimes {
+  double label_s = 0.0;
+  double featurize_s = 0.0;
+  double gb_batch_s = 0.0;
+  double sampling_batch_s = 0.0;
+};
+
+// Runs the three pipeline stages at the current global pool size.
+StageTimes RunPipeline(const ForestBundle& bundle,
+                       const std::vector<query::Query>& queries,
+                       const est::CardinalityEstimator& gb,
+                       std::vector<workload::LabeledQuery>* labeled,
+                       ml::Matrix* features, std::vector<double>* gb_ests,
+                       std::vector<double>* sampling_ests) {
+  StageTimes times;
+  {
+    eval::Timer timer;
+    *labeled = workload::LabelOnTable(*bundle.forest, queries, false).value();
+    times.label_s = timer.Seconds();
+  }
+  {
+    const auto featurizer = MakeQft("conjunctive", bundle.schema);
+    *features = ml::Matrix(static_cast<int>(queries.size()), featurizer->dim());
+    eval::Timer timer;
+    QFCARD_CHECK_OK(featurizer->FeaturizeBatch(
+        {queries.data(), queries.size()}, features->data().data()));
+    times.featurize_s = timer.Seconds();
+  }
+  {
+    eval::Timer timer;
+    *gb_ests = gb.EstimateBatch(queries).value();
+    times.gb_batch_s = timer.Seconds();
+  }
+  {
+    // Fresh same-seed instance per run so both thread counts consume the
+    // same draw tickets.
+    const std::unique_ptr<est::CardinalityEstimator> sampling =
+        est::MakeEstimator("sampling", bundle.catalog).value();
+    eval::Timer timer;
+    *sampling_ests = sampling->EstimateBatch(queries).value();
+    times.sampling_batch_s = timer.Seconds();
+  }
+  return times;
+}
+
+template <typename T>
+void CheckIdentical(const std::vector<T>& serial, const std::vector<T>& parallel,
+                    const char* stage) {
+  if (serial != parallel) {
+    std::fprintf(stderr, "FATAL: %s differs between 1 and N threads\n", stage);
+    std::abort();
+  }
+}
+
+void Run() {
+  int threads = common::ThreadPoolSizeFromEnv();
+  if (threads <= 1) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+
+  ForestBundle bundle = MakeForestBundle(/*need_conj=*/true,
+                                         /*need_mixed=*/false);
+  std::vector<query::Query> queries;
+  for (const workload::LabeledQuery& lq : bundle.conj_train) {
+    queries.push_back(lq.query);
+  }
+  for (const workload::LabeledQuery& lq : bundle.conj_test) {
+    queries.push_back(lq.query);
+  }
+
+  // Train one GB estimator serially; both timing runs share it.
+  common::SetGlobalThreads(1);
+  const std::unique_ptr<est::CardinalityEstimator> gb =
+      est::MakeEstimator("gb+conj", bundle.catalog, DefaultEstimatorOptions())
+          .value();
+  {
+    std::vector<double> cards;
+    for (const workload::LabeledQuery& lq : bundle.conj_train) {
+      cards.push_back(lq.card);
+    }
+    std::vector<query::Query> train_queries(
+        queries.begin(), queries.begin() + bundle.conj_train.size());
+    QFCARD_CHECK_OK(gb->Train(train_queries, cards, 0.1, 7));
+  }
+
+  std::vector<workload::LabeledQuery> labeled1, labeledN;
+  ml::Matrix feat1, featN;
+  std::vector<double> gb1, gbN, samp1, sampN;
+
+  common::SetGlobalThreads(1);
+  const StageTimes serial =
+      RunPipeline(bundle, queries, *gb, &labeled1, &feat1, &gb1, &samp1);
+  common::SetGlobalThreads(threads);
+  const StageTimes parallel =
+      RunPipeline(bundle, queries, *gb, &labeledN, &featN, &gbN, &sampN);
+  common::SetGlobalThreads(1);
+
+  std::vector<double> cards1, cardsN;
+  for (const auto& lq : labeled1) cards1.push_back(lq.card);
+  for (const auto& lq : labeledN) cardsN.push_back(lq.card);
+  CheckIdentical(cards1, cardsN, "labeling");
+  CheckIdentical(feat1.data(), featN.data(), "featurization");
+  CheckIdentical(gb1, gbN, "GB EstimateBatch");
+  CheckIdentical(samp1, sampN, "Sampling EstimateBatch");
+
+  eval::TablePrinter table({"stage", "1 thread (s)",
+                            common::StrFormat("%d threads (s)", threads),
+                            "speedup"});
+  const auto add = [&](const char* stage, double s1, double sn) {
+    table.AddRow({stage, common::StrFormat("%.3f", s1),
+                  common::StrFormat("%.3f", sn),
+                  common::StrFormat("%.2fx", sn > 0 ? s1 / sn : 0.0)});
+  };
+  add("labeling (LabelOnTable)", serial.label_s, parallel.label_s);
+  add("featurization (FeaturizeBatch)", serial.featurize_s,
+      parallel.featurize_s);
+  add("GB EstimateBatch", serial.gb_batch_s, parallel.gb_batch_s);
+  add("Sampling EstimateBatch", serial.sampling_batch_s,
+      parallel.sampling_batch_s);
+
+  std::printf("Batch pipeline scaling, %zu queries (results byte-identical "
+              "across thread counts)\n",
+              queries.size());
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main() {
+  qfcard::bench::Run();
+  return 0;
+}

@@ -72,6 +72,19 @@ inline featurize::ConjunctionOptions DefaultConjOptions(
   return opts;
 }
 
+/// Registry options carrying the bench-scaled model/featurizer defaults, so
+/// benches construct estimators with est::MakeEstimator(name, catalog,
+/// DefaultEstimatorOptions()) instead of hand-wiring each combination.
+inline est::EstimatorOptions DefaultEstimatorOptions(
+    bool attr_sel = true, int partitions = 0) {
+  est::EstimatorOptions opts;
+  opts.conj = DefaultConjOptions(attr_sel, partitions);
+  opts.gbm = DefaultGbm();
+  opts.nn = DefaultNn();
+  opts.mscn = DefaultMscn();
+  return opts;
+}
+
 inline std::unique_ptr<ml::Model> MakeModel(const std::string& kind) {
   if (kind == "GB") return std::make_unique<ml::GradientBoosting>(DefaultGbm());
   if (kind == "NN") return std::make_unique<ml::FeedForwardNet>(DefaultNn());

@@ -25,11 +25,28 @@ void AddGroupedRows(eval::TablePrinter& table, const std::string& workload,
   }
 }
 
+// Batched q-errors of `estimator` on `test` (one EstimateBatch call).
+std::vector<double> BatchErrors(const est::CardinalityEstimator& estimator,
+                                const std::vector<workload::LabeledQuery>& test) {
+  std::vector<query::Query> queries;
+  queries.reserve(test.size());
+  for (const workload::LabeledQuery& lq : test) queries.push_back(lq.query);
+  const std::vector<double> ests = estimator.EstimateBatch(queries).value();
+  std::vector<double> errors;
+  errors.reserve(test.size());
+  for (size_t i = 0; i < test.size(); ++i) {
+    errors.push_back(ml::QError(test[i].card, ests[i]));
+  }
+  return errors;
+}
+
 void Run() {
   ForestBundle bundle = MakeForestBundle();
-  const est::PostgresStyleEstimator postgres =
-      est::PostgresStyleEstimator::Build(&bundle.catalog).value();
-  est::SamplingEstimator sampling(&bundle.catalog, 0.001, 424242);
+  const est::EstimatorOptions eopts = DefaultEstimatorOptions();
+  const std::unique_ptr<est::CardinalityEstimator> postgres =
+      est::MakeEstimator("postgres", bundle.catalog, eopts).value();
+  const std::unique_ptr<est::CardinalityEstimator> sampling =
+      est::MakeEstimator("sampling", bundle.catalog, eopts).value();
 
   eval::TablePrinter table({"workload", "estimator", "#attrs",
                             "box (p1 | p25 [med] p75 | p99 (max))", "mean"});
@@ -52,41 +69,26 @@ void Run() {
                      result_or.value().qerrors, attrs);
     }
 
-    // Postgres-style and sampling.
-    std::vector<double> pg_errors;
-    std::vector<double> sample_errors;
-    for (const workload::LabeledQuery& lq : test) {
-      pg_errors.push_back(
-          ml::QError(lq.card, postgres.EstimateCard(lq.query).value()));
-      sample_errors.push_back(
-          ml::QError(lq.card, sampling.EstimateCard(lq.query).value()));
-    }
-    AddGroupedRows(table, workload, "Postgres", pg_errors, attrs);
-    AddGroupedRows(table, workload, "Sampling 0.1%", sample_errors, attrs);
+    // Postgres-style and sampling, batched over the whole test set.
+    AddGroupedRows(table, workload, "Postgres", BatchErrors(*postgres, test),
+                   attrs);
+    AddGroupedRows(table, workload, "Sampling 0.1%",
+                   BatchErrors(*sampling, test), attrs);
 
-    // MSCN w/o mods: conjunctive workload only.
+    // MSCN w/o mods: conjunctive workload only (kPerPredicate rejects
+    // disjunctions, as in the original implementation).
     if (!mixed) {
-      query::SchemaGraph empty_graph;
-      featurize::MscnFeaturizer featurizer(
-          &bundle.catalog, &empty_graph,
-          featurize::MscnFeaturizer::PredMode::kPerPredicate);
-      est::MscnEstimator estimator(std::move(featurizer), DefaultMscn());
+      const std::unique_ptr<est::CardinalityEstimator> estimator =
+          est::MakeEstimator("mscn", bundle.catalog, eopts).value();
       std::vector<query::Query> queries;
       std::vector<double> cards;
       for (const workload::LabeledQuery& lq : train) {
         queries.push_back(lq.query);
         cards.push_back(lq.card);
       }
-      QFCARD_CHECK_OK(estimator.Train(queries, cards, 0.1));
-      std::vector<double> errors;
-      std::vector<int> mscn_attrs;
-      for (const workload::LabeledQuery& lq : test) {
-        const auto est_or = estimator.EstimateCard(lq.query);
-        if (!est_or.ok()) continue;
-        errors.push_back(ml::QError(lq.card, est_or.value()));
-        mscn_attrs.push_back(lq.query.NumAttributes());
-      }
-      AddGroupedRows(table, workload, "MSCN", errors, mscn_attrs);
+      QFCARD_CHECK_OK(estimator->Train(queries, cards, 0.1, 0));
+      AddGroupedRows(table, workload, "MSCN", BatchErrors(*estimator, test),
+                     attrs);
     }
   }
 

@@ -9,7 +9,12 @@
 // Flags:
 //   --synthetic     use the built-in forest generator instead of a CSV
 //   --no-truth      skip executing queries for the true count (faster)
-//   --model=gb|nn   model type (default gb)
+//   --model=NAME    estimator from est::MakeEstimator, e.g. gb+complex,
+//                   nn+complex, postgres, sampling ("gb"/"nn" are accepted
+//                   as shorthand for <model>+complex; default gb+complex)
+//
+// Labeling, training featurization, and the held-out accuracy report all
+// run through the batch API; set QFCARD_THREADS to parallelize them.
 
 #include <cstdio>
 #include <cstring>
@@ -27,7 +32,7 @@ struct CliOptions {
   std::string table_name = "data";
   bool synthetic = false;
   bool truth = true;
-  std::string model = "gb";
+  std::string model = "gb+complex";
 };
 
 common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
@@ -41,8 +46,9 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       opts.truth = false;
     } else if (arg.rfind("--model=", 0) == 0) {
       opts.model = arg.substr(8);
-      if (opts.model != "gb" && opts.model != "nn") {
-        return common::Status::InvalidArgument("--model must be gb or nn");
+      // Shorthands from before the registry existed.
+      if (opts.model == "gb" || opts.model == "nn") {
+        opts.model += "+complex";
       }
     } else if (!arg.empty() && arg[0] == '-') {
       return common::Status::InvalidArgument("unknown flag: " + arg);
@@ -91,42 +97,66 @@ int main(int argc, char** argv) {
                table.name().c_str(), static_cast<long long>(table.num_rows()),
                table.num_columns());
 
-  // Train GB/NN + Limited Disjunction Encoding on an auto-generated mixed
-  // workload (handles plain conjunctive queries as a special case).
-  std::fprintf(stderr, "training %s + complex on auto-generated workload...\n",
-               opts.model == "gb" ? "GB" : "NN");
+  // Build the estimator by registry name and train it on an auto-generated
+  // mixed workload (statistics-based estimators ignore Train).
+  std::fprintf(stderr, "building '%s' on auto-generated workload...\n",
+               opts.model.c_str());
+  est::EstimatorOptions eopts;
+  eopts.conj.max_partitions = 64;
+  auto estimator_or = est::MakeEstimator(opts.model, catalog, eopts);
+  if (!estimator_or.ok()) {
+    std::fprintf(stderr, "%s\n", estimator_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::unique_ptr<est::CardinalityEstimator> estimator =
+      std::move(estimator_or).value();
+
   common::Rng rng(1);
   const std::vector<query::Query> queries = workload::GeneratePredicateWorkload(
       table, 4000,
       workload::MixedWorkloadOptions(std::min(table.num_columns(), 6)), rng);
   const std::vector<workload::LabeledQuery> labeled =
       workload::LabelOnTable(table, queries, true).value();
-  featurize::ConjunctionOptions copts;
-  copts.max_partitions = 64;
-  std::unique_ptr<ml::Model> model;
-  if (opts.model == "gb") {
-    model = std::make_unique<ml::GradientBoosting>();
-  } else {
-    model = std::make_unique<ml::FeedForwardNet>();
-  }
-  est::MlEstimator estimator(
-      featurize::MakeFeaturizer(featurize::QftKind::kComplex,
-                                featurize::FeatureSchema::FromTable(table),
-                                copts),
-      std::move(model));
+  // Hold out a tail slice for the post-training accuracy report below.
+  const size_t num_held_out = labeled.size() / 10;
+  const size_t num_train = labeled.size() - num_held_out;
   {
     std::vector<query::Query> qs;
     std::vector<double> cards;
-    for (const workload::LabeledQuery& lq : labeled) {
-      qs.push_back(lq.query);
-      cards.push_back(lq.card);
+    for (size_t i = 0; i < num_train; ++i) {
+      qs.push_back(labeled[i].query);
+      cards.push_back(labeled[i].card);
     }
-    QFCARD_CHECK_OK(estimator.Train(qs, cards, 0.1, 2));
+    QFCARD_CHECK_OK(estimator->Train(qs, cards, 0.1, 2));
+  }
+
+  // Batched accuracy report on the held-out slice (one EstimateBatch call
+  // instead of a per-query loop).
+  if (num_held_out > 0) {
+    std::vector<query::Query> held_out;
+    for (size_t i = num_train; i < labeled.size(); ++i) {
+      held_out.push_back(labeled[i].query);
+    }
+    const auto ests_or = estimator->EstimateBatch(held_out);
+    if (ests_or.ok()) {
+      std::vector<double> qerrors;
+      for (size_t i = 0; i < held_out.size(); ++i) {
+        qerrors.push_back(
+            ml::QError(labeled[num_train + i].card, ests_or.value()[i]));
+      }
+      const ml::QErrorSummary summary = ml::QErrorSummary::FromErrors(qerrors);
+      std::fprintf(stderr,
+                   "held-out q-error over %zu queries: median=%.2f p95=%.2f\n",
+                   held_out.size(), summary.median, summary.p95);
+    } else {
+      std::fprintf(stderr, "held-out eval failed: %s\n",
+                   ests_or.status().ToString().c_str());
+    }
   }
   std::fprintf(stderr,
                "ready (%zu training queries, %zu byte model). Enter SQL "
                "count(*) queries, one per line.\n",
-               labeled.size(), estimator.SizeBytes());
+               num_train, estimator->SizeBytes());
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -138,7 +168,7 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", q_or.status().ToString().c_str());
       continue;
     }
-    const auto est_or = estimator.EstimateCard(q_or.value());
+    const auto est_or = estimator->EstimateCard(q_or.value());
     if (!est_or.ok()) {
       std::printf("error: %s\n", est_or.status().ToString().c_str());
       continue;

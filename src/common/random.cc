@@ -19,6 +19,11 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t x = seed ^ (stream * 0x94D049BB133111EBULL + 0x9E3779B97f4A7C15ULL);
+  return SplitMix64(x);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(sm);

@@ -8,6 +8,12 @@
 
 namespace qfcard::common {
 
+/// Deterministically mixes a base seed with a stream id (SplitMix64
+/// finalizer over the pair). Used to derive independent per-task random
+/// streams — e.g. one stream per query of a parallel batch — from a single
+/// experiment seed, so batched and serial execution draw identical samples.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random generator (xoshiro256** seeded via SplitMix64).
 /// Every stochastic component in qfcard (data generators, workload
 /// generators, model initialization, sampling estimators) takes an explicit

@@ -1,0 +1,168 @@
+#include "common/thread_pool.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/env.h"
+
+namespace qfcard::common {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 0; t < num_threads_ - 1; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunJob() {
+  const std::function<void(int64_t)>* fn = nullptr;
+  int64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn = job_fn_;
+    n = job_n_;
+  }
+  if (fn == nullptr) return;
+  for (;;) {
+    const int64_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      // Keep the exception of the smallest failing index; every index still
+      // runs so the winner is deterministic regardless of pool size.
+      std::lock_guard<std::mutex> lock(err_mu_);
+      if (err_index_ < 0 || i < err_index_) {
+        err_index_ = i;
+        err_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_job = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || job_id_ != seen_job; });
+      if (shutdown_) return;
+      seen_job = job_id_;
+    }
+    RunJob();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  bool expected = false;
+  const bool parallel =
+      num_threads_ > 1 && n > 1 &&
+      busy_.compare_exchange_strong(expected, true);
+  if (!parallel) {
+    // Serial pool, trivial loop, or a job already in flight (nested call):
+    // run inline on the calling thread. Every index runs even after a
+    // throw, matching the parallel path, and the smallest failing index's
+    // exception wins (here: the first one).
+    std::exception_ptr first_err;
+    for (int64_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_err) first_err = std::current_exception();
+      }
+    }
+    if (first_err) std::rethrow_exception(first_err);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    err_index_ = -1;
+    err_ = nullptr;
+    workers_active_ = static_cast<int>(workers_.size());
+    ++job_id_;
+  }
+  work_cv_.notify_all();
+  RunJob();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+    job_fn_ = nullptr;
+  }
+  busy_.store(false);
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    err = std::exchange(err_, nullptr);
+    err_index_ = -1;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+Status ThreadPool::ParallelForStatus(
+    int64_t n, const std::function<Status(int64_t)>& fn) {
+  std::mutex mu;
+  int64_t bad_index = -1;
+  Status bad = Status::Ok();
+  ParallelFor(n, [&](int64_t i) {
+    Status s = fn(i);
+    if (s.ok()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (bad_index < 0 || i < bad_index) {
+      bad_index = i;
+      bad = std::move(s);
+    }
+  });
+  return bad;
+}
+
+int ThreadPoolSizeFromEnv() {
+  int64_t v = GetEnvInt("QFCARD_THREADS", 1);
+  if (v < 1) v = 1;
+  if (v > 1024) v = 1024;
+  return static_cast<int>(v);
+}
+
+namespace {
+
+std::mutex global_pool_mu;
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool>* slot =
+      new std::unique_ptr<ThreadPool>();  // leaked: outlives static dtors
+  return *slot;
+}
+
+}  // namespace
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(ThreadPoolSizeFromEnv());
+  return *slot;
+}
+
+void SetGlobalThreads(int n) {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  GlobalPoolSlot() = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace qfcard::common

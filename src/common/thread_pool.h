@@ -1,0 +1,98 @@
+#ifndef QFCARD_COMMON_THREAD_POOL_H_
+#define QFCARD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qfcard::common {
+
+/// Fixed-size worker pool driving order-preserving parallel loops. This is
+/// the substrate of the batch-first estimation API: every batch entry point
+/// (Featurizer::FeaturizeBatch, CardinalityEstimator::EstimateBatch,
+/// workload labeling, grid search) funnels its per-item work through
+/// ParallelFor.
+///
+/// Determinism contract: ParallelFor(n, fn) calls fn exactly once for every
+/// index in [0, n). Callers produce results by writing to slot i only, so
+/// the output is byte-identical for any pool size — a pool of 1 (the
+/// QFCARD_THREADS serial fallback) and a pool of 16 see the same indices and
+/// write the same slots. fn must therefore be safe to call concurrently for
+/// distinct indices and must not depend on cross-index execution order.
+///
+/// A pool of size 1 spawns no worker threads and runs loops inline. Nested
+/// or concurrent ParallelFor calls on one pool are safe: whoever arrives
+/// while a job is active runs its loop inline (serially) instead of
+/// deadlocking on the shared workers.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads`-way parallelism (clamped to >= 1).
+  /// The calling thread participates in every loop, so `num_threads - 1`
+  /// workers are spawned.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all calls finish.
+  /// Indices are claimed dynamically for load balance; order preservation is
+  /// by slot, per the determinism contract above. If any call throws, every
+  /// index still runs and the exception of the smallest failing index is
+  /// rethrown (deterministic regardless of pool size).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// As ParallelFor for Status-returning bodies: runs every index and
+  /// returns the non-OK Status with the smallest index, or OK. Equivalent to
+  /// the serial loop's first error, independent of pool size.
+  Status ParallelForStatus(int64_t n,
+                           const std::function<Status(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void RunJob();  // claims indices of the active job until exhausted
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  uint64_t job_id_ = 0;  // bumped per ParallelFor; wakes workers
+  int64_t job_n_ = 0;
+  const std::function<void(int64_t)>* job_fn_ = nullptr;
+  int workers_active_ = 0;  // workers still inside the current job
+  std::atomic<int64_t> next_index_{0};
+  std::atomic<bool> busy_{false};  // a job is in flight (nesting guard)
+
+  std::mutex err_mu_;
+  int64_t err_index_ = -1;
+  std::exception_ptr err_;
+};
+
+/// Parallelism selected by the QFCARD_THREADS environment variable; unset,
+/// empty, or values < 1 fall back to 1 (fully serial).
+int ThreadPoolSizeFromEnv();
+
+/// The process-wide pool used by all batch APIs, built on first use with
+/// ThreadPoolSizeFromEnv().
+ThreadPool& GlobalPool();
+
+/// Replaces the global pool with one of `n` threads. Test/bench hook for
+/// comparing thread counts in one process; must not be called while a
+/// ParallelFor is in flight.
+void SetGlobalThreads(int n);
+
+}  // namespace qfcard::common
+
+#endif  // QFCARD_COMMON_THREAD_POOL_H_

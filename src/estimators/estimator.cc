@@ -1,0 +1,29 @@
+#include "estimators/estimator.h"
+
+#include "common/thread_pool.h"
+
+namespace qfcard::est {
+
+common::StatusOr<std::vector<double>> CardinalityEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) const {
+  std::vector<double> out(queries.size(), 0.0);
+  QFCARD_RETURN_IF_ERROR(common::GlobalPool().ParallelForStatus(
+      static_cast<int64_t>(queries.size()), [&](int64_t i) -> common::Status {
+        const size_t idx = static_cast<size_t>(i);
+        QFCARD_ASSIGN_OR_RETURN(out[idx], EstimateCard(queries[idx]));
+        return common::Status::Ok();
+      }));
+  return out;
+}
+
+common::Status CardinalityEstimator::Train(
+    const std::vector<query::Query>& queries, const std::vector<double>& cards,
+    double valid_fraction, uint64_t seed) {
+  (void)queries;
+  (void)cards;
+  (void)valid_fraction;
+  (void)seed;
+  return common::Status::Ok();  // statistics-based estimators are train-free
+}
+
+}  // namespace qfcard::est

@@ -1,7 +1,9 @@
 #ifndef QFCARD_ESTIMATORS_ESTIMATOR_H_
 #define QFCARD_ESTIMATORS_ESTIMATOR_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "query/query.h"
@@ -13,12 +15,38 @@ namespace qfcard::est {
 /// paper's comparison set: the Postgres-style independence estimator,
 /// Bernoulli sampling, QFT x ML model combinations, and the true-cardinality
 /// oracle.
+///
+/// The API is batch-first (docs/batch_api.md): EstimateBatch is the serving
+/// entry point and parallelizes across queries via the global thread pool
+/// sized by QFCARD_THREADS. EstimateCard remains for single interactive
+/// queries. Implementations must keep EstimateCard const-thread-safe so the
+/// default EstimateBatch can fan it out; estimators with per-call random
+/// state (see SamplingEstimator) derive a deterministic per-query stream so
+/// batch results are byte-identical to the serial loop at any pool size.
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;
 
   /// Estimated result cardinality of `q` (clamped to >= 1 by convention).
   virtual common::StatusOr<double> EstimateCard(const query::Query& q) const = 0;
+
+  /// Estimates every query, returning one cardinality per query in input
+  /// order. The default implementation runs EstimateCard per query on the
+  /// global thread pool; on failure it returns the error of the smallest
+  /// failing index (what a serial loop would hit first). MlEstimator and
+  /// MscnEstimator override this to featurize the whole batch into one
+  /// matrix and run the model's batched predict.
+  virtual common::StatusOr<std::vector<double>> EstimateBatch(
+      const std::vector<query::Query>& queries) const;
+
+  /// Trains the estimator on labeled queries (`cards` are true cardinalities
+  /// in natural space; a `valid_fraction` tail/holdout drives early stopping
+  /// where the model supports it). Statistics-based estimators need no
+  /// training: the default is a no-op returning OK, which lets registry
+  /// consumers (est::MakeEstimator) treat every estimator uniformly.
+  virtual common::Status Train(const std::vector<query::Query>& queries,
+                               const std::vector<double>& cards,
+                               double valid_fraction, uint64_t seed);
 
   /// Label used in reports.
   virtual std::string name() const = 0;

@@ -77,4 +77,15 @@ common::StatusOr<double> IepEstimator::EstimateCard(
   return std::max(estimate, 1.0);
 }
 
+common::StatusOr<std::vector<double>> IepEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const query::Query& q : queries) {
+    QFCARD_ASSIGN_OR_RETURN(const double card, EstimateCard(q));
+    out.push_back(card);
+  }
+  return out;
+}
+
 }  // namespace qfcard::est

@@ -31,6 +31,11 @@ class IepEstimator : public CardinalityEstimator {
       : inner_(inner), max_terms_(max_terms) {}
 
   common::StatusOr<double> EstimateCard(const query::Query& q) const override;
+  /// Serial override: EstimateCard mutates the per-call stats below, so the
+  /// parallel base-class fan-out would race. IEP is the paper's
+  /// impracticality baseline; it stays single-threaded by design.
+  common::StatusOr<std::vector<double>> EstimateBatch(
+      const std::vector<query::Query>& queries) const override;
   std::string name() const override { return "IEP(" + inner_->name() + ")"; }
   size_t SizeBytes() const override { return inner_->SizeBytes(); }
 

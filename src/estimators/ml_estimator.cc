@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace qfcard::est {
 
@@ -12,18 +13,13 @@ common::Status MlEstimator::Train(const std::vector<query::Query>& queries,
   if (queries.size() != cards.size()) {
     return common::Status::InvalidArgument("queries/cards length mismatch");
   }
-  std::vector<std::vector<float>> features;
-  std::vector<float> labels;
-  features.reserve(queries.size());
-  labels.reserve(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    QFCARD_ASSIGN_OR_RETURN(std::vector<float> vec,
-                            featurizer_->Featurize(queries[i]));
-    features.push_back(std::move(vec));
-    labels.push_back(ml::CardToLabel(cards[i]));
-  }
-  QFCARD_ASSIGN_OR_RETURN(const ml::Dataset all,
-                          ml::Dataset::FromVectors(features, labels));
+  // One batched featurization pass straight into the training matrix.
+  ml::Dataset all;
+  all.x = ml::Matrix(static_cast<int>(queries.size()), featurizer_->dim());
+  QFCARD_RETURN_IF_ERROR(featurizer_->FeaturizeBatch(
+      {queries.data(), queries.size()}, all.x.data().data()));
+  all.y.reserve(cards.size());
+  for (const double card : cards) all.y.push_back(ml::CardToLabel(card));
   if (valid_fraction <= 0.0) {
     return model_->Fit(all, nullptr);
   }
@@ -40,22 +36,46 @@ common::StatusOr<double> MlEstimator::EstimateCard(
   return ml::LabelToCard(model_->Predict(vec.data()));
 }
 
+common::StatusOr<std::vector<double>> MlEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) const {
+  ml::Matrix x(static_cast<int>(queries.size()), featurizer_->dim());
+  QFCARD_RETURN_IF_ERROR(featurizer_->FeaturizeBatch(
+      {queries.data(), queries.size()}, x.data().data()));
+  const std::vector<float> preds = model_->PredictBatch(x);
+  std::vector<double> out(queries.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = ml::LabelToCard(preds[i]);
+  return out;
+}
+
+namespace {
+
+// Set-featurizes `queries` in parallel (order-preserving).
+common::Status FeaturizeMscnBatch(const featurize::MscnFeaturizer& featurizer,
+                                  const std::vector<query::Query>& queries,
+                                  std::vector<featurize::MscnSample>* out) {
+  out->assign(queries.size(), featurize::MscnSample{});
+  return common::GlobalPool().ParallelForStatus(
+      static_cast<int64_t>(queries.size()), [&](int64_t i) -> common::Status {
+        const size_t idx = static_cast<size_t>(i);
+        QFCARD_ASSIGN_OR_RETURN((*out)[idx], featurizer.Featurize(queries[idx]));
+        return common::Status::Ok();
+      });
+}
+
+}  // namespace
+
 common::Status MscnEstimator::Train(const std::vector<query::Query>& queries,
                                     const std::vector<double>& cards,
-                                    double valid_fraction) {
+                                    double valid_fraction, uint64_t seed) {
+  (void)seed;  // MSCN seeds via MscnParams
   if (queries.size() != cards.size()) {
     return common::Status::InvalidArgument("queries/cards length mismatch");
   }
   std::vector<featurize::MscnSample> samples;
+  QFCARD_RETURN_IF_ERROR(FeaturizeMscnBatch(featurizer_, queries, &samples));
   std::vector<float> labels;
-  samples.reserve(queries.size());
-  labels.reserve(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    QFCARD_ASSIGN_OR_RETURN(featurize::MscnSample s,
-                            featurizer_.Featurize(queries[i]));
-    samples.push_back(std::move(s));
-    labels.push_back(ml::CardToLabel(cards[i]));
-  }
+  labels.reserve(cards.size());
+  for (const double card : cards) labels.push_back(ml::CardToLabel(card));
   const size_t n_valid = valid_fraction > 0.0
                              ? static_cast<size_t>(valid_fraction *
                                                    static_cast<double>(samples.size()))
@@ -79,6 +99,19 @@ common::StatusOr<double> MscnEstimator::EstimateCard(
   QFCARD_ASSIGN_OR_RETURN(const featurize::MscnSample sample,
                           featurizer_.Featurize(q));
   return ml::LabelToCard(model_.Predict(sample));
+}
+
+common::StatusOr<std::vector<double>> MscnEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) const {
+  std::vector<featurize::MscnSample> samples;
+  QFCARD_RETURN_IF_ERROR(FeaturizeMscnBatch(featurizer_, queries, &samples));
+  std::vector<double> out(queries.size());
+  common::GlobalPool().ParallelFor(
+      static_cast<int64_t>(queries.size()), [&](int64_t i) {
+        const size_t idx = static_cast<size_t>(i);
+        out[idx] = ml::LabelToCard(model_.Predict(samples[idx]));
+      });
+  return out;
 }
 
 }  // namespace qfcard::est

@@ -26,9 +26,14 @@ class MlEstimator : public CardinalityEstimator {
   /// (natural space); a `valid_fraction` tail split drives early stopping.
   common::Status Train(const std::vector<query::Query>& queries,
                        const std::vector<double>& cards,
-                       double valid_fraction, uint64_t seed);
+                       double valid_fraction, uint64_t seed) override;
 
   common::StatusOr<double> EstimateCard(const query::Query& q) const override;
+  /// Batched estimate: featurizes the whole batch into one row-major matrix
+  /// (Featurizer::FeaturizeBatch) and runs the model's batched predict —
+  /// one featurization pass and one model pass instead of per-query calls.
+  common::StatusOr<std::vector<double>> EstimateBatch(
+      const std::vector<query::Query>& queries) const override;
   std::string name() const override {
     return model_->name() + "+" + featurizer_->name();
   }
@@ -52,11 +57,15 @@ class MscnEstimator : public CardinalityEstimator {
         model_(featurizer_.table_dim(), featurizer_.join_dim(),
                featurizer_.pred_dim(), params) {}
 
+  /// `seed` is unused: MSCN's initialization seed lives in MscnParams.
   common::Status Train(const std::vector<query::Query>& queries,
                        const std::vector<double>& cards,
-                       double valid_fraction);
+                       double valid_fraction, uint64_t seed = 0) override;
 
   common::StatusOr<double> EstimateCard(const query::Query& q) const override;
+  /// Batched estimate: set-featurizes and predicts all queries in parallel.
+  common::StatusOr<std::vector<double>> EstimateBatch(
+      const std::vector<query::Query>& queries) const override;
   std::string name() const override {
     return featurizer_.mode() ==
                    featurize::MscnFeaturizer::PredMode::kPerPredicate

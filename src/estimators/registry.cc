@@ -1,0 +1,151 @@
+#include "estimators/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "estimators/ml_estimator.h"
+#include "estimators/sampling.h"
+#include "estimators/true_card.h"
+#include "featurize/extensions.h"
+#include "featurize/feature_schema.h"
+#include "featurize/mscn_featurizer.h"
+#include "ml/dataset.h"
+#include "ml/linear.h"
+
+namespace qfcard::est {
+
+namespace {
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// MSCN handles join queries; when the caller has no schema graph (the
+// single-table forest catalogs) an empty shared graph keeps the featurizer
+// pointer valid for the estimator's lifetime.
+const query::SchemaGraph& EmptyGraph() {
+  static const query::SchemaGraph* graph = new query::SchemaGraph();
+  return *graph;
+}
+
+common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeMscn(
+    const storage::Catalog& catalog, const EstimatorOptions& opts,
+    featurize::MscnFeaturizer::PredMode mode) {
+  const query::SchemaGraph* graph =
+      opts.schema_graph != nullptr ? opts.schema_graph : &EmptyGraph();
+  featurize::MscnFeaturizer featurizer(&catalog, graph, mode, opts.conj);
+  return std::unique_ptr<CardinalityEstimator>(
+      std::make_unique<MscnEstimator>(std::move(featurizer), opts.mscn));
+}
+
+common::StatusOr<const storage::Table*> ResolveTable(
+    const storage::Catalog& catalog, const EstimatorOptions& opts) {
+  if (!opts.table.empty()) return catalog.GetTable(opts.table);
+  if (catalog.num_tables() == 0) {
+    return common::Status::InvalidArgument(
+        "registry: catalog has no tables to featurize");
+  }
+  return &catalog.table(0);
+}
+
+}  // namespace
+
+common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
+    const std::string& name, const storage::Catalog& catalog,
+    const EstimatorOptions& opts) {
+  const std::string key = Lowered(name);
+
+  if (key == "postgres") {
+    QFCARD_ASSIGN_OR_RETURN(PostgresStyleEstimator built,
+                            PostgresStyleEstimator::Build(&catalog,
+                                                          opts.postgres));
+    return std::unique_ptr<CardinalityEstimator>(
+        std::make_unique<PostgresStyleEstimator>(std::move(built)));
+  }
+  if (key == "sampling") {
+    return std::unique_ptr<CardinalityEstimator>(
+        std::make_unique<SamplingEstimator>(&catalog, opts.sampling_fraction,
+                                            opts.sampling_seed));
+  }
+  if (key == "true") {
+    return std::unique_ptr<CardinalityEstimator>(
+        std::make_unique<TrueCardEstimator>(&catalog));
+  }
+  if (key == "mscn") {
+    return MakeMscn(catalog, opts,
+                    featurize::MscnFeaturizer::PredMode::kPerPredicate);
+  }
+  if (key == "mscn+range") {
+    return MakeMscn(catalog, opts,
+                    featurize::MscnFeaturizer::PredMode::kPerAttributeRange);
+  }
+  if (key == "mscn+conj") {
+    return MakeMscn(catalog, opts,
+                    featurize::MscnFeaturizer::PredMode::kPerAttributeQft);
+  }
+
+  // Everything else is "<model>+<qft>".
+  const size_t plus = key.find('+');
+  if (plus == std::string::npos || plus == 0 || plus + 1 >= key.size()) {
+    return common::Status::InvalidArgument(
+        "registry: unknown estimator \"" + name +
+        "\" (expected one of postgres/sampling/true/mscn[+range|+conj] "
+        "or <model>+<qft>)");
+  }
+  const std::string model_key = key.substr(0, plus);
+  const std::string qft_key = key.substr(plus + 1);
+
+  featurize::QftKind kind;
+  if (qft_key == "simple") {
+    kind = featurize::QftKind::kSimple;
+  } else if (qft_key == "range") {
+    kind = featurize::QftKind::kRange;
+  } else if (qft_key == "conj" || qft_key == "conjunctive") {
+    kind = featurize::QftKind::kConjunctive;
+  } else if (qft_key == "complex" || qft_key == "comp") {
+    kind = featurize::QftKind::kComplex;
+  } else {
+    return common::Status::InvalidArgument(
+        "registry: unknown QFT \"" + qft_key +
+        "\" (expected simple/range/conj|conjunctive/complex|comp)");
+  }
+
+  std::unique_ptr<ml::Model> model;
+  if (model_key == "gb") {
+    model = std::make_unique<ml::GradientBoosting>(opts.gbm);
+  } else if (model_key == "nn") {
+    model = std::make_unique<ml::FeedForwardNet>(opts.nn);
+  } else if (model_key == "linear") {
+    model = std::make_unique<ml::LinearRegression>();
+  } else {
+    return common::Status::InvalidArgument(
+        "registry: unknown model \"" + model_key +
+        "\" (expected gb/nn/linear)");
+  }
+
+  QFCARD_ASSIGN_OR_RETURN(const storage::Table* table,
+                          ResolveTable(catalog, opts));
+  featurize::FeatureSchema schema = featurize::FeatureSchema::FromTable(*table);
+  std::unique_ptr<featurize::Featurizer> featurizer =
+      featurize::MakeFeaturizer(kind, std::move(schema), opts.conj);
+  return std::unique_ptr<CardinalityEstimator>(std::make_unique<MlEstimator>(
+      std::move(featurizer), std::move(model)));
+}
+
+std::vector<std::string> RegisteredEstimators() {
+  std::vector<std::string> names = {"postgres", "sampling", "true",
+                                    "mscn",     "mscn+range", "mscn+conj"};
+  for (const char* model : {"gb", "nn", "linear"}) {
+    for (const char* qft : {"simple", "range", "conjunctive", "complex"}) {
+      names.push_back(std::string(model) + "+" + qft);
+    }
+  }
+  return names;
+}
+
+}  // namespace qfcard::est

@@ -1,0 +1,67 @@
+#ifndef QFCARD_ESTIMATORS_REGISTRY_H_
+#define QFCARD_ESTIMATORS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimators/estimator.h"
+#include "estimators/postgres.h"
+#include "featurize/conjunction.h"
+#include "ml/gbm.h"
+#include "ml/mscn.h"
+#include "ml/nn.h"
+#include "query/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace qfcard::est {
+
+/// Construction-time knobs for MakeEstimator. Every field has the default
+/// the benches and examples used before the registry existed, so most
+/// callers only touch what they study.
+struct EstimatorOptions {
+  /// Table whose schema single-table QFTs featurize; "" means the
+  /// catalog's first table.
+  std::string table;
+  /// Partitioning knobs for the conjunctive/complex QFTs (and the MSCN
+  /// per-attribute predicate modes).
+  featurize::ConjunctionOptions conj;
+  ml::GbmParams gbm;
+  ml::NnParams nn;
+  ml::MscnParams mscn;
+  PostgresOptions postgres;
+  double sampling_fraction = 0.001;  ///< the paper's 0.1%
+  uint64_t sampling_seed = 424242;
+  /// Schema graph for MSCN's join encoding; nullptr means no join edges
+  /// (single-table catalogs).
+  const query::SchemaGraph* schema_graph = nullptr;
+};
+
+/// Builds a cardinality estimator from one string key — the single entry
+/// point benches, examples, and the CLI use to construct the paper's
+/// comparison set instead of hand-wiring QFT x model combinations.
+///
+/// Recognized names (case-insensitive):
+///   "postgres"              Postgres-style synopses (built immediately)
+///   "sampling"              per-query Bernoulli sampling
+///   "true"                  true-cardinality oracle
+///   "mscn"                  MSCN, original per-predicate featurization
+///   "mscn+range"            MSCN, per-attribute range adaptation
+///   "mscn+conj"             MSCN, per-attribute QFT mode (Section 4.2)
+///   "<model>+<qft>"         MlEstimator; model in {gb, nn, linear}, qft in
+///                           {simple, range, conj|conjunctive, complex|comp}
+///
+/// ML estimators come back untrained: call Train() (on the base interface)
+/// with a labeled workload. `catalog` — and `opts.schema_graph` when set —
+/// must outlive the returned estimator.
+common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
+    const std::string& name, const storage::Catalog& catalog,
+    const EstimatorOptions& opts = {});
+
+/// Names MakeEstimator recognizes, for help text and exhaustive sweeps.
+std::vector<std::string> RegisteredEstimators();
+
+}  // namespace qfcard::est
+
+#endif  // QFCARD_ESTIMATORS_REGISTRY_H_

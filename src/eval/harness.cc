@@ -1,25 +1,29 @@
 #include "eval/harness.h"
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 
 namespace qfcard::eval {
 
 namespace {
 
+// Featurizes the workload straight into the dataset matrix, one query per
+// row, in parallel (row i is written only by query i, so the matrix is
+// identical at every QFCARD_THREADS setting).
 common::StatusOr<ml::Dataset> FeaturizeSet(
     const featurize::Featurizer& featurizer,
     const std::vector<workload::LabeledQuery>& queries) {
-  std::vector<std::vector<float>> features;
-  std::vector<float> labels;
-  features.reserve(queries.size());
-  labels.reserve(queries.size());
-  for (const workload::LabeledQuery& lq : queries) {
-    QFCARD_ASSIGN_OR_RETURN(std::vector<float> vec,
-                            featurizer.Featurize(lq.query));
-    features.push_back(std::move(vec));
-    labels.push_back(ml::CardToLabel(lq.card));
-  }
-  return ml::Dataset::FromVectors(features, labels);
+  ml::Dataset out;
+  out.x = ml::Matrix(static_cast<int>(queries.size()), featurizer.dim());
+  out.y.resize(queries.size());
+  QFCARD_RETURN_IF_ERROR(common::GlobalPool().ParallelForStatus(
+      static_cast<int64_t>(queries.size()), [&](int64_t i) {
+        const workload::LabeledQuery& lq = queries[static_cast<size_t>(i)];
+        out.y[static_cast<size_t>(i)] = ml::CardToLabel(lq.card);
+        return featurizer.FeaturizeInto(lq.query,
+                                        out.x.Row(static_cast<int>(i)));
+      }));
+  return out;
 }
 
 }  // namespace
@@ -65,13 +69,13 @@ common::StatusOr<RunResult> RunQftModel(
   result.train_seconds = train_timer.Seconds();
   result.model_bytes = model.SizeBytes();
 
-  result.estimates.reserve(static_cast<size_t>(data.test.num_rows()));
-  result.qerrors.reserve(static_cast<size_t>(data.test.num_rows()));
-  for (int i = 0; i < data.test.num_rows(); ++i) {
-    const double est = ml::LabelToCard(model.Predict(data.test.x.Row(i)));
+  const std::vector<float> preds = model.PredictBatch(data.test.x);
+  result.estimates.reserve(preds.size());
+  result.qerrors.reserve(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const double est = ml::LabelToCard(preds[i]);
     result.estimates.push_back(est);
-    result.qerrors.push_back(
-        ml::QError(data.test_cards[static_cast<size_t>(i)], est));
+    result.qerrors.push_back(ml::QError(data.test_cards[i], est));
   }
   result.summary = ml::QErrorSummary::FromErrors(result.qerrors);
   return result;

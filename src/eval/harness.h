@@ -37,6 +37,8 @@ struct FeaturizedData {
 
 /// Featurizes the workloads with `featurizer`; a `valid_fraction` slice of
 /// the (shuffled) training set is held out for early stopping.
+/// Featurization fans out over the global thread pool (QFCARD_THREADS) and
+/// produces bit-identical datasets at every thread count.
 common::StatusOr<FeaturizedData> FeaturizeWorkload(
     const featurize::Featurizer& featurizer,
     const std::vector<workload::LabeledQuery>& train,
@@ -54,6 +56,8 @@ struct RunResult {
 };
 
 /// Featurizes, trains `model`, and evaluates q-errors on the test set.
+/// Featurization and test-set prediction are batched/parallel (see
+/// FeaturizeWorkload and ml::Model::PredictBatch).
 common::StatusOr<RunResult> RunQftModel(
     const featurize::Featurizer& featurizer, ml::Model& model,
     const std::vector<workload::LabeledQuery>& train,

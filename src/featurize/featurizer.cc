@@ -1,0 +1,17 @@
+#include "featurize/featurizer.h"
+
+#include "common/thread_pool.h"
+
+namespace qfcard::featurize {
+
+common::Status Featurizer::FeaturizeBatch(
+    std::span<const query::Query> queries, float* out) const {
+  const int d = dim();
+  return common::GlobalPool().ParallelForStatus(
+      static_cast<int64_t>(queries.size()), [&](int64_t i) {
+        return FeaturizeInto(queries[static_cast<size_t>(i)],
+                             out + i * static_cast<int64_t>(d));
+      });
+}
+
+}  // namespace qfcard::featurize

@@ -1,6 +1,7 @@
 #ifndef QFCARD_FEATURIZE_FEATURIZER_H_
 #define QFCARD_FEATURIZE_FEATURIZER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,18 @@ class Featurizer {
   /// conjunction-only QFT).
   virtual common::Status FeaturizeInto(const query::Query& q,
                                        float* out) const = 0;
+
+  /// Featurizes `queries[i]` into row i of `out`, a row-major
+  /// [queries.size() x dim()] float buffer. The default implementation runs
+  /// FeaturizeInto per query on the global thread pool
+  /// (common/thread_pool.h): each query writes only its own row, so the
+  /// buffer is byte-identical for every QFCARD_THREADS setting. On failure
+  /// returns the error of the smallest failing query index (the same error
+  /// a serial loop would hit first); `out` contents are then unspecified.
+  /// FeaturizeInto implementations must be const-thread-safe, which holds
+  /// for every QFT here (pure functions of the query and the schema).
+  virtual common::Status FeaturizeBatch(std::span<const query::Query> queries,
+                                        float* out) const;
 
   /// Convenience wrapper allocating the output vector.
   common::StatusOr<std::vector<float>> Featurize(const query::Query& q) const {

@@ -5,8 +5,17 @@
 #include <cstring>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace qfcard::ml {
+
+std::vector<float> Model::PredictBatch(const Matrix& x) const {
+  std::vector<float> out(static_cast<size_t>(x.rows()));
+  common::GlobalPool().ParallelFor(x.rows(), [&](int64_t i) {
+    out[static_cast<size_t>(i)] = Predict(x.Row(static_cast<int>(i)));
+  });
+  return out;
+}
 
 common::StatusOr<Dataset> Dataset::FromVectors(
     const std::vector<std::vector<float>>& features,

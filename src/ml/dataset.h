@@ -59,7 +59,9 @@ class Model {
   /// Trains on `train`; `valid` (optional) enables early stopping.
   virtual common::Status Fit(const Dataset& train, const Dataset* valid) = 0;
 
-  /// Predicts the label for a feature vector of length dim().
+  /// Predicts the label for a feature vector of length dim(). Must be
+  /// const-thread-safe: PredictBatch calls it concurrently for distinct
+  /// rows (all models here are pure functions of frozen parameters).
   virtual float Predict(const float* x) const = 0;
 
   /// Approximate serialized model size, for the Section 5.7 comparison.
@@ -79,12 +81,10 @@ class Model {
     return common::Status::Unimplemented(name() + " has no serialization");
   }
 
-  /// Predicts all rows of `x`.
-  std::vector<float> PredictBatch(const Matrix& x) const {
-    std::vector<float> out(static_cast<size_t>(x.rows()));
-    for (int i = 0; i < x.rows(); ++i) out[static_cast<size_t>(i)] = Predict(x.Row(i));
-    return out;
-  }
+  /// Predicts all rows of `x`, in row order, fanning Predict out over the
+  /// global thread pool (QFCARD_THREADS). Each row writes its own output
+  /// slot, so results are identical at every pool size.
+  std::vector<float> PredictBatch(const Matrix& x) const;
 };
 
 }  // namespace qfcard::ml

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "ml/metrics.h"
 
 namespace qfcard::ml {
@@ -14,8 +15,11 @@ common::StatusOr<GbmTuneResult> TuneGbm(const Dataset& train,
     return common::Status::InvalidArgument(
         "grid search needs non-empty train and valid sets");
   }
-  GbmTuneResult result;
-  result.valid_mean_qerror = std::numeric_limits<double>::infinity();
+  // Materialize the grid in nested-loop order, then train/score every
+  // configuration in parallel (each owns its model; train/valid are only
+  // read). The serial argmin below keeps the selected config identical to
+  // the historical nested-loop scan at every thread count.
+  std::vector<GbmParams> configs;
   for (const int depth : grid.max_depth) {
     for (const double lr : grid.learning_rate) {
       for (const int trees : grid.num_trees) {
@@ -25,22 +29,33 @@ common::StatusOr<GbmTuneResult> TuneGbm(const Dataset& train,
           params.learning_rate = lr;
           params.num_trees = trees;
           params.min_samples_leaf = min_leaf;
-          GradientBoosting model(params);
-          QFCARD_RETURN_IF_ERROR(model.Fit(train, &valid));
-          double sum = 0.0;
-          for (int i = 0; i < valid.num_rows(); ++i) {
-            const double truth = LabelToCard(valid.y[static_cast<size_t>(i)]);
-            const double est = LabelToCard(model.Predict(valid.x.Row(i)));
-            sum += QError(truth, est);
-          }
-          const double mean = sum / valid.num_rows();
-          ++result.configs_tried;
-          if (mean < result.valid_mean_qerror) {
-            result.valid_mean_qerror = mean;
-            result.params = params;
-          }
+          configs.push_back(params);
         }
       }
+    }
+  }
+  std::vector<double> mean_qerror(configs.size(), 0.0);
+  QFCARD_RETURN_IF_ERROR(common::GlobalPool().ParallelForStatus(
+      static_cast<int64_t>(configs.size()), [&](int64_t i) {
+        const size_t idx = static_cast<size_t>(i);
+        GradientBoosting model(configs[idx]);
+        QFCARD_RETURN_IF_ERROR(model.Fit(train, &valid));
+        double sum = 0.0;
+        for (int r = 0; r < valid.num_rows(); ++r) {
+          const double truth = LabelToCard(valid.y[static_cast<size_t>(r)]);
+          const double est = LabelToCard(model.Predict(valid.x.Row(r)));
+          sum += QError(truth, est);
+        }
+        mean_qerror[idx] = sum / valid.num_rows();
+        return common::Status::Ok();
+      }));
+  GbmTuneResult result;
+  result.valid_mean_qerror = std::numeric_limits<double>::infinity();
+  result.configs_tried = static_cast<int>(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (mean_qerror[i] < result.valid_mean_qerror) {
+      result.valid_mean_qerror = mean_qerror[i];
+      result.params = configs[i];
     }
   }
   return result;

@@ -18,17 +18,26 @@
 ///  - workload/ : synthetic forest/IMDb data and workload generators
 ///  - eval/     : experiment harness and reporting
 ///
+/// Estimation is batch-first: prefer est::CardinalityEstimator::EstimateBatch
+/// and featurize::Featurizer::FeaturizeBatch over per-query calls; both fan
+/// out over a process-wide thread pool sized by the QFCARD_THREADS
+/// environment variable and return results byte-identical to the serial
+/// path at every thread count. Estimators are constructed by name through
+/// est::MakeEstimator (estimators/registry.h). See docs/batch_api.md.
+///
 /// This umbrella header pulls in the full public API.
 
 #include "common/env.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "estimators/estimator.h"
 #include "estimators/iep.h"
 #include "estimators/local_models.h"
 #include "estimators/ml_estimator.h"
 #include "estimators/postgres.h"
+#include "estimators/registry.h"
 #include "estimators/sampling.h"
 #include "estimators/true_card.h"
 #include "eval/harness.h"

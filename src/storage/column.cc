@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -57,6 +58,11 @@ void Column::AppendBatch(const std::vector<double>& values) {
 }
 
 const ColumnStats& Column::GetStats() const {
+  // A process-wide lock makes the lazy recompute safe when estimators are
+  // built or queried from the batch API's thread pool. Stats are computed
+  // once per column (construction-time call sites), so contention is nil.
+  static std::mutex* stats_mu = new std::mutex();
+  std::lock_guard<std::mutex> lock(*stats_mu);
   if (!stats_dirty_) return stats_;
   stats_ = ColumnStats{};
   stats_.rows = size();

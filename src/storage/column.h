@@ -87,6 +87,8 @@ class Column {
   const Dictionary& dictionary() const { return dict_; }
 
   /// Returns (computing and caching on first use) the column statistics.
+  /// Safe to call concurrently; appending while readers hold the returned
+  /// reference is not.
   const ColumnStats& GetStats() const;
 
  private:

@@ -4,37 +4,55 @@
 #include <fstream>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "query/executor.h"
 #include "query/join_executor.h"
 #include "query/normalize.h"
 
 namespace qfcard::workload {
 
+namespace {
+
+// Shared shape of both labelers: count every query in parallel (each query
+// writes only its own slot, so the counts are identical at every
+// QFCARD_THREADS setting), then assemble the labeled set serially in input
+// order so drop_empty filtering stays deterministic.
+common::StatusOr<std::vector<LabeledQuery>> LabelParallel(
+    const std::vector<query::Query>& queries, bool drop_empty,
+    const std::function<common::StatusOr<int64_t>(const query::Query&)>&
+        count) {
+  std::vector<int64_t> cards(queries.size(), 0);
+  QFCARD_RETURN_IF_ERROR(common::GlobalPool().ParallelForStatus(
+      static_cast<int64_t>(queries.size()), [&](int64_t i) -> common::Status {
+        const size_t idx = static_cast<size_t>(i);
+        QFCARD_ASSIGN_OR_RETURN(cards[idx], count(queries[idx]));
+        return common::Status::Ok();
+      }));
+  std::vector<LabeledQuery> out;
+  out.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (drop_empty && cards[i] == 0) continue;
+    out.push_back(LabeledQuery{queries[i], static_cast<double>(cards[i])});
+  }
+  return out;
+}
+
+}  // namespace
+
 common::StatusOr<std::vector<LabeledQuery>> LabelOnTable(
     const storage::Table& table, const std::vector<query::Query>& queries,
     bool drop_empty) {
-  std::vector<LabeledQuery> out;
-  out.reserve(queries.size());
-  for (const query::Query& q : queries) {
-    QFCARD_ASSIGN_OR_RETURN(const int64_t card, query::Executor::Count(table, q));
-    if (drop_empty && card == 0) continue;
-    out.push_back(LabeledQuery{q, static_cast<double>(card)});
-  }
-  return out;
+  return LabelParallel(queries, drop_empty, [&](const query::Query& q) {
+    return query::Executor::Count(table, q);
+  });
 }
 
 common::StatusOr<std::vector<LabeledQuery>> LabelOnCatalog(
     const storage::Catalog& catalog, const std::vector<query::Query>& queries,
     bool drop_empty) {
-  std::vector<LabeledQuery> out;
-  out.reserve(queries.size());
-  for (const query::Query& q : queries) {
-    QFCARD_ASSIGN_OR_RETURN(const int64_t card,
-                            query::JoinExecutor::Count(catalog, q));
-    if (drop_empty && card == 0) continue;
-    out.push_back(LabeledQuery{q, static_cast<double>(card)});
-  }
-  return out;
+  return LabelParallel(queries, drop_empty, [&](const query::Query& q) {
+    return query::JoinExecutor::Count(catalog, q);
+  });
 }
 
 common::Status SaveWorkload(const std::vector<LabeledQuery>& queries,

@@ -20,12 +20,14 @@ struct LabeledQuery {
 /// Executes single-table `queries` against `table` and returns the labeled
 /// set. When `drop_empty` is set, queries with empty results are discarded
 /// (the paper "considers only queries with non-empty results").
+/// Labeling scans run in parallel on the global thread pool
+/// (QFCARD_THREADS); the labeled set is identical at every thread count.
 common::StatusOr<std::vector<LabeledQuery>> LabelOnTable(
     const storage::Table& table, const std::vector<query::Query>& queries,
     bool drop_empty);
 
 /// Executes (possibly joined) `queries` against `catalog`, labeling them
-/// with exact counts.
+/// with exact counts. Parallel like LabelOnTable.
 common::StatusOr<std::vector<LabeledQuery>> LabelOnCatalog(
     const storage::Catalog& catalog, const std::vector<query::Query>& queries,
     bool drop_empty);

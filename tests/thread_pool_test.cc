@@ -1,0 +1,147 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qfcard::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, OrderPreservedBySlot) {
+  ThreadPool pool(4);
+  std::vector<int64_t> out(1000, -1);
+  pool.ParallelFor(1000, [&](int64_t i) { out[static_cast<size_t>(i)] = i * 3; });
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * 3);
+}
+
+TEST(ThreadPoolTest, PoolOfOneMatchesSerial) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int64_t> order;
+  // A pool of 1 runs inline, so even execution order is the serial order.
+  pool.ParallelFor(50, [&](int64_t i) { order.push_back(i); });
+  std::vector<int64_t> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIndexLoops) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](int64_t i) {
+                                  if (i == 17) throw std::runtime_error("x17");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SmallestFailingIndexWinsAtEveryPoolSize) {
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    try {
+      pool.ParallelFor(64, [&](int64_t i) {
+        ran++;
+        if (i == 11 || i == 42) {
+          throw std::runtime_error("i=" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected throw at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "i=11") << threads << " threads";
+    }
+    // Every index still ran despite the failures.
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStatusReturnsSmallestIndexError) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    const Status status = pool.ParallelForStatus(64, [&](int64_t i) {
+      if (i == 9 || i == 33) {
+        return Status::InvalidArgument("i=" + std::to_string(i));
+      }
+      return Status::Ok();
+    });
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("i=9"), std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStatusOkWhenAllOk) {
+  ThreadPool pool(4);
+  std::vector<int> out(128, 0);
+  QFCARD_CHECK_OK(pool.ParallelForStatus(128, [&](int64_t i) {
+    out[static_cast<size_t>(i)] = 1;
+    return Status::Ok();
+  }));
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 128);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  pool.ParallelFor(16, [&](int64_t outer) {
+    pool.ParallelFor(16, [&](int64_t inner) {
+      hits[static_cast<size_t>(outer * 16 + inner)]++;
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SizeFromEnvParsing) {
+  const char* saved = std::getenv("QFCARD_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::unsetenv("QFCARD_THREADS");
+  EXPECT_EQ(ThreadPoolSizeFromEnv(), 1);
+  ::setenv("QFCARD_THREADS", "4", 1);
+  EXPECT_EQ(ThreadPoolSizeFromEnv(), 4);
+  ::setenv("QFCARD_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPoolSizeFromEnv(), 1);
+  ::setenv("QFCARD_THREADS", "-3", 1);
+  EXPECT_EQ(ThreadPoolSizeFromEnv(), 1);
+  ::setenv("QFCARD_THREADS", "notanumber", 1);
+  EXPECT_EQ(ThreadPoolSizeFromEnv(), 1);
+
+  if (saved != nullptr) {
+    ::setenv("QFCARD_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("QFCARD_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsRebuildsPool) {
+  SetGlobalThreads(3);
+  EXPECT_EQ(GlobalPool().num_threads(), 3);
+  std::vector<int64_t> out(200, -1);
+  GlobalPool().ParallelFor(200,
+                           [&](int64_t i) { out[static_cast<size_t>(i)] = i; });
+  for (int64_t i = 0; i < 200; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  SetGlobalThreads(1);
+  EXPECT_EQ(GlobalPool().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace qfcard::common
