@@ -4,6 +4,7 @@
 #include <cctype>
 #include <utility>
 
+#include "common/str_util.h"
 #include "estimators/ml_estimator.h"
 #include "estimators/sampling.h"
 #include "estimators/true_card.h"
@@ -93,9 +94,8 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
   const size_t plus = key.find('+');
   if (plus == std::string::npos || plus == 0 || plus + 1 >= key.size()) {
     return common::Status::InvalidArgument(
-        "registry: unknown estimator \"" + name +
-        "\" (expected one of postgres/sampling/true/mscn[+range|+conj] "
-        "or <model>+<qft>)");
+        "registry: unknown estimator \"" + name + "\"; registered names: " +
+        common::Join(RegisteredEstimators(), ", "));
   }
   const std::string model_key = key.substr(0, plus);
   const std::string qft_key = key.substr(plus + 1);
@@ -125,7 +125,8 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
   } else {
     return common::Status::InvalidArgument(
         "registry: unknown model \"" + model_key +
-        "\" (expected gb/nn/linear)");
+        "\" (expected gb/nn/linear); registered names: " +
+        common::Join(RegisteredEstimators(), ", "));
   }
 
   QFCARD_ASSIGN_OR_RETURN(const storage::Table* table,

@@ -1,6 +1,6 @@
 #include "query/executor.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "common/str_util.h"
 
@@ -71,22 +71,22 @@ common::StatusOr<int64_t> Executor::Count(const storage::Table& table,
   QFCARD_ASSIGN_OR_RETURN(const std::vector<int32_t> rows, Filter(table, q));
   if (q.group_by.empty()) return static_cast<int64_t>(rows.size());
   // GROUP BY: the result size is the number of distinct grouping-key
-  // combinations among qualifying rows (Section 6).
-  std::unordered_set<uint64_t> groups;
-  groups.reserve(rows.size());
+  // combinations among qualifying rows (Section 6). Keys are compared
+  // exactly — counting distinct 64-bit hashes instead undercounts whenever
+  // two keys collide (the fuzzer finds such collisions in practice).
+  std::vector<std::vector<double>> keys;
+  keys.reserve(rows.size());
   for (const int32_t r : rows) {
-    uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    std::vector<double> key;
+    key.reserve(q.group_by.size());
     for (const ColumnRef& g : q.group_by) {
-      const double v = table.column(g.column).Get(r);
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(v));
-      __builtin_memcpy(&bits, &v, sizeof(bits));
-      h ^= bits;
-      h *= 1099511628211ULL;  // FNV prime
+      key.push_back(table.column(g.column).Get(r));
     }
-    groups.insert(h);
+    keys.push_back(std::move(key));
   }
-  return static_cast<int64_t>(groups.size());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return static_cast<int64_t>(keys.size());
 }
 
 }  // namespace qfcard::query

@@ -40,12 +40,16 @@ struct SimplePredicate {
   ColumnRef col;
   CmpOp op = CmpOp::kEq;
   double value = 0.0;
+
+  bool operator==(const SimplePredicate&) const = default;
 };
 
 /// A conjunction of simple predicates over one attribute
 /// (e.g. `A > 3 AND A <= 9 AND A <> 5`).
 struct ConjunctiveClause {
   std::vector<SimplePredicate> preds;
+
+  bool operator==(const ConjunctiveClause&) const = default;
 };
 
 /// A compound predicate per Definition 3.3: a disjunction of conjunctive
@@ -53,18 +57,24 @@ struct ConjunctiveClause {
 struct CompoundPredicate {
   ColumnRef col;
   std::vector<ConjunctiveClause> disjuncts;
+
+  bool operator==(const CompoundPredicate&) const = default;
 };
 
 /// A table occurrence in the FROM clause.
 struct TableRef {
   std::string name;   ///< catalog table name
   std::string alias;  ///< alias used in the query text (may equal name)
+
+  bool operator==(const TableRef&) const = default;
 };
 
 /// An equi-join predicate `left = right` between two tables of the query.
 struct JoinPredicate {
   ColumnRef left;
   ColumnRef right;
+
+  bool operator==(const JoinPredicate&) const = default;
 };
 
 /// A mixed query (Definition 3.3): a conjunction of per-attribute compound
@@ -84,6 +94,11 @@ struct Query {
   int NumAttributes() const { return static_cast<int>(predicates.size()); }
   /// True if every compound predicate has a single disjunct (pure AND query).
   bool IsConjunctive() const;
+
+  /// Structural equality: same tables, joins, predicates (in order, with
+  /// exact literal values) and grouping. The testing subsystem's parser
+  /// round-trip checks rely on this (src/testing/query_fuzzer.h).
+  bool operator==(const Query&) const = default;
 };
 
 /// Evaluates a compound predicate against a row of a table. The compound's

@@ -1,0 +1,85 @@
+#ifndef QFCARD_TESTING_METAMORPHIC_H_
+#define QFCARD_TESTING_METAMORPHIC_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "estimators/estimator.h"
+#include "featurize/featurizer.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace qfcard::testing {
+
+/// Metamorphic invariants: estimator-level properties that hold without any
+/// ground-truth oracle, by comparing an estimate against the estimate of a
+/// transformed query. Every check is vacuous (returns OK) when the
+/// transformation does not apply to `q`; a violated invariant returns
+/// kFailedPrecondition with both estimates in the message; estimator errors
+/// propagate unchanged.
+///
+/// The monotonicity checks only apply transformations that are sound for
+/// set-semantics counts AND for the independence/union formulas of the
+/// statistics-based estimators (postgres, true): widening touches pure range
+/// clauses only, a new conjunct is a fresh attribute's compound (independence
+/// multiplies by a selectivity <= 1), and an IN-list superset adds a disjunct
+/// (the s1 + s2 - s1*s2 fold is monotone in each term). Trained ML models
+/// are intentionally out of scope — nothing forces a learned function to be
+/// monotone.
+struct MetamorphicOptions {
+  /// Relative slack for estimate comparisons. Covers floating-point
+  /// reassociation when a transformation reorders an estimator's internal
+  /// products; semantic violations are orders of magnitude larger.
+  double rel_tol = 1e-9;
+};
+
+/// Widening a pure range clause (only <, <=, >, >= predicates) never
+/// decreases the estimate. Picks a random eligible predicate and relaxes its
+/// literal.
+common::Status CheckWideningMonotone(const est::CardinalityEstimator& est,
+                                     const query::Query& q, common::Rng& rng,
+                                     const MetamorphicOptions& opts = {});
+
+/// Adding a conjunct — a compound predicate on a previously unpredicated
+/// attribute — never increases the estimate. Uses `catalog` to pick the
+/// attribute and a half-domain range for it.
+common::Status CheckConjunctMonotone(const est::CardinalityEstimator& est,
+                                     const storage::Catalog& catalog,
+                                     const query::Query& q, common::Rng& rng,
+                                     const MetamorphicOptions& opts = {});
+
+/// Growing an IN-list (a compound whose disjuncts are single equalities)
+/// by one more value never decreases the estimate.
+common::Status CheckInListMonotone(const est::CardinalityEstimator& est,
+                                   const query::Query& q, common::Rng& rng,
+                                   const MetamorphicOptions& opts = {});
+
+/// Permuting the order of compound predicates, of disjuncts inside each
+/// compound, of predicates inside each clause, of join predicates, and of
+/// GROUP BY columns leaves the estimate unchanged (up to rel_tol for
+/// reassociated float folds).
+common::Status CheckPermutationInvariance(const est::CardinalityEstimator& est,
+                                          const query::Query& q,
+                                          common::Rng& rng,
+                                          const MetamorphicOptions& opts = {});
+
+/// The same permutations leave the featurization byte-identical (featurizers
+/// write per-attribute blocks, so order must not matter). A featurizer that
+/// accepts the original query but rejects the permuted one (or vice versa)
+/// is also a violation.
+common::Status CheckFeaturizationPermutationInvariance(
+    const featurize::Featurizer& featurizer, const query::Query& q,
+    common::Rng& rng);
+
+/// The true-cardinality estimator is exact: its estimate equals the
+/// executor's count, unclamped.
+common::Status CheckTrueCardExact(const storage::Catalog& catalog,
+                                  const query::Query& q);
+
+/// Returns `q` with all the orders permuted as described above. Exposed so
+/// the fuzzer can reuse one permutation across estimate and featurization
+/// checks, and for the shrink reproducer.
+query::Query PermuteQuery(const query::Query& q, common::Rng& rng);
+
+}  // namespace qfcard::testing
+
+#endif  // QFCARD_TESTING_METAMORPHIC_H_

@@ -1,0 +1,211 @@
+#include "testing/reference_eval.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace qfcard::testing {
+
+namespace {
+
+// Independent re-statement of the comparison semantics (deliberately not
+// query::EvalCmp, so a bug there cannot cancel out in the differential
+// check).
+bool RefCmp(query::CmpOp op, double value, double literal) {
+  switch (op) {
+    case query::CmpOp::kEq:
+      return value == literal;
+    case query::CmpOp::kNe:
+      return value != literal;
+    case query::CmpOp::kLt:
+      return value < literal;
+    case query::CmpOp::kLe:
+      return value <= literal;
+    case query::CmpOp::kGt:
+      return value > literal;
+    case query::CmpOp::kGe:
+      return value >= literal;
+  }
+  return false;
+}
+
+// `SELECT ... WHERE col IN ()` semantics: a compound with no disjuncts
+// matches nothing, a clause with no predicates matches everything.
+bool RefCompoundHolds(const query::CompoundPredicate& cp, double value) {
+  for (const query::ConjunctiveClause& clause : cp.disjuncts) {
+    bool clause_ok = true;
+    for (const query::SimplePredicate& p : clause.preds) {
+      if (!RefCmp(p.op, value, p.value)) {
+        clause_ok = false;
+        break;
+      }
+    }
+    if (clause_ok) return true;
+  }
+  return false;
+}
+
+common::Status CheckColumnRefs(const storage::Table& table,
+                               const query::Query& q) {
+  const auto check = [&](const query::ColumnRef& ref) -> common::Status {
+    if (ref.table != 0) {
+      return common::Status::InvalidArgument(
+          "ReferenceCount handles single-table queries");
+    }
+    if (ref.column < 0 || ref.column >= table.num_columns()) {
+      return common::Status::OutOfRange("reference: column out of range");
+    }
+    return common::Status::Ok();
+  };
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    QFCARD_RETURN_IF_ERROR(check(cp.col));
+  }
+  for (const query::ColumnRef& g : q.group_by) {
+    QFCARD_RETURN_IF_ERROR(check(g));
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::StatusOr<int64_t> ReferenceCount(const storage::Table& table,
+                                         const query::Query& q) {
+  if (q.tables.size() != 1 || !q.joins.empty()) {
+    return common::Status::InvalidArgument(
+        "ReferenceCount handles single-table queries; use ReferenceJoinCount");
+  }
+  QFCARD_RETURN_IF_ERROR(CheckColumnRefs(table, q));
+  int64_t count = 0;
+  std::set<std::vector<double>> groups;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    bool ok = true;
+    for (const query::CompoundPredicate& cp : q.predicates) {
+      if (!RefCompoundHolds(cp, table.column(cp.col.column).Get(r))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    if (q.group_by.empty()) {
+      ++count;
+    } else {
+      std::vector<double> key;
+      key.reserve(q.group_by.size());
+      for (const query::ColumnRef& g : q.group_by) {
+        key.push_back(table.column(g.column).Get(r));
+      }
+      groups.insert(std::move(key));
+    }
+  }
+  return q.group_by.empty() ? count : static_cast<int64_t>(groups.size());
+}
+
+common::StatusOr<int64_t> ReferenceJoinCount(const storage::Catalog& catalog,
+                                             const query::Query& q) {
+  if (q.tables.empty()) {
+    return common::Status::InvalidArgument("reference: query has no tables");
+  }
+  std::vector<const storage::Table*> tables;
+  for (const query::TableRef& ref : q.tables) {
+    QFCARD_ASSIGN_OR_RETURN(const storage::Table* t,
+                            catalog.GetTable(ref.name));
+    tables.push_back(t);
+  }
+  const int n = static_cast<int>(q.tables.size());
+  const auto check = [&](const query::ColumnRef& ref) -> common::Status {
+    if (ref.table < 0 || ref.table >= n) {
+      return common::Status::OutOfRange("reference: table index out of range");
+    }
+    if (ref.column < 0 ||
+        ref.column >= tables[static_cast<size_t>(ref.table)]->num_columns()) {
+      return common::Status::OutOfRange("reference: column out of range");
+    }
+    return common::Status::Ok();
+  };
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    QFCARD_RETURN_IF_ERROR(check(cp.col));
+  }
+  for (const query::JoinPredicate& j : q.joins) {
+    QFCARD_RETURN_IF_ERROR(check(j.left));
+    QFCARD_RETURN_IF_ERROR(check(j.right));
+  }
+  for (const query::ColumnRef& g : q.group_by) {
+    QFCARD_RETURN_IF_ERROR(check(g));
+  }
+  // Every table after the first must reach an earlier one through a join so
+  // the nested loops prune instead of building a cross product.
+  for (int t = 1; t < n; ++t) {
+    bool connected = false;
+    for (const query::JoinPredicate& j : q.joins) {
+      const int a = j.left.table;
+      const int b = j.right.table;
+      if ((a == t && b < t) || (b == t && a < t)) {
+        connected = true;
+        break;
+      }
+    }
+    if (!connected) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "reference: table %d joins no earlier table", t));
+    }
+  }
+
+  const auto value_of = [&](const query::ColumnRef& ref,
+                            const std::vector<int64_t>& rows) {
+    return tables[static_cast<size_t>(ref.table)]
+        ->column(ref.column)
+        .Get(rows[static_cast<size_t>(ref.table)]);
+  };
+
+  int64_t count = 0;
+  std::set<std::vector<double>> groups;
+  std::vector<int64_t> rows(static_cast<size_t>(n), -1);
+
+  // Left-deep nested loops over q.tables; each predicate is applied at the
+  // depth where its last referenced table becomes bound.
+  const auto recurse = [&](auto&& self, int depth) -> void {
+    if (depth == n) {
+      if (q.group_by.empty()) {
+        ++count;
+      } else {
+        std::vector<double> key;
+        key.reserve(q.group_by.size());
+        for (const query::ColumnRef& g : q.group_by) {
+          key.push_back(value_of(g, rows));
+        }
+        groups.insert(std::move(key));
+      }
+      return;
+    }
+    const storage::Table& table = *tables[static_cast<size_t>(depth)];
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      rows[static_cast<size_t>(depth)] = r;
+      bool ok = true;
+      for (const query::JoinPredicate& j : q.joins) {
+        const int last = std::max(j.left.table, j.right.table);
+        if (last != depth) continue;
+        if (value_of(j.left, rows) != value_of(j.right, rows)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (const query::CompoundPredicate& cp : q.predicates) {
+          if (cp.col.table != depth) continue;
+          if (!RefCompoundHolds(cp, value_of(cp.col, rows))) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) self(self, depth + 1);
+    }
+    rows[static_cast<size_t>(depth)] = -1;
+  };
+  recurse(recurse, 0);
+  return q.group_by.empty() ? count : static_cast<int64_t>(groups.size());
+}
+
+}  // namespace qfcard::testing

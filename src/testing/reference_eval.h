@@ -1,0 +1,40 @@
+#ifndef QFCARD_TESTING_REFERENCE_EVAL_H_
+#define QFCARD_TESTING_REFERENCE_EVAL_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace qfcard::testing {
+
+/// Independent ground-truth oracles for differential testing. These are
+/// deliberately the dumbest possible implementations — a full row scan with
+/// no predicate reordering, no short-circuiting across attributes, and a
+/// tuple-keyed (not hash-keyed) GROUP BY — so that they share as little code
+/// and as few failure modes as possible with query::Executor and
+/// query::JoinExecutor. Performance is irrelevant; the fuzzer only runs them
+/// on tiny generated tables.
+
+/// count(*) of the single-table query `q` over `table` by scanning every row
+/// and evaluating every compound predicate on it. With GROUP BY, counts
+/// distinct grouping-key tuples among qualifying rows via an ordered set of
+/// exact value tuples (the executor sorts-and-uniques; same result, disjoint
+/// code path).
+common::StatusOr<int64_t> ReferenceCount(const storage::Table& table,
+                                         const query::Query& q);
+
+/// count(*) of the (possibly joined) query `q` against `catalog` by
+/// left-deep nested-loop enumeration in `q.tables` order, applying each join
+/// or compound predicate as soon as every table it references is bound.
+/// Each table after the first must join with at least one earlier table
+/// (the same contract as JoinExecutor::Count). Exponential in the worst
+/// case; intended for catalogs with at most a few hundred rows per table.
+common::StatusOr<int64_t> ReferenceJoinCount(const storage::Catalog& catalog,
+                                             const query::Query& q);
+
+}  // namespace qfcard::testing
+
+#endif  // QFCARD_TESTING_REFERENCE_EVAL_H_

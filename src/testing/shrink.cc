@@ -1,0 +1,152 @@
+#include "testing/shrink.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace qfcard::testing {
+
+namespace {
+
+// Tries removing one element of `vec` at a time (left to right), keeping
+// each removal that still reproduces. `make_candidate` builds the candidate
+// query after `vec` is mutated in place on a copy. Returns true if anything
+// was removed.
+template <typename T, typename Rebuild>
+bool TryRemoveEach(std::vector<T>& vec, size_t keep_at_least,
+                   const Rebuild& rebuild_and_test) {
+  bool changed = false;
+  for (size_t i = 0; i < vec.size() && vec.size() > keep_at_least;) {
+    std::vector<T> shorter = vec;
+    shorter.erase(shorter.begin() + static_cast<long>(i));
+    if (rebuild_and_test(shorter)) {
+      vec = std::move(shorter);
+      changed = true;
+      // stay at index i: the next element shifted into it
+    } else {
+      ++i;
+    }
+  }
+  return changed;
+}
+
+bool TableReferenced(const query::Query& q, int t) {
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    if (cp.col.table == t) return true;
+  }
+  for (const query::JoinPredicate& j : q.joins) {
+    if (j.left.table == t || j.right.table == t) return true;
+  }
+  for (const query::ColumnRef& g : q.group_by) {
+    if (g.table == t) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+query::Query ShrinkQuery(const query::Query& q,
+                         const FailurePredicate& still_fails) {
+  query::Query cur = q;
+  if (!still_fails(cur)) return cur;  // caller contract violated; don't loop
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    changed |= TryRemoveEach(
+        cur.group_by, 0, [&](const std::vector<query::ColumnRef>& shorter) {
+          query::Query cand = cur;
+          cand.group_by = shorter;
+          return still_fails(cand);
+        });
+
+    changed |= TryRemoveEach(
+        cur.predicates, 0,
+        [&](const std::vector<query::CompoundPredicate>& shorter) {
+          query::Query cand = cur;
+          cand.predicates = shorter;
+          return still_fails(cand);
+        });
+
+    for (size_t c = 0; c < cur.predicates.size(); ++c) {
+      changed |= TryRemoveEach(
+          cur.predicates[c].disjuncts, 1,
+          [&](const std::vector<query::ConjunctiveClause>& shorter) {
+            query::Query cand = cur;
+            cand.predicates[c].disjuncts = shorter;
+            return still_fails(cand);
+          });
+      for (size_t d = 0; d < cur.predicates[c].disjuncts.size(); ++d) {
+        changed |= TryRemoveEach(
+            cur.predicates[c].disjuncts[d].preds, 1,
+            [&](const std::vector<query::SimplePredicate>& shorter) {
+              query::Query cand = cur;
+              cand.predicates[c].disjuncts[d].preds = shorter;
+              return still_fails(cand);
+            });
+      }
+    }
+
+    changed |= TryRemoveEach(
+        cur.joins, 0, [&](const std::vector<query::JoinPredicate>& shorter) {
+          query::Query cand = cur;
+          cand.joins = shorter;
+          return still_fails(cand);
+        });
+
+    // Trailing tables that nothing references can go (removing the last
+    // table leaves every other ColumnRef index valid).
+    while (cur.tables.size() > 1 &&
+           !TableReferenced(cur, static_cast<int>(cur.tables.size()) - 1)) {
+      query::Query cand = cur;
+      cand.tables.pop_back();
+      if (!still_fails(cand)) break;
+      cur = std::move(cand);
+      changed = true;
+    }
+  }
+  return cur;
+}
+
+std::string DescribeReproducer(const query::Query& q,
+                               const storage::Catalog& catalog,
+                               uint64_t seed, int iteration) {
+  std::ostringstream out;
+  const common::StatusOr<std::string> sql = query::QueryToSql(q, catalog);
+  if (sql.ok()) {
+    out << "sql: " << sql.value() << "\n";
+  } else {
+    // Not expressible as SQL (e.g. an empty IN list); dump the structure.
+    out << "query (not expressible as SQL: " << sql.status().ToString()
+        << "):\n  tables:";
+    for (const query::TableRef& t : q.tables) out << " " << t.name;
+    out << "\n  joins:";
+    for (const query::JoinPredicate& j : q.joins) {
+      out << " " << j.left.table << "." << j.left.column << "="
+          << j.right.table << "." << j.right.column;
+    }
+    out << "\n  predicates:";
+    for (const query::CompoundPredicate& cp : q.predicates) {
+      out << " {" << cp.col.table << "." << cp.col.column << ":";
+      for (size_t d = 0; d < cp.disjuncts.size(); ++d) {
+        if (d > 0) out << " OR";
+        out << " [";
+        const query::ConjunctiveClause& clause = cp.disjuncts[d];
+        for (size_t p = 0; p < clause.preds.size(); ++p) {
+          if (p > 0) out << " AND ";
+          out << query::CmpOpToString(clause.preds[p].op) << " "
+              << clause.preds[p].value;
+        }
+        out << "]";
+      }
+      out << "}";
+    }
+    out << "\n";
+  }
+  out << "replay: qfcard_fuzz --seed=" << seed << " --round=" << iteration
+      << " --rounds=1\n";
+  return out.str();
+}
+
+}  // namespace qfcard::testing

@@ -1,0 +1,40 @@
+#ifndef QFCARD_TESTING_SHRINK_H_
+#define QFCARD_TESTING_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace qfcard::testing {
+
+/// Returns true when a candidate query still reproduces the failure under
+/// investigation. Implementations must return false for queries they cannot
+/// evaluate (invalid shape, estimator error of a different kind), so the
+/// minimizer never "improves" a reproducer into a different bug.
+using FailurePredicate = std::function<bool(const query::Query&)>;
+
+/// Delta-debugs `q` down to a (locally) minimal query that still satisfies
+/// `still_fails`. Greedily tries, until a fixed point: dropping GROUP BY
+/// columns, dropping whole compound predicates, dropping disjuncts (keeping
+/// at least one), dropping simple predicates inside clauses (keeping at
+/// least one), and dropping trailing tables that no join, predicate, or
+/// grouping references (together with their joins). `q` itself must satisfy
+/// `still_fails`; the result always does.
+///
+/// The number of predicate evaluations is O(components^2) in the worst case
+/// — fine for generated queries with tens of components.
+query::Query ShrinkQuery(const query::Query& q,
+                         const FailurePredicate& still_fails);
+
+/// Renders a shrunken reproducer for humans: the SQL text (or a structural
+/// dump when the query is not expressible as SQL, e.g. an empty IN list)
+/// plus the seed line needed to replay it.
+std::string DescribeReproducer(const query::Query& q,
+                               const storage::Catalog& catalog,
+                               uint64_t seed, int iteration);
+
+}  // namespace qfcard::testing
+
+#endif  // QFCARD_TESTING_SHRINK_H_

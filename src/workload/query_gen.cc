@@ -43,6 +43,25 @@ std::vector<query::Query> GeneratePredicateWorkload(
       if (col.size() == 0) continue;
       query::CompoundPredicate cp;
       cp.col = query::ColumnRef{0, col_idx};
+      // The `> 0` guard keeps the draw sequence of pre-existing options
+      // byte-identical (Bernoulli consumes a draw).
+      if (options.in_list_prob > 0 && rng.Bernoulli(options.in_list_prob)) {
+        // IN-list: disjunction of equalities over distinct sampled values.
+        const int want = static_cast<int>(
+            rng.UniformInt(1, std::max(1, options.max_in_list)));
+        std::set<double> values;
+        for (int vi = 0; vi < want; ++vi) {
+          values.insert(col.Get(rng.UniformInt(0, col.size() - 1)));
+        }
+        for (const double v : values) {
+          query::ConjunctiveClause clause;
+          clause.preds.push_back(
+              query::SimplePredicate{cp.col, query::CmpOp::kEq, v});
+          cp.disjuncts.push_back(std::move(clause));
+        }
+        q.predicates.push_back(std::move(cp));
+        continue;
+      }
       const int m = static_cast<int>(
           rng.UniformInt(options.min_disjuncts, options.max_disjuncts));
       for (int d = 0; d < m; ++d) {

@@ -21,6 +21,14 @@ struct PredicateGenOptions {
   int max_not_equals = 5;
   int min_disjuncts = 1;
   int max_disjuncts = 1;  ///< > 1 yields mixed queries (Definition 3.3)
+  /// Probability that an attribute's compound predicate is generated as an
+  /// IN-list — a disjunction of equality clauses over 1..max_in_list
+  /// distinct sampled values — instead of range disjuncts. 0 (the default)
+  /// reproduces the paper's workloads and leaves the random stream of
+  /// existing seeds untouched. Used by the fuzzer (src/testing/) to cover
+  /// the equality-disjunction corner of Definition 3.3.
+  double in_list_prob = 0.0;
+  int max_in_list = 8;
   /// Attribute (column) indices eligible for predicates; empty = all.
   std::vector<int> allowed_attrs;
   /// When > 0, each query additionally groups by 0..max_group_by_attrs

@@ -1,0 +1,160 @@
+// Executor edge cases, each cross-checked against the independent naive
+// evaluators in src/testing/reference_eval.h (satellite of the differential
+// testing subsystem; the fuzzer covers the same pairs on random inputs).
+
+#include "gtest/gtest.h"
+#include "query/executor.h"
+#include "query/join_executor.h"
+#include "test_util.h"
+#include "testing/reference_eval.h"
+
+namespace qfcard::query {
+namespace {
+
+using testing::ReferenceCount;
+using testing::ReferenceJoinCount;
+using testutil::AddCompound;
+using testutil::AddPredicate;
+using testutil::IntColumn;
+using testutil::SingleTableQuery;
+using testutil::SmallTable;
+
+// Engine and reference must agree exactly; returns the agreed count.
+int64_t AgreedCount(const storage::Table& t, const Query& q) {
+  const auto engine = Executor::Count(t, q);
+  const auto ref = ReferenceCount(t, q);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+  if (!engine.ok() || !ref.ok()) return -1;
+  EXPECT_EQ(engine.value(), ref.value());
+  return engine.value();
+}
+
+TEST(ExecutorEdgeTest, EmptyInListMatchesNoRows) {
+  // `a IN ()` — a compound with zero disjuncts. ValidateQuery rejects it at
+  // the API boundary, but both evaluators must still agree on the SQL
+  // semantics (an empty disjunction is false) for shrunken reproducers.
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  CompoundPredicate cp;
+  cp.col = ColumnRef{0, 0};
+  q.predicates.push_back(cp);  // no disjuncts
+  EXPECT_EQ(AgreedCount(t, q), 0);
+}
+
+TEST(ExecutorEdgeTest, InvertedRangeMatchesNoRows) {
+  // a >= 8 AND a <= 2: lo > hi, statically empty.
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  AddCompound(q, 0, {{{CmpOp::kGe, 8}, {CmpOp::kLe, 2}}});
+  EXPECT_EQ(AgreedCount(t, q), 0);
+}
+
+TEST(ExecutorEdgeTest, ConstantColumnAllOrNothing) {
+  // A column where every row holds the same value (the engine has no NULLs;
+  // a constant column is the degenerate single-value case).
+  storage::Table t("constant");
+  QFCARD_CHECK_OK(
+      t.AddColumn(IntColumn("c", {7, 7, 7, 7, 7, 7})));
+  Query q = SingleTableQuery("constant");
+  AddPredicate(q, 0, CmpOp::kEq, 7);
+  EXPECT_EQ(AgreedCount(t, q), 6);
+
+  Query q_ne = SingleTableQuery("constant");
+  AddPredicate(q_ne, 0, CmpOp::kNe, 7);
+  EXPECT_EQ(AgreedCount(t, q_ne), 0);
+
+  Query q_lt = SingleTableQuery("constant");
+  AddPredicate(q_lt, 0, CmpOp::kLt, 7);
+  EXPECT_EQ(AgreedCount(t, q_lt), 0);
+
+  Query q_range = SingleTableQuery("constant");
+  AddCompound(q_range, 0, {{{CmpOp::kGe, 7}, {CmpOp::kLe, 7}}});
+  EXPECT_EQ(AgreedCount(t, q_range), 6);
+}
+
+TEST(ExecutorEdgeTest, GroupByOnConstantColumnIsOneGroup) {
+  storage::Table t("constant");
+  QFCARD_CHECK_OK(t.AddColumn(IntColumn("c", {7, 7, 7, 7})));
+  QFCARD_CHECK_OK(t.AddColumn(IntColumn("d", {1, 2, 1, 2})));
+  Query q = SingleTableQuery("constant");
+  q.group_by.push_back(ColumnRef{0, 0});
+  EXPECT_EQ(AgreedCount(t, q), 1);
+  q.group_by.push_back(ColumnRef{0, 1});
+  EXPECT_EQ(AgreedCount(t, q), 2);
+}
+
+TEST(ExecutorEdgeTest, GroupByWithEmptySelectionHasZeroGroups) {
+  const storage::Table t = SmallTable();
+  Query q = SingleTableQuery("small");
+  AddPredicate(q, 0, CmpOp::kLt, -100);  // matches nothing
+  q.group_by.push_back(ColumnRef{0, 1});
+  EXPECT_EQ(AgreedCount(t, q), 0);
+}
+
+TEST(ExecutorEdgeTest, JoinProducingZeroRows) {
+  // Disjoint key domains: every probe misses.
+  storage::Catalog catalog;
+  {
+    storage::Table fact("fact");
+    QFCARD_CHECK_OK(fact.AddColumn(IntColumn("id", {1, 2, 3, 4})));
+    QFCARD_CHECK_OK(catalog.AddTable(std::move(fact)));
+    storage::Table dim("dim");
+    QFCARD_CHECK_OK(dim.AddColumn(IntColumn("fk", {10, 20, 30})));
+    QFCARD_CHECK_OK(catalog.AddTable(std::move(dim)));
+  }
+  Query q;
+  q.tables.push_back(TableRef{"fact", "fact"});
+  q.tables.push_back(TableRef{"dim", "dim"});
+  q.joins.push_back(JoinPredicate{ColumnRef{0, 0}, ColumnRef{1, 0}});
+
+  const auto engine = JoinExecutor::Count(catalog, q);
+  const auto ref = ReferenceJoinCount(catalog, q);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(engine.value(), 0);
+  EXPECT_EQ(ref.value(), 0);
+}
+
+TEST(ExecutorEdgeTest, JoinWithSelectiveAndEmptyPredicates) {
+  storage::Catalog catalog;
+  {
+    storage::Table fact("fact");
+    QFCARD_CHECK_OK(fact.AddColumn(IntColumn("id", {1, 1, 2, 3})));
+    QFCARD_CHECK_OK(catalog.AddTable(std::move(fact)));
+    storage::Table dim("dim");
+    QFCARD_CHECK_OK(dim.AddColumn(IntColumn("fk", {1, 2, 2, 5})));
+    QFCARD_CHECK_OK(catalog.AddTable(std::move(dim)));
+  }
+  Query q;
+  q.tables.push_back(TableRef{"fact", "fact"});
+  q.tables.push_back(TableRef{"dim", "dim"});
+  q.joins.push_back(JoinPredicate{ColumnRef{0, 0}, ColumnRef{1, 0}});
+
+  // fact.id=1 matches dim.fk=1 once per fact row -> 2; id=2 matches twice.
+  {
+    const auto engine = JoinExecutor::Count(catalog, q);
+    const auto ref = ReferenceJoinCount(catalog, q);
+    ASSERT_TRUE(engine.ok() && ref.ok());
+    EXPECT_EQ(engine.value(), ref.value());
+    EXPECT_EQ(engine.value(), 4);
+  }
+
+  // A predicate that empties one side empties the join.
+  CompoundPredicate cp;
+  cp.col = ColumnRef{1, 0};
+  ConjunctiveClause clause;
+  clause.preds.push_back(SimplePredicate{ColumnRef{1, 0}, CmpOp::kGt, 100});
+  cp.disjuncts.push_back(std::move(clause));
+  q.predicates.push_back(std::move(cp));
+  {
+    const auto engine = JoinExecutor::Count(catalog, q);
+    const auto ref = ReferenceJoinCount(catalog, q);
+    ASSERT_TRUE(engine.ok() && ref.ok());
+    EXPECT_EQ(engine.value(), 0);
+    EXPECT_EQ(ref.value(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace qfcard::query

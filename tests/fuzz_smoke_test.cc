@@ -1,0 +1,70 @@
+// Time-budgeted fuzz smoke test: runs the full differential/metamorphic
+// fuzzer (src/testing/query_fuzzer.h) at its default fixed seed — at least
+// 2000 generated queries, with batch/serial parity checked at 1, 2, and 8
+// threads — and fails with the minimized reproducers if any check is
+// violated. On failure the report is also written to
+// $QFCARD_FUZZ_ARTIFACT (or ./fuzz_repro.txt) so CI can upload it.
+
+#include "testing/query_fuzzer.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace qfcard::testing {
+namespace {
+
+void WriteArtifactOnFailure(const FuzzReport& report) {
+  if (report.ok()) return;
+  const char* env = std::getenv("QFCARD_FUZZ_ARTIFACT");
+  const std::string path = env != nullptr ? env : "fuzz_repro.txt";
+  std::ofstream out(path);
+  if (out) out << report.Summary();
+}
+
+TEST(FuzzSmokeTest, DefaultSeedRunsCleanWithParityAcrossPoolSizes) {
+  FuzzOptions options;  // fixed default seed: deterministic run
+  ASSERT_EQ(options.parity_threads, (std::vector<int>{1, 2, 8}));
+
+  const FuzzReport report = RunFuzzer(options);
+  WriteArtifactOnFailure(report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.rounds, options.rounds);
+  EXPECT_GE(report.queries, 2000) << "smoke budget requires >= 2000 queries";
+  EXPECT_GT(report.checks, report.queries) << "several checks per query";
+}
+
+TEST(FuzzSmokeTest, SecondSeedAlsoClean) {
+  FuzzOptions options;
+  options.seed = 0x5eed2;
+  options.rounds = 10;
+  const FuzzReport report = RunFuzzer(options);
+  WriteArtifactOnFailure(report);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.rounds, 10);
+}
+
+TEST(FuzzSmokeTest, ReplayRunsExactlyOneRound) {
+  FuzzOptions options;
+  options.replay_round = 7;
+  const FuzzReport report = RunFuzzer(options);
+  EXPECT_EQ(report.rounds, 1);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(FuzzSmokeTest, DeterministicAcrossRuns) {
+  FuzzOptions options;
+  options.rounds = 3;
+  const FuzzReport a = RunFuzzer(options);
+  const FuzzReport b = RunFuzzer(options);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+}  // namespace
+}  // namespace qfcard::testing

@@ -1,0 +1,163 @@
+// Parser round-trip property: for any accepted query q,
+//   ToSql(q) parses back to a structurally identical query, and
+//   ToSql is a fixed point from the first rendering on.
+//
+// The fuzzer (src/testing/query_fuzzer.cc) checks this on random generated
+// queries; here the same property runs over hand-picked tricky inputs —
+// mixed AND/OR nesting, operator zoo, quoted string literals, LIKE
+// desugaring, joins, GROUP BY, aliases, odd whitespace and keyword casing.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "query/normalize.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace qfcard::query {
+namespace {
+
+storage::Catalog TrickyCatalog() {
+  storage::Catalog catalog;
+  {
+    storage::Table t("t");
+    QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("a", {1, 2, 3, 4, 5})));
+    QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("b", {10, 20, 30, 40, 50})));
+    QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("c", {-5, 0, 5, 10, 15})));
+    QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("d", {7, 7, 8, 9, 9})));
+    storage::Dictionary dict = storage::Dictionary::FromValues(
+        {"alpha", "beta", "delta", "gamma"});
+    storage::Column s("s", storage::ColumnType::kDictString);
+    for (const char* v : {"alpha", "beta", "gamma", "delta", "alpha"}) {
+      s.Append(static_cast<double>(dict.Code(v).value()));
+    }
+    s.SetDictionary(std::move(dict));
+    QFCARD_CHECK_OK(t.AddColumn(std::move(s)));
+    QFCARD_CHECK_OK(catalog.AddTable(std::move(t)));
+  }
+  {
+    storage::Table u("u");
+    QFCARD_CHECK_OK(u.AddColumn(testutil::IntColumn("id", {1, 2, 3})));
+    QFCARD_CHECK_OK(u.AddColumn(testutil::IntColumn("v", {100, 200, 300})));
+    QFCARD_CHECK_OK(catalog.AddTable(std::move(u)));
+  }
+  return catalog;
+}
+
+// The 50 tricky inputs. Each must parse; the round-trip property is then
+// asserted on the parsed (normalized) form.
+const std::vector<std::string>& TrickyQueries() {
+  static const std::vector<std::string>* queries = new std::vector<std::string>{
+      // Bare scans, casing, whitespace.
+      "SELECT count(*) FROM t;",
+      "select COUNT(*) from t",
+      "  SELECT   count(*)   FROM   t   ;  ",
+      "SELECT count(*) FROM t AS t;",
+      // Single comparisons, full operator zoo.
+      "SELECT count(*) FROM t WHERE a = 3;",
+      "SELECT count(*) FROM t WHERE a != 3;",
+      "SELECT count(*) FROM t WHERE a <> 3;",
+      "SELECT count(*) FROM t WHERE a < 3;",
+      "SELECT count(*) FROM t WHERE a <= 3;",
+      "SELECT count(*) FROM t WHERE a > 3;",
+      "SELECT count(*) FROM t WHERE a >= 3;",
+      "SELECT count(*) FROM t WHERE a = -2;",
+      "SELECT count(*) FROM t WHERE c >= -5 AND c <= 15;",
+      // Conjunctions across attributes.
+      "SELECT count(*) FROM t WHERE a >= 2 AND b < 40;",
+      "SELECT count(*) FROM t WHERE a >= 1 AND b >= 10 AND c >= 0 AND d = 7;",
+      "SELECT count(*) FROM t WHERE t.a = 1 AND t.b = 10;",
+      // Range + not-equals mixes on one attribute.
+      "SELECT count(*) FROM t WHERE a >= 1 AND a <= 4 AND a != 2;",
+      "SELECT count(*) FROM t WHERE a > 1 AND a < 5 AND a != 2 AND a != 3;",
+      // Disjunctions, IN-list spellings (OR of equalities).
+      "SELECT count(*) FROM t WHERE a = 1 OR a = 3;",
+      "SELECT count(*) FROM t WHERE (a = 1 OR a = 3 OR a = 5);",
+      "SELECT count(*) FROM t WHERE a = 1 OR a = 2 OR a = 3 OR a = 4;",
+      // Mixed AND/OR nesting: AND binds tighter.
+      "SELECT count(*) FROM t WHERE a >= 1 AND a <= 2 OR a >= 4 AND a <= 5;",
+      "SELECT count(*) FROM t WHERE (a >= 1 AND a <= 2) OR (a >= 4 AND a <= 5);",
+      "SELECT count(*) FROM t WHERE a < 2 OR a > 4 OR a = 3;",
+      "SELECT count(*) FROM t WHERE (a < 2 OR a > 4) AND a != 0;",
+      "SELECT count(*) FROM t WHERE ((a = 1) OR (a >= 3 AND a <= 4));",
+      "SELECT count(*) FROM t WHERE (((a >= 1 AND a <= 5)));",
+      // Distribution of OR over AND (DNF expansion).
+      "SELECT count(*) FROM t WHERE (a = 1 OR a = 2) AND a != 2;",
+      "SELECT count(*) FROM t WHERE (a <= 2 OR a >= 4) AND (a != 1 OR a != 5);",
+      // Multiple compound predicates on different attributes.
+      "SELECT count(*) FROM t WHERE (a = 1 OR a = 2) AND (b = 10 OR b = 20);",
+      "SELECT count(*) FROM t WHERE (a < 3 OR a > 4) AND b >= 10 AND (c = 0 OR c = 5);",
+      // Quoted string literals against the dictionary column.
+      "SELECT count(*) FROM t WHERE s = 'alpha';",
+      "SELECT count(*) FROM t WHERE s != 'beta';",
+      "SELECT count(*) FROM t WHERE s = 'alpha' OR s = 'gamma';",
+      "SELECT count(*) FROM t WHERE s >= 'beta' AND s <= 'delta';",
+      "SELECT count(*) FROM t WHERE s = 'alpha' AND a <= 3;",
+      // LIKE desugars to dictionary-code ranges / equality disjunctions.
+      "SELECT count(*) FROM t WHERE s LIKE 'alp%';",
+      "SELECT count(*) FROM t WHERE s LIKE '%';",
+      "SELECT count(*) FROM t WHERE s LIKE 'gamma';",
+      // GROUP BY.
+      "SELECT count(*) FROM t GROUP BY a;",
+      "SELECT count(*) FROM t GROUP BY a, b;",
+      "SELECT count(*) FROM t WHERE a >= 2 GROUP BY d;",
+      "SELECT count(*) FROM t WHERE (a = 1 OR a = 4) AND b <= 40 GROUP BY d, a;",
+      // Joins, aliases, join + filter + group mixes.
+      "SELECT count(*) FROM t, u WHERE t.a = u.id;",
+      "SELECT count(*) FROM t AS t, u AS u WHERE t.a = u.id;",
+      "SELECT count(*) FROM t, u WHERE t.a = u.id AND u.v >= 200;",
+      "SELECT count(*) FROM t, u WHERE t.a = u.id AND (t.b = 10 OR t.b = 30);",
+      "SELECT count(*) FROM t, u WHERE t.a = u.id AND t.d = 7 AND u.v != 100;",
+      "SELECT count(*) FROM t, u WHERE t.a = u.id GROUP BY t.d;",
+      "SELECT count(*) FROM t, u WHERE t.a = u.id AND (u.v = 100 OR u.v = 300) GROUP BY u.id;",
+  };
+  return *queries;
+}
+
+TEST(ParserRoundTripTest, FiftyTrickyQueries) {
+  const storage::Catalog catalog = TrickyCatalog();
+  const std::vector<std::string>& queries = TrickyQueries();
+  ASSERT_EQ(queries.size(), 50u);
+  for (const std::string& sql : queries) {
+    SCOPED_TRACE(sql);
+    const auto q1 = ParseQuery(sql, catalog);
+    ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+    const auto rendered = QueryToSql(q1.value(), catalog);
+    ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+    const auto q2 = ParseQuery(rendered.value(), catalog);
+    ASSERT_TRUE(q2.ok()) << "re-parse of \"" << rendered.value()
+                         << "\" failed: " << q2.status().ToString();
+    EXPECT_TRUE(q2.value() == q1.value())
+        << "round trip changed the query; rendered: " << rendered.value();
+    const auto rendered2 = QueryToSql(q2.value(), catalog);
+    ASSERT_TRUE(rendered2.ok());
+    EXPECT_EQ(rendered2.value(), rendered.value())
+        << "ToSql is not a fixed point";
+  }
+}
+
+TEST(ParserRoundTripTest, EquivalentSpellingsNormalizeIdentically) {
+  const storage::Catalog catalog = TrickyCatalog();
+  const std::pair<const char*, const char*> pairs[] = {
+      {"SELECT count(*) FROM t WHERE a != 3;",
+       "SELECT count(*) FROM t WHERE a <> 3;"},
+      {"select count(*) from t where a = 1 and b = 10;",
+       "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 10;"},
+      {"SELECT count(*) FROM t WHERE (a = 1 OR a = 3);",
+       "SELECT count(*) FROM t WHERE a = 1 OR a = 3;"},
+  };
+  for (const auto& [left, right] : pairs) {
+    SCOPED_TRACE(std::string(left) + " vs " + right);
+    const auto ql = ParseQuery(left, catalog);
+    const auto qr = ParseQuery(right, catalog);
+    ASSERT_TRUE(ql.ok() && qr.ok());
+    EXPECT_TRUE(ql.value() == qr.value());
+  }
+}
+
+}  // namespace
+}  // namespace qfcard::query

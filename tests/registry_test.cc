@@ -1,0 +1,90 @@
+#include "estimators/registry.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace qfcard::est {
+namespace {
+
+using testutil::SmallCatalog;
+
+TEST(RegistryTest, EveryRegisteredNameConstructs) {
+  const storage::Catalog catalog = SmallCatalog();
+  const std::vector<std::string> names = RegisteredEstimators();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    const auto estimator = MakeEstimator(name, catalog);
+    ASSERT_TRUE(estimator.ok())
+        << "registered name \"" << name
+        << "\" failed to construct: " << estimator.status().ToString();
+    EXPECT_NE(estimator.value(), nullptr) << name;
+    EXPECT_FALSE(estimator.value()->name().empty()) << name;
+  }
+}
+
+TEST(RegistryTest, RegisteredNamesAreUniqueAndCoverBaselines) {
+  std::vector<std::string> names = RegisteredEstimators();
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end())
+      << "duplicate registered name";
+  for (const char* expected : {"postgres", "sampling", "true", "mscn",
+                               "gb+conjunctive", "nn+complex"}) {
+    EXPECT_TRUE(std::binary_search(names.begin(), names.end(),
+                                   std::string(expected)))
+        << expected << " missing from RegisteredEstimators()";
+  }
+}
+
+TEST(RegistryTest, UnknownNameReturnsErrorListingRegisteredNames) {
+  const storage::Catalog catalog = SmallCatalog();
+  const auto result = MakeEstimator("no-such-estimator", catalog);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+  // The error enumerates valid choices so CLI users can self-correct.
+  EXPECT_NE(result.status().message().find("registered names"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("postgres"), std::string::npos);
+}
+
+TEST(RegistryTest, UnknownModelAndQftReturnErrors) {
+  const storage::Catalog catalog = SmallCatalog();
+
+  const auto bad_model = MakeEstimator("forest+simple", catalog);
+  ASSERT_FALSE(bad_model.ok());
+  EXPECT_NE(bad_model.status().message().find("unknown model"),
+            std::string::npos)
+      << bad_model.status().ToString();
+  EXPECT_NE(bad_model.status().message().find("registered names"),
+            std::string::npos);
+
+  const auto bad_qft = MakeEstimator("gb+fourier", catalog);
+  ASSERT_FALSE(bad_qft.ok());
+  EXPECT_NE(bad_qft.status().message().find("unknown QFT"), std::string::npos)
+      << bad_qft.status().ToString();
+}
+
+TEST(RegistryTest, QftAliasesAndCaseInsensitivity) {
+  const storage::Catalog catalog = SmallCatalog();
+  for (const char* name : {"gb+conj", "gb+conjunctive", "linear+comp",
+                           "linear+complex", "POSTGRES", "Sampling",
+                           "NN+Simple", "MSCN+Range"}) {
+    const auto estimator = MakeEstimator(name, catalog);
+    EXPECT_TRUE(estimator.ok())
+        << name << ": " << estimator.status().ToString();
+  }
+}
+
+TEST(RegistryTest, EmptyCatalogRejectedForFeaturizedEstimators) {
+  const storage::Catalog empty;
+  const auto result = MakeEstimator("gb+simple", empty);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qfcard::est

@@ -1,0 +1,128 @@
+// Tests for the failure minimizer (src/testing/shrink.h): a planted failure
+// inside a deliberately bloated query must shrink to the minimal reproducer,
+// and the minimizer must never leave the failing set.
+
+#include "testing/shrink.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace qfcard::testing {
+namespace {
+
+using testutil::AddCompound;
+using testutil::AddPredicate;
+using testutil::SingleTableQuery;
+using testutil::SmallCatalog;
+
+// "Fails" iff the query still contains an equality on column 1 with value 42.
+bool HasPlantedPredicate(const query::Query& q) {
+  for (const query::CompoundPredicate& cp : q.predicates) {
+    for (const query::ConjunctiveClause& clause : cp.disjuncts) {
+      for (const query::SimplePredicate& p : clause.preds) {
+        if (p.col.column == 1 && p.op == query::CmpOp::kEq && p.value == 42) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+query::Query BloatedQuery() {
+  query::Query q = SingleTableQuery("small");
+  AddPredicate(q, 0, query::CmpOp::kGe, 2);
+  AddCompound(q, 0, {{{query::CmpOp::kLe, 7}}, {{query::CmpOp::kEq, 9}}});
+  // The needle hides in the middle of a three-clause disjunction, inside a
+  // two-predicate clause.
+  AddCompound(q, 1,
+              {{{query::CmpOp::kLe, 90}},
+               {{query::CmpOp::kEq, 42}, {query::CmpOp::kGe, 0}},
+               {{query::CmpOp::kEq, 10}}});
+  AddPredicate(q, 1, query::CmpOp::kNe, 30);
+  q.group_by.push_back(query::ColumnRef{0, 0});
+  q.group_by.push_back(query::ColumnRef{0, 1});
+  return q;
+}
+
+TEST(ShrinkTest, ShrinksToMinimalReproducer) {
+  const query::Query minimal = ShrinkQuery(BloatedQuery(), HasPlantedPredicate);
+  EXPECT_TRUE(HasPlantedPredicate(minimal));
+  ASSERT_EQ(minimal.predicates.size(), 1u);
+  ASSERT_EQ(minimal.predicates[0].disjuncts.size(), 1u);
+  ASSERT_EQ(minimal.predicates[0].disjuncts[0].preds.size(), 1u);
+  const query::SimplePredicate& p = minimal.predicates[0].disjuncts[0].preds[0];
+  EXPECT_EQ(p.col.column, 1);
+  EXPECT_EQ(p.op, query::CmpOp::kEq);
+  EXPECT_EQ(p.value, 42);
+  EXPECT_TRUE(minimal.group_by.empty());
+  EXPECT_EQ(minimal.tables.size(), 1u);
+}
+
+TEST(ShrinkTest, NonFailingQueryReturnedUnchanged) {
+  query::Query q = SingleTableQuery("small");
+  AddPredicate(q, 0, query::CmpOp::kGe, 2);
+  const query::Query out = ShrinkQuery(q, HasPlantedPredicate);
+  EXPECT_TRUE(out == q);
+}
+
+TEST(ShrinkTest, AlwaysFailingShrinksToEmptyScan) {
+  const query::Query minimal =
+      ShrinkQuery(BloatedQuery(), [](const query::Query&) { return true; });
+  EXPECT_TRUE(minimal.predicates.empty());
+  EXPECT_TRUE(minimal.group_by.empty());
+  EXPECT_TRUE(minimal.joins.empty());
+}
+
+TEST(ShrinkTest, DropsUnreferencedTrailingTableAndJoins) {
+  query::Query q;
+  q.tables.push_back(query::TableRef{"small", "small"});
+  q.tables.push_back(query::TableRef{"small", "s2"});
+  q.joins.push_back(
+      query::JoinPredicate{query::ColumnRef{0, 0}, query::ColumnRef{1, 0}});
+  AddPredicate(q, 0, query::CmpOp::kEq, 3);  // on table 0 only
+
+  const auto fails = [](const query::Query& cand) {
+    for (const query::CompoundPredicate& cp : cand.predicates) {
+      for (const query::ConjunctiveClause& clause : cp.disjuncts) {
+        for (const query::SimplePredicate& p : clause.preds) {
+          if (p.op == query::CmpOp::kEq && p.value == 3) return true;
+        }
+      }
+    }
+    return false;
+  };
+  const query::Query minimal = ShrinkQuery(q, fails);
+  EXPECT_EQ(minimal.tables.size(), 1u);
+  EXPECT_TRUE(minimal.joins.empty());
+  ASSERT_EQ(minimal.predicates.size(), 1u);
+}
+
+TEST(ShrinkTest, ReproducerMentionsSqlAndReplayLine) {
+  const storage::Catalog catalog = SmallCatalog();
+  query::Query q = SingleTableQuery("small");
+  AddPredicate(q, 1, query::CmpOp::kEq, 42);
+  const std::string repro = DescribeReproducer(q, catalog, 20260806, 17);
+  EXPECT_NE(repro.find("sql: "), std::string::npos) << repro;
+  EXPECT_NE(repro.find("b = 42"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("replay: qfcard_fuzz --seed=20260806 --round=17"),
+            std::string::npos)
+      << repro;
+}
+
+TEST(ShrinkTest, ReproducerFallsBackToStructureForEmptyInList) {
+  const storage::Catalog catalog = SmallCatalog();
+  query::Query q = SingleTableQuery("small");
+  query::CompoundPredicate cp;
+  cp.col = query::ColumnRef{0, 0};
+  q.predicates.push_back(cp);  // zero disjuncts: not expressible as SQL
+  const std::string repro = DescribeReproducer(q, catalog, 1, 0);
+  EXPECT_NE(repro.find("not expressible as SQL"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("replay: qfcard_fuzz --seed=1 --round=0"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qfcard::testing

@@ -110,6 +110,64 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, OversubscribedPoolCompletesEveryTask) {
+  // Far more threads than cores and far more tasks than threads: every
+  // index must still run exactly once with no lost or duplicated slots.
+  ThreadPool pool(32);
+  constexpr int64_t kTasks = 20000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(kTasks, [&](int64_t i) {
+    hits[static_cast<size_t>(i)]++;
+    sum += i;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, HighestIndexFailurePropagates) {
+  // The failing slot is the last index — the boundary where a pool that
+  // mismanages its tail chunk would drop the exception.
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    try {
+      pool.ParallelFor(64, [&](int64_t i) {
+        ran++;
+        if (i == 63) throw std::runtime_error("i=63");
+      });
+      FAIL() << "expected throw at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "i=63") << threads << " threads";
+    }
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, EnvZeroAndOneAreEquivalent) {
+  // QFCARD_THREADS=0 and =1 must both mean "serial": same pool size and the
+  // same inline execution order.
+  const char* saved = std::getenv("QFCARD_THREADS");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  std::vector<std::vector<int64_t>> orders;
+  for (const char* value : {"0", "1"}) {
+    ::setenv("QFCARD_THREADS", value, 1);
+    EXPECT_EQ(ThreadPoolSizeFromEnv(), 1) << "QFCARD_THREADS=" << value;
+    ThreadPool pool(ThreadPoolSizeFromEnv());
+    std::vector<int64_t> order;
+    pool.ParallelFor(64, [&](int64_t i) { order.push_back(i); });
+    orders.push_back(std::move(order));
+  }
+  EXPECT_EQ(orders[0], orders[1]);
+
+  if (saved != nullptr) {
+    ::setenv("QFCARD_THREADS", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("QFCARD_THREADS");
+  }
+}
+
 TEST(ThreadPoolTest, SizeFromEnvParsing) {
   const char* saved = std::getenv("QFCARD_THREADS");
   const std::string saved_value = saved != nullptr ? saved : "";
