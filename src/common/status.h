@@ -128,15 +128,18 @@ class StatusOr {
 
 }  // namespace qfcard::common
 
-/// Propagates a non-OK Status to the caller.
-#define QFCARD_RETURN_IF_ERROR(expr)                 \
-  do {                                               \
-    ::qfcard::common::Status qfcard_status = (expr); \
-    if (!qfcard_status.ok()) return qfcard_status;   \
-  } while (0)
-
 #define QFCARD_CONCAT_INNER_(a, b) a##b
 #define QFCARD_CONCAT_(a, b) QFCARD_CONCAT_INNER_(a, b)
+
+/// Propagates a non-OK Status to the caller. The local is line-suffixed so
+/// invocations in nested scopes don't shadow each other under -Wshadow.
+#define QFCARD_RETURN_IF_ERROR(expr)                                  \
+  do {                                                                \
+    ::qfcard::common::Status QFCARD_CONCAT_(qfcard_status_,          \
+                                            __LINE__) = (expr);       \
+    if (!QFCARD_CONCAT_(qfcard_status_, __LINE__).ok())               \
+      return QFCARD_CONCAT_(qfcard_status_, __LINE__);                \
+  } while (0)
 
 /// Evaluates a StatusOr expression; on error propagates the Status, otherwise
 /// moves the value into `lhs`.

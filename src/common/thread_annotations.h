@@ -1,0 +1,89 @@
+#ifndef QFCARD_COMMON_THREAD_ANNOTATIONS_H_
+#define QFCARD_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis annotations (docs/static_analysis.md).
+//
+// These macros let the compiler enforce lock discipline statically: declare
+// which mutex guards each piece of shared mutable state (GUARDED_BY), which
+// locks a function needs held on entry (REQUIRES) or must not hold
+// (EXCLUDES), and the analysis rejects any access pattern that could race —
+// at compile time, with no runtime cost. Under Clang the repo builds with
+// -Wthread-safety -Werror=thread-safety (see the thread-safety CI job); on
+// GCC and other compilers every macro expands to nothing.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QFCARD_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define QFCARD_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+// Marks a class as a lockable capability ("mutex" names the capability kind
+// in diagnostics).
+#define QFCARD_CAPABILITY(x) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Marks an RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define QFCARD_SCOPED_CAPABILITY \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Declares that the annotated member is protected by the given mutex: reads
+// and writes are only legal while it is held.
+#define QFCARD_GUARDED_BY(x) QFCARD_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// As GUARDED_BY, but for the data a pointer member points to.
+#define QFCARD_PT_GUARDED_BY(x) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Declares that callers must hold the given mutex(es), exclusively, before
+// calling the annotated function.
+#define QFCARD_REQUIRES(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// As REQUIRES for shared (reader) access.
+#define QFCARD_REQUIRES_SHARED(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Declares that callers must NOT hold the given mutex(es) — the function
+// acquires them itself (deadlock guard).
+#define QFCARD_EXCLUDES(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// The annotated function acquires the capability and does not release it
+// before returning.
+#define QFCARD_ACQUIRE(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define QFCARD_ACQUIRE_SHARED(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+// The annotated function releases the capability (held on entry).
+#define QFCARD_RELEASE(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define QFCARD_RELEASE_SHARED(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+// The annotated function acquires the capability if and only if it returns
+// the given value (try-lock).
+#define QFCARD_TRY_ACQUIRE(...) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+// Returns a reference to the capability guarding this object (lets wrapper
+// accessors participate in the analysis).
+#define QFCARD_RETURN_CAPABILITY(x) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables analysis inside one function. Every use must carry
+// a comment explaining why the analysis cannot see the invariant.
+#define QFCARD_NO_THREAD_SAFETY_ANALYSIS \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+// Runtime-free assertion that the capability is held (re-establishes the
+// fact for the analysis after an opaque boundary, e.g. a callback).
+#define QFCARD_ASSERT_CAPABILITY(x) \
+  QFCARD_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#endif  // QFCARD_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,11 +1,25 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "common/env.h"
 
 namespace qfcard::common {
+
+namespace {
+
+// Indices claimed per fetch_add. Small enough that the tail of a skewed
+// loop still load-balances (>= 8 claims per thread), large enough that the
+// atomic stops dominating trivial bodies. Chunking only moves indices
+// between threads; every index still runs exactly once.
+int64_t ChunkSize(int64_t n, int num_threads) {
+  const int64_t target = n / (8 * static_cast<int64_t>(num_threads));
+  return std::clamp<int64_t>(target, 1, 256);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads < 1 ? 1 : num_threads) {
@@ -17,34 +31,39 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::RunJob() {
-  const std::function<void(int64_t)>* fn = nullptr;
+  FunctionRef<void(int64_t)> fn;
   int64_t n = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     fn = job_fn_;
     n = job_n_;
   }
-  if (fn == nullptr) return;
+  if (!fn) return;
+  const int64_t chunk = ChunkSize(n, num_threads_);
   for (;;) {
-    const int64_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) break;
-    try {
-      (*fn)(i);
-    } catch (...) {
-      // Keep the exception of the smallest failing index; every index still
-      // runs so the winner is deterministic regardless of pool size.
-      std::lock_guard<std::mutex> lock(err_mu_);
-      if (err_index_ < 0 || i < err_index_) {
-        err_index_ = i;
-        err_ = std::current_exception();
+    const int64_t begin =
+        next_index_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= n) break;
+    const int64_t end = std::min(begin + chunk, n);
+    for (int64_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        // Keep the exception of the smallest failing index; every index
+        // still runs so the winner is deterministic regardless of pool size.
+        MutexLock lock(&err_mu_);
+        if (err_index_ < 0 || i < err_index_) {
+          err_index_ = i;
+          err_ = std::current_exception();
+        }
       }
     }
   }
@@ -54,21 +73,20 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_job = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || job_id_ != seen_job; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && job_id_ == seen_job) work_cv_.Wait(&mu_);
       if (shutdown_) return;
       seen_job = job_id_;
     }
     RunJob();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--workers_active_ == 0) done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (--workers_active_ == 0) done_cv_.NotifyAll();
     }
   }
 }
 
-void ThreadPool::ParallelFor(int64_t n,
-                             const std::function<void(int64_t)>& fn) {
+void ThreadPool::ParallelFor(int64_t n, FunctionRef<void(int64_t)> fn) {
   if (n <= 0) return;
   bool expected = false;
   const bool parallel =
@@ -91,46 +109,50 @@ void ThreadPool::ParallelFor(int64_t n,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_fn_ = &fn;
+    MutexLock lock(&mu_);
+    job_fn_ = fn;
     job_n_ = n;
     next_index_.store(0, std::memory_order_relaxed);
-    err_index_ = -1;
-    err_ = nullptr;
+    {
+      MutexLock err_lock(&err_mu_);
+      err_index_ = -1;
+      err_ = nullptr;
+    }
     workers_active_ = static_cast<int>(workers_.size());
     ++job_id_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunJob();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
-    job_fn_ = nullptr;
+    MutexLock lock(&mu_);
+    while (workers_active_ != 0) done_cv_.Wait(&mu_);
+    job_fn_ = FunctionRef<void(int64_t)>();
   }
   busy_.store(false);
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(err_mu_);
+    MutexLock lock(&err_mu_);
     err = std::exchange(err_, nullptr);
     err_index_ = -1;
   }
   if (err) std::rethrow_exception(err);
 }
 
-Status ThreadPool::ParallelForStatus(
-    int64_t n, const std::function<Status(int64_t)>& fn) {
-  std::mutex mu;
+Status ThreadPool::ParallelForStatus(int64_t n,
+                                     FunctionRef<Status(int64_t)> fn) {
+  Mutex mu;
   int64_t bad_index = -1;
   Status bad = Status::Ok();
-  ParallelFor(n, [&](int64_t i) {
+  auto body = [&](int64_t i) {
     Status s = fn(i);
     if (s.ok()) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     if (bad_index < 0 || i < bad_index) {
       bad_index = i;
       bad = std::move(s);
     }
-  });
+  };
+  ParallelFor(n, body);
   return bad;
 }
 
@@ -143,9 +165,9 @@ int ThreadPoolSizeFromEnv() {
 
 namespace {
 
-std::mutex global_pool_mu;
+Mutex global_pool_mu;
 
-std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() QFCARD_REQUIRES(global_pool_mu) {
   static std::unique_ptr<ThreadPool>* slot =
       new std::unique_ptr<ThreadPool>();  // leaked: outlives static dtors
   return *slot;
@@ -154,14 +176,14 @@ std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
 }  // namespace
 
 ThreadPool& GlobalPool() {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(&global_pool_mu);
   std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
   if (!slot) slot = std::make_unique<ThreadPool>(ThreadPoolSizeFromEnv());
   return *slot;
 }
 
 void SetGlobalThreads(int n) {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(&global_pool_mu);
   GlobalPoolSlot() = std::make_unique<ThreadPool>(n);
 }
 

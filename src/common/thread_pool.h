@@ -2,17 +2,62 @@
 #define QFCARD_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace qfcard::common {
+
+/// Non-owning reference to a callable: one context pointer plus one plain
+/// function pointer. ParallelFor takes its body as FunctionRef instead of
+/// const std::function& so the hot claim loop pays a single indirect call
+/// per index with the target and context held in registers — std::function
+/// adds a second indirection (type-erased dispatch through the heap- or
+/// SBO-stored wrapper) that the per-index loop would re-load every
+/// iteration, which clang-tidy's performance-* checks flag as churn.
+///
+/// The referenced callable must outlive every call. ParallelFor blocks until
+/// the loop finishes, so passing a temporary lambda at the call site is safe.
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() = default;
+
+  /// Implicit by design: call sites pass lambdas (or any callable, including
+  /// std::function) directly.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
 
 /// Fixed-size worker pool driving order-preserving parallel loops. This is
 /// the substrate of the batch-first estimation API: every batch entry point
@@ -31,6 +76,14 @@ namespace qfcard::common {
 /// or concurrent ParallelFor calls on one pool are safe: whoever arrives
 /// while a job is active runs its loop inline (serially) instead of
 /// deadlocking on the shared workers.
+///
+/// Hot-path shape (kept deliberately, see docs/static_analysis.md): workers
+/// claim *chunks* of indices with one relaxed fetch_add per chunk instead of
+/// one per index, and the loop body is a FunctionRef copied into a local, so
+/// inside a chunk each iteration is a single indirect call with the target
+/// and context loop-invariant. Chunking changes which thread runs an index,
+/// never whether it runs — the determinism contract is by slot, not by
+/// schedule.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads`-way parallelism (clamped to >= 1).
@@ -49,35 +102,39 @@ class ThreadPool {
   /// by slot, per the determinism contract above. If any call throws, every
   /// index still runs and the exception of the smallest failing index is
   /// rethrown (deterministic regardless of pool size).
-  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+  void ParallelFor(int64_t n, FunctionRef<void(int64_t)> fn)
+      QFCARD_EXCLUDES(mu_, err_mu_);
 
   /// As ParallelFor for Status-returning bodies: runs every index and
   /// returns the non-OK Status with the smallest index, or OK. Equivalent to
   /// the serial loop's first error, independent of pool size.
-  Status ParallelForStatus(int64_t n,
-                           const std::function<Status(int64_t)>& fn);
+  Status ParallelForStatus(int64_t n, FunctionRef<Status(int64_t)> fn)
+      QFCARD_EXCLUDES(mu_, err_mu_);
 
  private:
-  void WorkerLoop();
-  void RunJob();  // claims indices of the active job until exhausted
+  void WorkerLoop() QFCARD_EXCLUDES(mu_, err_mu_);
+  // Claims chunks of the active job until exhausted.
+  void RunJob() QFCARD_EXCLUDES(mu_, err_mu_);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  bool shutdown_ = false;
-  uint64_t job_id_ = 0;  // bumped per ParallelFor; wakes workers
-  int64_t job_n_ = 0;
-  const std::function<void(int64_t)>* job_fn_ = nullptr;
-  int workers_active_ = 0;  // workers still inside the current job
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  bool shutdown_ QFCARD_GUARDED_BY(mu_) = false;
+  // Bumped per ParallelFor; wakes workers.
+  uint64_t job_id_ QFCARD_GUARDED_BY(mu_) = 0;
+  int64_t job_n_ QFCARD_GUARDED_BY(mu_) = 0;
+  FunctionRef<void(int64_t)> job_fn_ QFCARD_GUARDED_BY(mu_);
+  // Workers still inside the current job.
+  int workers_active_ QFCARD_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_index_{0};
   std::atomic<bool> busy_{false};  // a job is in flight (nesting guard)
 
-  std::mutex err_mu_;
-  int64_t err_index_ = -1;
-  std::exception_ptr err_;
+  Mutex err_mu_;
+  int64_t err_index_ QFCARD_GUARDED_BY(err_mu_) = -1;
+  std::exception_ptr err_ QFCARD_GUARDED_BY(err_mu_);
 };
 
 /// Parallelism selected by the QFCARD_THREADS environment variable; unset,

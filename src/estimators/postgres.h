@@ -1,7 +1,6 @@
 #ifndef QFCARD_ESTIMATORS_POSTGRES_H_
 #define QFCARD_ESTIMATORS_POSTGRES_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "estimators/estimator.h"

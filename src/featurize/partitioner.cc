@@ -209,6 +209,8 @@ std::vector<int> SkewAwarePartitions(const storage::Table& table, int base,
                                      int boost, double skew_threshold) {
   std::vector<int> budgets;
   budgets.reserve(static_cast<size_t>(table.num_columns()));
+  // qfcard-lint: ok(unordered-container): counting only — the budget depends on the
+  // max count, a commutative reduction; the map is never iterated.
   std::unordered_map<double, int64_t> freq;
   for (int c = 0; c < table.num_columns(); ++c) {
     const storage::Column& col = table.column(c);

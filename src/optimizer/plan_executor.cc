@@ -97,6 +97,9 @@ common::StatusOr<TupleSet> ExecJoin(ExecContext& ctx, TupleSet left,
     return ctx.tables[static_cast<size_t>(slot)]->column(col).Get(row);
   };
 
+  // qfcard-lint: ok(unordered-container): lookup-only hash-join build side. Output
+  // order is probe-side scan order; per-key match lists append in build scan
+  // order; the map itself is never iterated.
   std::unordered_map<double, std::vector<int32_t>> table;  // key -> tuple begins
   const size_t bstride = build.stride();
   for (size_t i = 0; i < build.rows.size(); i += bstride) {

@@ -130,6 +130,9 @@ common::StatusOr<int64_t> JoinExecutor::Count(const storage::Catalog& catalog,
 
     // Build: hash the new table's filtered rows on the join key.
     const storage::Table& new_tab = *tables[static_cast<size_t>(next)];
+    // qfcard-lint: ok(unordered-container): lookup-only hash-join build side; output
+    // tuple order is probe order, per-key lists keep build scan order, and
+    // the map is never iterated.
     std::unordered_map<double, std::vector<int32_t>> build;
     build.reserve(filtered[static_cast<size_t>(next)].size());
     for (const int32_t r : filtered[static_cast<size_t>(next)]) {
@@ -250,6 +253,8 @@ common::StatusOr<storage::Table> JoinExecutor::Materialize(
           "join graph is disconnected (cross products unsupported)");
     }
     const storage::Table& new_tab = *tables[static_cast<size_t>(next)];
+    // qfcard-lint: ok(unordered-container): lookup-only hash-join build side, as in
+    // Count above; materialized row order follows the probe scan.
     std::unordered_map<double, std::vector<int32_t>> build;
     for (int64_t r = 0; r < new_tab.num_rows(); ++r) {
       build[new_tab.column(hash_col_new).Get(r)].push_back(

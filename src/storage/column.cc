@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <unordered_set>
 
+#include "common/mutex.h"
 #include "common/str_util.h"
 
 namespace qfcard::storage {
@@ -54,16 +54,14 @@ const std::string& Dictionary::Value(int64_t code) const {
 
 void Column::AppendBatch(const std::vector<double>& values) {
   data_.insert(data_.end(), values.begin(), values.end());
-  stats_dirty_ = true;
+  stats_dirty_.store(true, std::memory_order_release);
 }
 
 const ColumnStats& Column::GetStats() const {
-  // A process-wide lock makes the lazy recompute safe when estimators are
-  // built or queried from the batch API's thread pool. Stats are computed
-  // once per column (construction-time call sites), so contention is nil.
-  static std::mutex* stats_mu = new std::mutex();
-  std::lock_guard<std::mutex> lock(*stats_mu);
-  if (!stats_dirty_) return stats_;
+  // stats_mu_ (process-wide, see column.h) makes the lazy recompute safe
+  // when estimators are built or queried from the batch API's thread pool.
+  common::MutexLock lock(&stats_mu_);
+  if (!stats_dirty_.load(std::memory_order_acquire)) return stats_;
   stats_ = ColumnStats{};
   stats_.rows = size();
   if (!data_.empty()) {
@@ -75,10 +73,12 @@ const ColumnStats& Column::GetStats() const {
     }
     stats_.min = lo;
     stats_.max = hi;
+    // qfcard-lint: ok(unordered-container): used only for its size (distinct count);
+    // never iterated, so hash order cannot reach any output.
     std::unordered_set<double> distinct(data_.begin(), data_.end());
     stats_.distinct = static_cast<int64_t>(distinct.size());
   }
-  stats_dirty_ = false;
+  stats_dirty_.store(false, std::memory_order_release);
   return stats_;
 }
 

@@ -1,12 +1,15 @@
 #ifndef QFCARD_STORAGE_COLUMN_H_
 #define QFCARD_STORAGE_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace qfcard::storage {
 
@@ -44,6 +47,8 @@ class Dictionary {
 
  private:
   std::vector<std::string> sorted_values_;
+  // qfcard-lint: ok(unordered-container): lookup-only (Code); never iterated, so its
+  // order cannot reach any output.
   std::unordered_map<std::string, int64_t> code_of_;
 };
 
@@ -65,6 +70,41 @@ class Column {
   Column(std::string name, ColumnType type)
       : name_(std::move(name)), type_(type) {}
 
+  // The stats cache (atomic dirty flag) is not copyable; copies and moves
+  // carry the data and start with a dirty cache — stats are derived state
+  // and recompute lazily on first GetStats.
+  Column(const Column& other)
+      : name_(other.name_),
+        type_(other.type_),
+        data_(other.data_),
+        dict_(other.dict_),
+        has_dict_(other.has_dict_) {}
+  Column(Column&& other) noexcept
+      : name_(std::move(other.name_)),
+        type_(other.type_),
+        data_(std::move(other.data_)),
+        dict_(std::move(other.dict_)),
+        has_dict_(other.has_dict_) {}
+  Column& operator=(const Column& other) {
+    if (this == &other) return *this;
+    name_ = other.name_;
+    type_ = other.type_;
+    data_ = other.data_;
+    dict_ = other.dict_;
+    has_dict_ = other.has_dict_;
+    stats_dirty_.store(true, std::memory_order_release);
+    return *this;
+  }
+  Column& operator=(Column&& other) noexcept {
+    name_ = std::move(other.name_);
+    type_ = other.type_;
+    data_ = std::move(other.data_);
+    dict_ = std::move(other.dict_);
+    has_dict_ = other.has_dict_;
+    stats_dirty_.store(true, std::memory_order_release);
+    return *this;
+  }
+
   const std::string& name() const { return name_; }
   ColumnType type() const { return type_; }
 
@@ -74,7 +114,10 @@ class Column {
   bool integral() const { return type_ != ColumnType::kFloat64; }
 
   void Reserve(size_t n) { data_.reserve(n); }
-  void Append(double v) { data_.push_back(v); stats_dirty_ = true; }
+  void Append(double v) {
+    data_.push_back(v);
+    stats_dirty_.store(true, std::memory_order_release);
+  }
   void AppendBatch(const std::vector<double>& values);
 
   int64_t size() const { return static_cast<int64_t>(data_.size()); }
@@ -89,7 +132,7 @@ class Column {
   /// Returns (computing and caching on first use) the column statistics.
   /// Safe to call concurrently; appending while readers hold the returned
   /// reference is not.
-  const ColumnStats& GetStats() const;
+  const ColumnStats& GetStats() const QFCARD_EXCLUDES(stats_mu_);
 
  private:
   std::string name_;
@@ -98,8 +141,14 @@ class Column {
   Dictionary dict_;
   bool has_dict_ = false;
 
-  mutable ColumnStats stats_;
-  mutable bool stats_dirty_ = true;
+  // Lazily recomputed stats cache, shared across the batch API's pool
+  // threads. One process-wide mutex (not per-column) keeps Column cheap to
+  // copy; stats are computed once per column at construction-time call
+  // sites, so contention is nil. The dirty flag is atomic so Append (the
+  // single-threaded load path) needn't take the lock.
+  inline static common::Mutex stats_mu_;
+  mutable ColumnStats stats_ QFCARD_GUARDED_BY(stats_mu_);
+  mutable std::atomic<bool> stats_dirty_{true};
 };
 
 }  // namespace qfcard::storage

@@ -19,7 +19,7 @@ namespace {
 // order so drop_empty filtering stays deterministic.
 common::StatusOr<std::vector<LabeledQuery>> LabelParallel(
     const std::vector<query::Query>& queries, bool drop_empty,
-    const std::function<common::StatusOr<int64_t>(const query::Query&)>&
+    common::FunctionRef<common::StatusOr<int64_t>(const query::Query&)>
         count) {
   std::vector<int64_t> cards(queries.size(), 0);
   QFCARD_RETURN_IF_ERROR(common::GlobalPool().ParallelForStatus(

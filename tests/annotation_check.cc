@@ -1,0 +1,57 @@
+// Compile-time probe for thread-safety annotation rot, driven by the
+// try_compile gate in tests/CMakeLists.txt. Built twice under Clang with
+// -Werror=thread-safety:
+//
+//   1. Without QFCARD_EXPECT_THREAD_SAFETY_ERROR: only properly locked
+//      accesses — must COMPILE. Proves the wrappers don't false-positive.
+//   2. With QFCARD_EXPECT_THREAD_SAFETY_ERROR: adds an unlocked write to a
+//      GUARDED_BY member — must FAIL to compile. If it ever compiles, the
+//      annotation macros have silently degraded to no-ops (wrong compiler
+//      guard, stripped attribute, ...) and the whole static layer is off;
+//      CMake then aborts the configure with a FATAL_ERROR.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void LockedIncrement() QFCARD_EXCLUDES(mu_) {
+    qfcard::common::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int LockedRead() QFCARD_EXCLUDES(mu_) {
+    qfcard::common::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  void IncrementAlreadyLocked() QFCARD_REQUIRES(mu_) { ++value_; }
+
+#ifdef QFCARD_EXPECT_THREAD_SAFETY_ERROR
+  // Unlocked access to guarded state: -Werror=thread-safety must reject it.
+  int UnlockedRead() { return value_; }
+#endif
+
+  qfcard::common::Mutex mu_;
+
+ private:
+  int value_ QFCARD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.LockedIncrement();
+  {
+    qfcard::common::MutexLock lock(&g.mu_);
+    g.IncrementAlreadyLocked();
+  }
+#ifdef QFCARD_EXPECT_THREAD_SAFETY_ERROR
+  const int unlocked = g.UnlockedRead();
+  (void)unlocked;
+#endif
+  return g.LockedRead() == 2 ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace qfcard::common {
+namespace {
+
+// Runtime behavior of the annotated wrappers. Their static guarantees are
+// checked separately: the try_compile gate in tests/CMakeLists.txt proves an
+// unlocked GUARDED_BY access fails to build under Clang, so annotation rot
+// breaks CI at configure time.
+
+TEST(MutexTest, LockUnlockTryLock) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(mu.TryLock());  // already held
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockGuardsCriticalSection) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    observed = 1;
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(FunctionRefTest, CallsLambdaWithCapture) {
+  int captured = 7;
+  // FunctionRef is non-owning: the callable must be a named object that
+  // outlives the ref (binding a temporary lambda here would dangle).
+  const auto adder = [&captured](int x) { return x + captured; };
+  FunctionRef<int(int)> ref = adder;
+  EXPECT_EQ(ref(3), 10);
+}
+
+TEST(FunctionRefTest, DefaultIsNull) {
+  FunctionRef<void(int64_t)> ref;
+  EXPECT_FALSE(static_cast<bool>(ref));
+}
+
+TEST(FunctionRefTest, WrapsStdFunction) {
+  std::function<int(int)> f = [](int x) { return 2 * x; };
+  FunctionRef<int(int)> ref = f;
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(FunctionRefTest, WrapsConstCallable) {
+  const auto doubler = [](int x) { return 2 * x; };
+  FunctionRef<int(int)> ref = doubler;
+  EXPECT_EQ(ref(4), 8);
+}
+
+TEST(FunctionRefTest, MutatingCallableObservedThroughRef) {
+  int calls = 0;
+  auto body = [&calls](int64_t) { ++calls; };
+  FunctionRef<void(int64_t)> ref = body;
+  ref(0);
+  ref(1);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace qfcard::common

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "estimators/registry.h"
+#include "featurize/extensions.h"
+#include "featurize/feature_schema.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+// Race-stress suite: many OS threads hammering the shared pieces of the
+// batch pipeline — one estimator/featurizer shared across callers, the
+// estimator registry, the global thread pool — so the QFCARD_SANITIZE=thread
+// CI job can prove the concurrency claims of docs/batch_api.md dynamically
+// (TSan sees real interleavings, not annotations). Thread counts and batch
+// sizes are kept small enough that the instrumented build stays fast.
+
+namespace qfcard {
+namespace {
+
+constexpr int kOsThreads = 8;
+constexpr int kBatch = 48;
+
+storage::Table StressTable() {
+  storage::Table t("stress");
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(i % 97);
+    b.push_back((i * 7) % 101);
+    c.push_back(0.5 * (i % 13));
+  }
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("a", a)));
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("b", b)));
+  QFCARD_CHECK_OK(t.AddColumn(testutil::FloatColumn("c", c)));
+  return t;
+}
+
+storage::Catalog StressCatalog() {
+  storage::Catalog cat;
+  QFCARD_CHECK_OK(cat.AddTable(StressTable()));
+  return cat;
+}
+
+// Deterministic workload: query i is a function of i only. With
+// `mixed`, every even query adds a disjunctive compound predicate (only the
+// kComplex QFT accepts those); without, all predicates are simple ranges.
+std::vector<query::Query> StressQueries(int n, bool mixed = true) {
+  std::vector<query::Query> queries;
+  queries.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    query::Query q = testutil::SingleTableQuery("stress");
+    testutil::AddPredicate(q, i % 3, query::CmpOp::kLe,
+                           static_cast<double>(i % 50));
+    if (mixed && i % 2 == 0) {
+      testutil::AddCompound(
+          q, (i + 1) % 3,
+          {{{query::CmpOp::kLe, static_cast<double>(i % 20)}},
+           {{query::CmpOp::kGe, static_cast<double>(60 + i % 30)}}});
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// Runs `body` on kOsThreads OS threads at once and propagates test failures.
+void RunConcurrently(const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(kOsThreads);
+  for (int t = 0; t < kOsThreads; ++t) {
+    threads.emplace_back([&body, t] { body(t); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+class RaceStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Force a real pool regardless of QFCARD_THREADS so pool-internal state
+    // is exercised even in the serial CI matrix leg.
+    common::SetGlobalThreads(4);
+  }
+  void TearDown() override {
+    common::SetGlobalThreads(common::ThreadPoolSizeFromEnv());
+  }
+};
+
+TEST_F(RaceStressTest, ConcurrentEstimateBatchOnSharedEstimator) {
+  const storage::Catalog catalog = StressCatalog();
+  const std::vector<query::Query> queries = StressQueries(kBatch);
+  for (const char* const name : {"postgres", "true"}) {
+    auto built = est::MakeEstimator(name, catalog);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    const std::unique_ptr<est::CardinalityEstimator> estimator =
+        std::move(built).value();
+    auto reference = estimator->EstimateBatch(queries);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    std::vector<std::vector<double>> per_thread(kOsThreads);
+    RunConcurrently([&](int t) {
+      auto result = estimator->EstimateBatch(queries);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      per_thread[static_cast<size_t>(t)] = std::move(result).value();
+    });
+    for (const std::vector<double>& result : per_thread) {
+      EXPECT_EQ(result, reference.value()) << name;
+    }
+  }
+}
+
+TEST_F(RaceStressTest, ConcurrentEstimateBatchOnSharedSamplingEstimator) {
+  const storage::Catalog catalog = StressCatalog();
+  const std::vector<query::Query> queries = StressQueries(kBatch);
+  auto built = est::MakeEstimator("sampling", catalog);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const std::unique_ptr<est::CardinalityEstimator> estimator =
+      std::move(built).value();
+  // Sampling draws fresh tickets per call, so concurrent callers see
+  // different (but each valid) estimates; the point here is the shared
+  // atomic ticket counter under TSan, not value equality.
+  RunConcurrently([&](int) {
+    auto result = estimator->EstimateBatch(queries);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const double est : result.value()) EXPECT_GE(est, 1.0);
+  });
+}
+
+TEST_F(RaceStressTest, ConcurrentFeaturizeBatchOnSharedFeaturizer) {
+  const storage::Table table = StressTable();
+  for (const featurize::QftKind kind :
+       {featurize::QftKind::kRange, featurize::QftKind::kComplex}) {
+    // kRange only accepts conjunctions of simple ranges; kComplex takes the
+    // full mixed workload.
+    const std::vector<query::Query> queries = StressQueries(
+        kBatch, /*mixed=*/kind == featurize::QftKind::kComplex);
+    const std::unique_ptr<featurize::Featurizer> featurizer =
+        featurize::MakeFeaturizer(
+            kind, featurize::FeatureSchema::FromTable(table), {});
+    const size_t row = static_cast<size_t>(featurizer->dim());
+    std::vector<float> reference(queries.size() * row, 0.0f);
+    ASSERT_TRUE(featurizer->FeaturizeBatch(queries, reference.data()).ok());
+    RunConcurrently([&](int) {
+      std::vector<float> mine(queries.size() * row, 0.0f);
+      auto status = featurizer->FeaturizeBatch(queries, mine.data());
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      EXPECT_EQ(mine, reference);
+    });
+  }
+}
+
+TEST_F(RaceStressTest, ConcurrentMakeEstimatorRegistryHits) {
+  const storage::Catalog catalog = StressCatalog();
+  const std::vector<query::Query> queries = StressQueries(8);
+  RunConcurrently([&](int t) {
+    const char* const names[] = {"postgres", "sampling", "true"};
+    for (int round = 0; round < 3; ++round) {
+      auto built = est::MakeEstimator(names[(t + round) % 3], catalog);
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+      auto result = built.value()->EstimateBatch(queries);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    }
+  });
+}
+
+TEST_F(RaceStressTest, ConcurrentParallelForOnOnePool) {
+  RunConcurrently([&](int) {
+    constexpr int64_t kN = 2000;
+    std::vector<int64_t> slots(kN, 0);
+    common::GlobalPool().ParallelFor(kN,
+                                     [&](int64_t i) { slots[i] = 3 * i; });
+    for (int64_t i = 0; i < kN; ++i) ASSERT_EQ(slots[i], 3 * i);
+  });
+}
+
+TEST_F(RaceStressTest, NestedParallelForOnOnePool) {
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 400;
+  std::vector<std::vector<int64_t>> slots(
+      kOuter, std::vector<int64_t>(kInner, 0));
+  common::GlobalPool().ParallelFor(kOuter, [&](int64_t o) {
+    common::GlobalPool().ParallelFor(
+        kInner, [&, o](int64_t i) { slots[o][i] = o * kInner + i; });
+  });
+  for (int64_t o = 0; o < kOuter; ++o) {
+    for (int64_t i = 0; i < kInner; ++i) {
+      ASSERT_EQ(slots[o][i], o * kInner + i);
+    }
+  }
+}
+
+TEST_F(RaceStressTest, ConcurrentLazyColumnStats) {
+  const storage::Table table = StressTable();
+  std::vector<storage::ColumnStats> seen(kOsThreads);
+  RunConcurrently([&](int t) {
+    // First caller computes, the rest race the cache fill.
+    const storage::ColumnStats& stats = table.column(t % 3).GetStats();
+    seen[static_cast<size_t>(t)] = stats;
+  });
+  for (int t = 0; t < kOsThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)].rows, 2000);
+    EXPECT_GT(seen[static_cast<size_t>(t)].distinct, 0);
+  }
+}
+
+TEST_F(RaceStressTest, ParallelForExceptionSmallestIndexWinsUnderContention) {
+  for (int round = 0; round < 4; ++round) {
+    try {
+      common::GlobalPool().ParallelFor(500, [&](int64_t i) {
+        if (i % 7 == 3) throw static_cast<int>(i);
+      });
+      FAIL() << "expected a throw";
+    } catch (const int i) {
+      EXPECT_EQ(i, 3);  // smallest failing index, at any pool size
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qfcard

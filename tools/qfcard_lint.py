@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""qfcard determinism lint (docs/static_analysis.md).
+
+Rejects source patterns in src/ that break the replayability contract the
+differential/metamorphic fuzzer (docs/testing.md) relies on: a failing seed
+must reproduce the same execution bit-for-bit on any machine, at any thread
+count, on any standard library.
+
+Rules
+-----
+banned-random      std::rand / srand / rand() / std::random_device outside
+                   src/common/random.*. All randomness must flow through
+                   common::Rng so streams are seed-derived and replayable.
+wall-clock         system_clock / time(...) / gettimeofday / localtime /
+                   gmtime / strftime / CLOCK_REALTIME in library code.
+                   Durations use steady_clock; wall-clock reads make runs
+                   unreproducible and leak into reports.
+unordered-iter     Range-for (or .begin() traversal) over a variable declared
+                   std::unordered_map / std::unordered_set in the same file.
+                   Hash iteration order is implementation-defined, so feeding
+                   it into ordered output silently diverges across stdlibs —
+                   the exact bug class behind the GROUP BY hash-collision
+                   undercount fixed in src/query/executor.cc (PR 2).
+unordered-container  Any std::unordered_map / std::unordered_set use must
+                   carry a justification comment explaining why its order
+                   cannot reach output (lookup-only, commutative reduction,
+                   ...). This makes the safe uses auditable and new unsafe
+                   ones a conscious, reviewed act.
+
+Suppressions
+------------
+Append on the offending line, or place on the line directly above:
+
+    // qfcard-lint: ok(<rule>): <why this cannot break determinism>
+
+A suppression without a reason after the colon is itself an error.
+
+Exit status: 0 when clean, 1 with one "file:line: [rule] message" per
+finding otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SUPPRESS_RE = re.compile(r"//\s*qfcard-lint:\s*ok\((?P<rule>[\w-]+)\)(?P<reason>.*)")
+
+BANNED_RANDOM_RE = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\bstd::random_device\b|(?<![:\w])rand\s*\(\s*\)"
+)
+WALL_CLOCK_RE = re.compile(
+    r"\bsystem_clock\b|\bgettimeofday\s*\(|\blocaltime(_r)?\s*\(|\bgmtime(_r)?\s*\("
+    r"|\bstrftime\s*\(|\bCLOCK_REALTIME\b|(?<![:\w])time\s*\(\s*(NULL|nullptr|0)?\s*\)"
+)
+UNORDERED_USE_RE = re.compile(r"\bstd::unordered_(map|set)\s*<")
+# Variable declared as an unordered container: "std::unordered_map<...> name"
+# (the template argument list may contain nested <>, so match lazily to the
+# last "> name" on the line).
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<.*>\s+(?P<name>\w+)\s*[;({=]"
+)
+COMMENT_RE = re.compile(r"//.*$")
+
+# Randomness is implemented (seeded, replayable) here; the banned-random rule
+# does not apply to the implementation itself.
+RANDOM_IMPL = ("common/random.h", "common/random.cc")
+
+
+def strip_comment(line: str) -> str:
+    return COMMENT_RE.sub("", line)
+
+
+def suppressions(lines: list[str], idx: int) -> dict[str, str]:
+    """Suppression rules active for line `idx`: on the line itself, or in the
+    contiguous //-comment block directly above it."""
+    out: dict[str, str] = {}
+
+    def collect(probe: int) -> None:
+        m = SUPPRESS_RE.search(lines[probe])
+        if m:
+            out[m.group("rule")] = m.group("reason").strip(" :")
+
+    collect(idx)
+    probe = idx - 1
+    while probe >= 0 and lines[probe].lstrip().startswith("//"):
+        collect(probe)
+        probe -= 1
+    return out
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[tuple[str, int, str, str]]:
+    findings: list[tuple[str, int, str, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+
+    def report(idx: int, rule: str, msg: str) -> None:
+        sup = suppressions(lines, idx)
+        if rule in sup:
+            if not sup[rule]:
+                findings.append(
+                    (rel, idx + 1, rule,
+                     "suppression has no reason; write "
+                     f"'// qfcard-lint: ok({rule}): <why>'"))
+            return
+        findings.append((rel, idx + 1, rule, msg))
+
+    unordered_vars: set[str] = set()
+    for line in lines:
+        code = strip_comment(line)
+        m = UNORDERED_DECL_RE.search(code)
+        if m:
+            unordered_vars.add(m.group("name"))
+
+    iter_res = [
+        re.compile(r"for\s*\([^;)]*:\s*" + re.escape(v) + r"\s*\)")
+        for v in unordered_vars
+    ] + [
+        # Traversal starts at begin(); comparing an iterator from find()
+        # against end() is a lookup and stays legal.
+        re.compile(r"\b" + re.escape(v) + r"\s*\.\s*c?r?begin\s*\(")
+        for v in unordered_vars
+    ]
+
+    for idx, line in enumerate(lines):
+        code = strip_comment(line)
+        if not code.strip():
+            continue
+        if BANNED_RANDOM_RE.search(code) and not rel.endswith(RANDOM_IMPL):
+            report(idx, "banned-random",
+                   "unseeded/unreplayable randomness; use common::Rng "
+                   "(src/common/random.h) so streams derive from the seed")
+        if WALL_CLOCK_RE.search(code):
+            report(idx, "wall-clock",
+                   "wall-clock read in library code; use "
+                   "std::chrono::steady_clock for durations")
+        for rx in iter_res:
+            if rx.search(code):
+                report(idx, "unordered-iter",
+                       "iteration over an unordered container; hash order is "
+                       "implementation-defined and must not feed ordered "
+                       "output — use std::map/sorted vector, or justify")
+                break
+        if UNORDERED_USE_RE.search(code):
+            report(idx, "unordered-container",
+                   "unordered container without a justification; explain why "
+                   "its order cannot reach output, e.g. "
+                   "'// qfcard-lint: ok(unordered-container): lookup-only'")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("paths", nargs="*",
+                        help="files to lint (default: all of src/)")
+    args = parser.parse_args(argv)
+
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    if args.paths:
+        files = [pathlib.Path(p) for p in args.paths]
+    else:
+        files = sorted((root / "src").rglob("*.h")) + sorted(
+            (root / "src").rglob("*.cc"))
+
+    findings: list[tuple[str, int, str, str]] = []
+    for f in files:
+        try:
+            rel = str(f.resolve().relative_to(root))
+        except ValueError:
+            rel = str(f)
+        findings.extend(lint_file(f, rel))
+
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if findings:
+        print(f"qfcard_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"qfcard_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
