@@ -29,20 +29,20 @@ StageTimes RunPipeline(const ForestBundle& bundle,
                        std::vector<double>* sampling_ests) {
   StageTimes times;
   {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     *labeled = workload::LabelOnTable(*bundle.forest, queries, false).value();
     times.label_s = timer.Seconds();
   }
   {
     const auto featurizer = MakeQft("conjunctive", bundle.schema);
     *features = ml::Matrix(static_cast<int>(queries.size()), featurizer->dim());
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     QFCARD_CHECK_OK(featurizer->FeaturizeBatch(
         {queries.data(), queries.size()}, features->data().data()));
     times.featurize_s = timer.Seconds();
   }
   {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     *gb_ests = gb.EstimateBatch(queries).value();
     times.gb_batch_s = timer.Seconds();
   }
@@ -51,7 +51,7 @@ StageTimes RunPipeline(const ForestBundle& bundle,
     // same draw tickets.
     const std::unique_ptr<est::CardinalityEstimator> sampling =
         est::MakeEstimator("sampling", bundle.catalog).value();
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     *sampling_ests = sampling->EstimateBatch(queries).value();
     times.sampling_batch_s = timer.Seconds();
   }
@@ -138,6 +138,7 @@ void Run() {
               "across thread counts)\n",
               queries.size());
   table.Print(std::cout);
+  eval::PrintTelemetrySnapshot(std::cout);
 }
 
 }  // namespace

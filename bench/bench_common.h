@@ -5,6 +5,10 @@
 // QFCARD_SCALE (smoke / default / full): the paper's counts (580k rows, 100k
 // training queries, ...) are the "full" setting; "default" is sized for a
 // single CPU core.
+//
+// All wall-clock timing in benches goes through obs::ScopedTimer so the
+// whole repo shares one clock path (src/obs/clock.h) and bench timings can
+// flow into the telemetry registry when QFCARD_METRICS is on.
 
 #include <cstdio>
 #include <map>
@@ -116,7 +120,7 @@ inline ForestBundle MakeForestBundle(bool need_conj = true,
 
   const int n_train = TrainQueries();
   const int n_test = TestQueries();
-  eval::Timer timer;
+  obs::ScopedTimer timer("bench.setup_seconds");
   if (need_conj) {
     common::Rng rng(1001);
     const std::vector<query::Query> queries =
@@ -220,7 +224,7 @@ inline ImdbBundle MakeImdbBundle(int max_tables = 4) {
   iopts.num_titles = ImdbTitles();
   bundle.db = workload::MakeImdbDatabase(iopts);
 
-  eval::Timer timer;
+  obs::ScopedTimer timer("bench.setup_seconds");
   common::Rng rng(3003);
   workload::JobLightOptions jopts;
   jopts.count = 70;

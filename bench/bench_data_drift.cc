@@ -27,7 +27,7 @@ void Run() {
   eval::TablePrinter table({"stage", "time", "notes"});
 
   // Stage 1: generate + label (the dominant cost in the paper).
-  eval::Timer label_timer;
+  obs::ScopedTimer label_timer;
   common::Rng rng(9090);
   const std::vector<query::Query> queries =
       workload::GeneratePredicateWorkload(
@@ -41,7 +41,7 @@ void Run() {
 
   // Stage 2: featurization (Limited Disjunction Encoding).
   const auto featurizer = MakeQft("complex", schema);
-  eval::Timer feat_timer;
+  obs::ScopedTimer feat_timer;
   std::vector<std::vector<float>> features;
   std::vector<float> labels;
   features.reserve(labeled.size());
@@ -58,14 +58,14 @@ void Run() {
 
   // Stage 3: training, per model type.
   {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     ml::GradientBoosting gb(DefaultGbm());
     QFCARD_CHECK_OK(gb.Fit(data, nullptr));
     table.AddRow({"train GB", common::StrFormat("%.2fs", timer.Seconds()),
                   common::StrFormat("%d trees", gb.num_trees())});
   }
   {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     ml::FeedForwardNet nn(DefaultNn());
     QFCARD_CHECK_OK(nn.Fit(data, nullptr));
     table.AddRow({"train NN", common::StrFormat("%.2fs", timer.Seconds()),
@@ -73,7 +73,7 @@ void Run() {
                                     nn.SizeBytes() / sizeof(float))});
   }
   {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     query::SchemaGraph empty_graph;
     featurize::MscnFeaturizer mscn_feat(
         &catalog, &empty_graph,

@@ -62,7 +62,7 @@ void Run() {
       queries.push_back(lq.query);
       cards.push_back(lq.card);
     }
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     QFCARD_CHECK_OK(estimator.Train(queries, cards, 0.1));
     const double train_seconds = timer.Seconds();
     std::vector<double> errors;

@@ -66,6 +66,9 @@ void Run() {
       "Figure 5: query drift — train on <=2-attribute queries, test on "
       ">=3-attribute queries (forest)\n");
   table.Print(std::cout);
+  // With QFCARD_METRICS=1 this also shows the drift monitor flipping to
+  // DEGRADED on the high-dimensional split (docs/observability.md).
+  eval::PrintTelemetrySnapshot(std::cout);
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ void Run() {
   };
 
   for (Arm& arm : arms) {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     for (size_t qi = 0;
          qi < bundle.mixed_test.size() && qi < arm.max_queries; ++qi) {
       const workload::LabeledQuery& lq = bundle.mixed_test[qi];

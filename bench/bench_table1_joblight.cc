@@ -44,7 +44,7 @@ void Run() {
         },
         [&combo]() { return MakeModel(combo.model); });
 
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     bool failed = false;
     for (const std::vector<std::string>& tables : bundle.subschemas) {
       const auto mat_or = local.GetOrMaterialize(tables);

@@ -49,7 +49,7 @@ void Run() {
     featurize::MscnFeaturizer featurizer(&bundle.db.catalog, &bundle.db.graph,
                                          mode, DefaultConjOptions());
     est::MscnEstimator estimator(std::move(featurizer), DefaultMscn());
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     QFCARD_CHECK_OK(estimator.Train(global_train, global_cards, 0.1));
     const double train_seconds = timer.Seconds();
     std::vector<double> errors;
@@ -74,7 +74,7 @@ void Run() {
           return MakeQft("conj", schema, true, 8);
         },
         []() { return MakeModel("NN"); });
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     for (const std::vector<std::string>& tables : bundle.subschemas) {
       QFCARD_CHECK_OK(local.GetOrMaterialize(tables).status());
       const auto& [qs, cards] = cache[query::SubSchemaKey(tables)];

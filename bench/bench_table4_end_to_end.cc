@@ -39,7 +39,7 @@ void Run() {
       [](featurize::FeatureSchema schema) { return MakeQft("conj", schema); },
       []() { return MakeModel("GB"); });
   {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     std::map<std::string, std::vector<std::string>> to_train;
     for (const query::Query& q : bundle.test_queries) {
       const std::vector<std::string> tables = TablesOf(q);
@@ -72,7 +72,7 @@ void Run() {
       [](featurize::FeatureSchema schema) { return MakeQft("conj", schema); },
       []() { return MakeModel("GB"); });
   {
-    eval::Timer timer;
+    obs::ScopedTimer timer;
     std::map<std::string, std::vector<std::string>> to_train;
     for (const query::Query& q : bundle.test_queries) {
       const std::vector<std::string> tables = TablesOf(q);

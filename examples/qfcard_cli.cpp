@@ -8,13 +8,23 @@
 //
 // Flags:
 //   --synthetic     use the built-in forest generator instead of a CSV
+//                   (sized by QFCARD_SCALE: smoke / default / full)
 //   --no-truth      skip executing queries for the true count (faster)
 //   --model=NAME    estimator from est::MakeEstimator, e.g. gb+complex,
 //                   nn+complex, postgres, sampling ("gb"/"nn" are accepted
 //                   as shorthand for <model>+complex; default gb+complex)
+//   --metrics-out=PATH  enable telemetry (as if QFCARD_METRICS=1) and write
+//                   the JSON snapshot (metrics + drift monitor + trace
+//                   stats) to PATH on exit; tools/validate_metrics.py
+//                   checks this file against tools/metrics_schema.json
+//   --trace-out=PATH    enable stage tracing (as if QFCARD_TRACE=1) and
+//                   write the span ring buffer as JSON to PATH on exit
 //
 // Labeling, training featurization, and the held-out accuracy report all
-// run through the batch API; set QFCARD_THREADS to parallelize them.
+// run through the batch API; set QFCARD_THREADS to parallelize them. Every
+// truth-checked query feeds the q-error drift monitor
+// (docs/observability.md), which warns when the rolling p95 crosses its
+// threshold.
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +43,8 @@ struct CliOptions {
   bool synthetic = false;
   bool truth = true;
   std::string model = "gb+complex";
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
@@ -50,6 +62,10 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       if (opts.model == "gb" || opts.model == "nn") {
         opts.model += "+complex";
       }
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opts.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opts.trace_out = arg.substr(12);
     } else if (!arg.empty() && arg[0] == '-') {
       return common::Status::InvalidArgument("unknown flag: " + arg);
     } else {
@@ -77,11 +93,16 @@ int main(int argc, char** argv) {
   }
   const CliOptions& opts = opts_or.value();
 
+  if (!opts.metrics_out.empty()) obs::SetMetricsEnabled(true);
+  if (!opts.trace_out.empty()) obs::SetTraceEnabled(true);
+  obs::TraceSpan cli_span("cli.main");
+
   storage::Catalog catalog;
   if (opts.synthetic) {
     workload::ForestOptions fopts;
-    fopts.num_rows = 30000;
-    fopts.num_attributes = 10;
+    fopts.num_rows = static_cast<int>(common::ScalePick(4000, 30000, 580000));
+    fopts.num_attributes =
+        static_cast<int>(common::ScalePick(6, 10, 55));
     QFCARD_CHECK_OK(catalog.AddTable(workload::MakeForestTable(fopts)));
   } else {
     auto table_or = storage::ReadCsv(opts.csv_path, opts.table_name);
@@ -112,8 +133,10 @@ int main(int argc, char** argv) {
       std::move(estimator_or).value();
 
   common::Rng rng(1);
+  const int num_workload =
+      static_cast<int>(common::ScalePick(800, 4000, 60000));
   const std::vector<query::Query> queries = workload::GeneratePredicateWorkload(
-      table, 4000,
+      table, num_workload,
       workload::MixedWorkloadOptions(std::min(table.num_columns(), 6)), rng);
   const std::vector<workload::LabeledQuery> labeled =
       workload::LabelOnTable(table, queries, true).value();
@@ -139,10 +162,20 @@ int main(int argc, char** argv) {
     }
     const auto ests_or = estimator->EstimateBatch(held_out);
     if (ests_or.ok()) {
+      // Held-out truths are labeled q-errors: they seed the drift monitor's
+      // window (the post-training baseline) and the qerror histogram.
+      obs::QErrorDriftMonitor& drift = obs::QErrorDriftMonitor::Global();
+      obs::Histogram* qerr_hist =
+          obs::MetricsEnabled()
+              ? obs::MetricsRegistry::Global().HistogramNamed(
+                    "qerror", obs::QErrorBounds(), "backend=" + opts.model)
+              : nullptr;
       std::vector<double> qerrors;
       for (size_t i = 0; i < held_out.size(); ++i) {
         qerrors.push_back(
             ml::QError(labeled[num_train + i].card, ests_or.value()[i]));
+        drift.Observe(qerrors.back());
+        if (qerr_hist != nullptr) qerr_hist->Observe(qerrors.back());
       }
       const ml::QErrorSummary summary = ml::QErrorSummary::FromErrors(qerrors);
       std::fprintf(stderr,
@@ -158,6 +191,8 @@ int main(int argc, char** argv) {
                "count(*) queries, one per line.\n",
                num_train, estimator->SizeBytes());
 
+  obs::QErrorDriftMonitor& drift = obs::QErrorDriftMonitor::Global();
+  bool was_degraded = drift.degraded();
   std::string line;
   while (std::getline(std::cin, line)) {
     const std::string_view stripped = common::StripWhitespace(line);
@@ -177,12 +212,47 @@ int main(int argc, char** argv) {
       const auto truth_or = query::Executor::Count(table, q_or.value());
       if (truth_or.ok()) {
         const double truth = static_cast<double>(truth_or.value());
+        const double qerr = ml::QError(truth, est_or.value());
         std::printf("estimate=%.0f  true=%.0f  q-error=%.2f\n", est_or.value(),
-                    truth, ml::QError(truth, est_or.value()));
+                    truth, qerr);
+        // Every truth-checked query is labeled feedback for the drift
+        // monitor; warn once per healthy->degraded flip.
+        drift.Observe(qerr);
+        const bool degraded = drift.degraded();
+        if (degraded && !was_degraded) {
+          const obs::QErrorDriftMonitor::State s = drift.GetState();
+          std::fprintf(stderr,
+                       "warning: q-error drift detected (rolling p95=%.2f > "
+                       "%.2f); the workload has likely left the training "
+                       "distribution — consider retraining\n",
+                       s.p95, s.threshold);
+        }
+        was_degraded = degraded;
         continue;
       }
     }
     std::printf("estimate=%.0f\n", est_or.value());
+  }
+
+  cli_span.End();
+  if (!opts.metrics_out.empty()) {
+    if (obs::WriteSnapshotJson(opts.metrics_out)) {
+      std::fprintf(stderr, "telemetry snapshot written to %s\n",
+                   opts.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
+                   opts.metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!opts.trace_out.empty()) {
+    if (obs::WriteTraceJson(opts.trace_out)) {
+      std::fprintf(stderr, "trace written to %s\n", opts.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
   }
   return 0;
 }

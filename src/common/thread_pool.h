@@ -2,6 +2,7 @@
 #define QFCARD_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -84,6 +85,12 @@ class FunctionRef<R(Args...)> {
 /// and context loop-invariant. Chunking changes which thread runs an index,
 /// never whether it runs — the determinism contract is by slot, not by
 /// schedule.
+///
+/// Telemetry (docs/observability.md): when QFCARD_METRICS is on, every
+/// ParallelFor updates threadpool.* counters (calls, indices, chunk claims)
+/// and histograms (queue_wait_seconds: publish-to-worker-wake latency;
+/// task_run_seconds: per-thread time inside the claim loop). When metrics
+/// are off the added cost is one relaxed atomic load per call.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads`-way parallelism (clamped to >= 1).
@@ -127,6 +134,11 @@ class ThreadPool {
   uint64_t job_id_ QFCARD_GUARDED_BY(mu_) = 0;
   int64_t job_n_ QFCARD_GUARDED_BY(mu_) = 0;
   FunctionRef<void(int64_t)> job_fn_ QFCARD_GUARDED_BY(mu_);
+  // When the current job was published; workers subtract this from their
+  // wake time to measure queue wait. Read via obs::Now() in the .cc — this
+  // header only names the time_point type (see tools/qfcard_lint.py
+  // raw-steady-clock).
+  std::chrono::steady_clock::time_point job_publish_ QFCARD_GUARDED_BY(mu_);
   // Workers still inside the current job.
   int workers_active_ QFCARD_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_index_{0};

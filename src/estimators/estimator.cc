@@ -1,11 +1,18 @@
 #include "estimators/estimator.h"
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qfcard::est {
 
 common::StatusOr<std::vector<double>> CardinalityEstimator::EstimateBatch(
     const std::vector<query::Query>& queries) const {
+  obs::TraceSpan span("estimate.batch");
+  const std::string backend_label = "backend=" + name();
+  obs::ScopedTimer timer("estimate.batch_seconds", backend_label);
+  obs::IncrementCounter("estimate.queries", backend_label,
+                        static_cast<uint64_t>(queries.size()));
   std::vector<double> out(queries.size(), 0.0);
   QFCARD_RETURN_IF_ERROR(common::GlobalPool().ParallelForStatus(
       static_cast<int64_t>(queries.size()), [&](int64_t i) -> common::Status {

@@ -4,6 +4,8 @@
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qfcard::est {
 
@@ -38,9 +40,22 @@ common::StatusOr<double> MlEstimator::EstimateCard(
 
 common::StatusOr<std::vector<double>> MlEstimator::EstimateBatch(
     const std::vector<query::Query>& queries) const {
+  obs::TraceSpan span("estimate.batch");
+  const std::string backend_label = "backend=" + name();
+  obs::ScopedTimer timer("estimate.batch_seconds", backend_label);
+  obs::IncrementCounter("estimate.queries", backend_label,
+                        static_cast<uint64_t>(queries.size()));
   ml::Matrix x(static_cast<int>(queries.size()), featurizer_->dim());
-  QFCARD_RETURN_IF_ERROR(featurizer_->FeaturizeBatch(
-      {queries.data(), queries.size()}, x.data().data()));
+  {
+    // Sub-stage: featurize (FeaturizeBatch opens its own featurize.batch
+    // span, nested under estimate.batch here).
+    obs::ScopedTimer featurize_timer("estimate.featurize_seconds",
+                                     backend_label);
+    QFCARD_RETURN_IF_ERROR(featurizer_->FeaturizeBatch(
+        {queries.data(), queries.size()}, x.data().data()));
+  }
+  obs::TraceSpan predict_span("estimate.predict");
+  obs::ScopedTimer predict_timer("estimate.predict_seconds", backend_label);
   const std::vector<float> preds = model_->PredictBatch(x);
   std::vector<double> out(queries.size());
   for (size_t i = 0; i < out.size(); ++i) out[i] = ml::LabelToCard(preds[i]);
@@ -103,8 +118,20 @@ common::StatusOr<double> MscnEstimator::EstimateCard(
 
 common::StatusOr<std::vector<double>> MscnEstimator::EstimateBatch(
     const std::vector<query::Query>& queries) const {
+  obs::TraceSpan span("estimate.batch");
+  const std::string backend_label = "backend=" + name();
+  obs::ScopedTimer timer("estimate.batch_seconds", backend_label);
+  obs::IncrementCounter("estimate.queries", backend_label,
+                        static_cast<uint64_t>(queries.size()));
   std::vector<featurize::MscnSample> samples;
-  QFCARD_RETURN_IF_ERROR(FeaturizeMscnBatch(featurizer_, queries, &samples));
+  {
+    obs::TraceSpan featurize_span("featurize.batch");
+    obs::ScopedTimer featurize_timer("estimate.featurize_seconds",
+                                     backend_label);
+    QFCARD_RETURN_IF_ERROR(FeaturizeMscnBatch(featurizer_, queries, &samples));
+  }
+  obs::TraceSpan predict_span("estimate.predict");
+  obs::ScopedTimer predict_timer("estimate.predict_seconds", backend_label);
   std::vector<double> out(queries.size());
   common::GlobalPool().ParallelFor(
       static_cast<int64_t>(queries.size()), [&](int64_t i) {

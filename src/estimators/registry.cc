@@ -13,6 +13,7 @@
 #include "featurize/mscn_featurizer.h"
 #include "ml/dataset.h"
 #include "ml/linear.h"
+#include "obs/metrics.h"
 
 namespace qfcard::est {
 
@@ -48,6 +49,7 @@ common::StatusOr<const storage::Table*> ResolveTable(
     const storage::Catalog& catalog, const EstimatorOptions& opts) {
   if (!opts.table.empty()) return catalog.GetTable(opts.table);
   if (catalog.num_tables() == 0) {
+    obs::IncrementCounter("registry.errors", "kind=bad-catalog");
     return common::Status::InvalidArgument(
         "registry: catalog has no tables to featurize");
   }
@@ -93,6 +95,7 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
   // Everything else is "<model>+<qft>".
   const size_t plus = key.find('+');
   if (plus == std::string::npos || plus == 0 || plus + 1 >= key.size()) {
+    obs::IncrementCounter("registry.errors", "kind=unknown-estimator");
     return common::Status::InvalidArgument(
         "registry: unknown estimator \"" + name + "\"; registered names: " +
         common::Join(RegisteredEstimators(), ", "));
@@ -110,6 +113,7 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
   } else if (qft_key == "complex" || qft_key == "comp") {
     kind = featurize::QftKind::kComplex;
   } else {
+    obs::IncrementCounter("registry.errors", "kind=unknown-qft");
     return common::Status::InvalidArgument(
         "registry: unknown QFT \"" + qft_key +
         "\" (expected simple/range/conj|conjunctive/complex|comp)");
@@ -123,6 +127,7 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
   } else if (model_key == "linear") {
     model = std::make_unique<ml::LinearRegression>();
   } else {
+    obs::IncrementCounter("registry.errors", "kind=unknown-model");
     return common::Status::InvalidArgument(
         "registry: unknown model \"" + model_key +
         "\" (expected gb/nn/linear); registered names: " +

@@ -2,6 +2,9 @@
 
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/qerror_monitor.h"
+#include "obs/trace.h"
 
 namespace qfcard::eval {
 
@@ -57,18 +60,26 @@ common::StatusOr<RunResult> RunQftModel(
     const std::vector<workload::LabeledQuery>& test, double valid_fraction,
     uint64_t seed) {
   RunResult result;
-  Timer feat_timer;
-  QFCARD_ASSIGN_OR_RETURN(
-      const FeaturizedData data,
-      FeaturizeWorkload(featurizer, train, test, valid_fraction, seed));
-  result.featurize_seconds = feat_timer.Seconds();
+  obs::TraceSpan run_span("harness.run");
+  FeaturizedData data;
+  {
+    obs::TraceSpan span("harness.featurize");
+    obs::ScopedTimer feat_timer("harness.featurize_seconds");
+    QFCARD_ASSIGN_OR_RETURN(
+        data, FeaturizeWorkload(featurizer, train, test, valid_fraction, seed));
+    result.featurize_seconds = feat_timer.Stop();
+  }
 
-  Timer train_timer;
-  QFCARD_RETURN_IF_ERROR(
-      model.Fit(data.train, data.valid.num_rows() > 0 ? &data.valid : nullptr));
-  result.train_seconds = train_timer.Seconds();
+  {
+    obs::TraceSpan span("harness.train");
+    obs::ScopedTimer train_timer("harness.train_seconds");
+    QFCARD_RETURN_IF_ERROR(model.Fit(
+        data.train, data.valid.num_rows() > 0 ? &data.valid : nullptr));
+    result.train_seconds = train_timer.Stop();
+  }
   result.model_bytes = model.SizeBytes();
 
+  obs::TraceSpan predict_span("harness.predict");
   const std::vector<float> preds = model.PredictBatch(data.test.x);
   result.estimates.reserve(preds.size());
   result.qerrors.reserve(preds.size());
@@ -76,6 +87,18 @@ common::StatusOr<RunResult> RunQftModel(
     const double est = ml::LabelToCard(preds[i]);
     result.estimates.push_back(est);
     result.qerrors.push_back(ml::QError(data.test_cards[i], est));
+  }
+  // The reported summary stays exact; the registry gets the same q-errors
+  // bucketed per featurizer, and the drift monitor sees them as labeled
+  // feedback (harness truths are known cardinalities).
+  if (obs::MetricsEnabled()) {
+    obs::Histogram* hist = obs::MetricsRegistry::Global().HistogramNamed(
+        "qerror", obs::QErrorBounds(), "qft=" + featurizer.name());
+    obs::QErrorDriftMonitor& drift = obs::QErrorDriftMonitor::Global();
+    for (const double q : result.qerrors) {
+      hist->Observe(q);
+      drift.Observe(q);
+    }
   }
   result.summary = ml::QErrorSummary::FromErrors(result.qerrors);
   return result;

@@ -1,7 +1,6 @@
 #ifndef QFCARD_EVAL_HARNESS_H_
 #define QFCARD_EVAL_HARNESS_H_
 
-#include <chrono>
 #include <vector>
 
 #include "common/status.h"
@@ -12,19 +11,9 @@
 
 namespace qfcard::eval {
 
-/// Wall-clock stopwatch.
-class Timer {
- public:
-  Timer() : start_(std::chrono::steady_clock::now()) {}
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+// Wall-clock timing goes through obs::ScopedTimer (obs/metrics.h) — the
+// old eval::Timer was removed so every stage and bench shares one clock
+// path and can feed the telemetry registry.
 
 /// A featurized train/valid/test bundle produced by one featurizer from a
 /// labeled workload.
@@ -58,6 +47,11 @@ struct RunResult {
 /// Featurizes, trains `model`, and evaluates q-errors on the test set.
 /// Featurization and test-set prediction are batched/parallel (see
 /// FeaturizeWorkload and ml::Model::PredictBatch).
+///
+/// Telemetry: when QFCARD_METRICS is on, every test q-error lands in the
+/// `qerror{qft=<featurizer name>}` histogram and feeds the global
+/// obs::QErrorDriftMonitor; stage latencies land in harness.* histograms.
+/// The returned summary stays exact (full sort) regardless.
 common::StatusOr<RunResult> RunQftModel(
     const featurize::Featurizer& featurizer, ml::Model& model,
     const std::vector<workload::LabeledQuery>& train,

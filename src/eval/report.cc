@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/qerror_monitor.h"
 
 namespace qfcard::eval {
 
@@ -42,6 +44,44 @@ std::string FormatBox(const ml::QErrorSummary& s) {
                            FormatQ(s.p01).c_str(), FormatQ(s.p25).c_str(),
                            FormatQ(s.median).c_str(), FormatQ(s.p75).c_str(),
                            FormatQ(s.p99).c_str(), FormatQ(s.max).c_str());
+}
+
+void PrintTelemetrySnapshot(std::ostream& os) {
+  if (!obs::MetricsEnabled()) return;
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+
+  os << "\n[telemetry] histograms (p50/p95/max):\n";
+  TablePrinter hist_table({"histogram", "labels", "count", "mean", "p50",
+                           "p95", "max"});
+  for (const obs::MetricsRegistry::HistogramRow& row : reg.HistogramRows()) {
+    if (row.count == 0) continue;
+    hist_table.AddRow({row.name, row.labels, std::to_string(row.count),
+                       common::StrFormat("%.4g", row.mean),
+                       common::StrFormat("%.4g", row.p50),
+                       common::StrFormat("%.4g", row.p95),
+                       common::StrFormat("%.4g", row.max)});
+  }
+  hist_table.Print(os);
+
+  os << "\n[telemetry] counters:\n";
+  TablePrinter counter_table({"counter", "labels", "value"});
+  for (const obs::MetricsRegistry::CounterRow& row : reg.CounterRows()) {
+    if (row.value == 0) continue;
+    counter_table.AddRow({row.name, row.labels, std::to_string(row.value)});
+  }
+  counter_table.Print(os);
+
+  const obs::QErrorDriftMonitor::State drift =
+      obs::QErrorDriftMonitor::Global().GetState();
+  if (drift.observed > 0) {
+    os << common::StrFormat(
+        "\n[telemetry] drift monitor: %s (window p95=%.2f vs threshold "
+        "%.2f over %zu/%zu labeled q-errors; %llu flip%s, max=%.2f)\n",
+        drift.degraded ? "DEGRADED" : "healthy", drift.p95, drift.threshold,
+        drift.window_fill, drift.window_size,
+        static_cast<unsigned long long>(drift.flips),
+        drift.flips == 1 ? "" : "s", drift.max_qerror);
+  }
 }
 
 }  // namespace qfcard::eval

@@ -35,6 +35,12 @@ std::string FormatBox(const ml::QErrorSummary& summary);
 /// Formats a double with sensible precision for q-errors.
 std::string FormatQ(double v);
 
+/// Appends a telemetry section to a report: per-histogram p50/p95/max for
+/// every registered latency and q-error series, hot counters, and the
+/// q-error drift monitor's state. No-op (prints nothing) when
+/// QFCARD_METRICS is off, so existing bench output is unchanged by default.
+void PrintTelemetrySnapshot(std::ostream& os);
+
 }  // namespace qfcard::eval
 
 #endif  // QFCARD_EVAL_REPORT_H_

@@ -1,0 +1,126 @@
+#include "obs/qerror_monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/str_util.h"
+#include "ml/metrics.h"
+#include "obs/metrics.h"
+
+namespace qfcard::obs {
+
+QErrorDriftMonitor& QErrorDriftMonitor::Global() {
+  static QErrorDriftMonitor* monitor = [] {
+    DriftMonitorOptions opts;
+    opts.window = static_cast<size_t>(std::max<int64_t>(
+        1, common::GetEnvInt("QFCARD_DRIFT_WINDOW",
+                             static_cast<int64_t>(opts.window))));
+    // Integer env knob: threshold in thousandths (10.0 -> 10000).
+    opts.p95_threshold =
+        static_cast<double>(common::GetEnvInt(
+            "QFCARD_DRIFT_P95",
+            static_cast<int64_t>(opts.p95_threshold * 1000.0))) /
+        1000.0;
+    opts.min_samples = static_cast<size_t>(std::max<int64_t>(
+        1, common::GetEnvInt("QFCARD_DRIFT_MIN_SAMPLES",
+                             static_cast<int64_t>(opts.min_samples))));
+    return new QErrorDriftMonitor(opts);  // leaked: outlives static dtors
+  }();
+  return *monitor;
+}
+
+QErrorDriftMonitor::QErrorDriftMonitor(DriftMonitorOptions options) {
+  common::MutexLock lock(&mu_);
+  opts_ = options;
+  if (opts_.window == 0) opts_.window = 1;
+  window_.reserve(opts_.window);
+}
+
+void QErrorDriftMonitor::Observe(double qerror) {
+  bool flipped = false;
+  {
+    common::MutexLock lock(&mu_);
+    ++observed_;
+    max_qerror_ = std::max(max_qerror_, qerror);
+    if (window_.size() < opts_.window) {
+      window_.push_back(qerror);
+    } else {
+      window_[next_slot_] = qerror;
+      next_slot_ = (next_slot_ + 1) % opts_.window;
+    }
+    RecomputeLocked();
+    const bool now_degraded =
+        window_.size() >= opts_.min_samples && p95_ > opts_.p95_threshold;
+    if (now_degraded && !degraded_) {
+      ++flips_;
+      flipped = true;
+    }
+    degraded_ = now_degraded;
+  }
+  // Counters outside the monitor lock (registry takes its own).
+  IncrementCounter("drift.observed");
+  if (flipped) IncrementCounter("drift.flips");
+}
+
+void QErrorDriftMonitor::RecomputeLocked() {
+  // Exact window quantiles by sorting a copy: the window is small (hundreds)
+  // and Observe runs on labeled feedback, not the estimation hot path.
+  std::vector<double> sorted = window_;
+  std::sort(sorted.begin(), sorted.end());
+  p50_ = ml::QuantileSorted(sorted, 0.50);
+  p95_ = ml::QuantileSorted(sorted, 0.95);
+}
+
+QErrorDriftMonitor::State QErrorDriftMonitor::GetState() const {
+  common::MutexLock lock(&mu_);
+  State s;
+  s.observed = observed_;
+  s.window_fill = window_.size();
+  s.window_size = opts_.window;
+  s.p50 = p50_;
+  s.p95 = p95_;
+  s.max_qerror = max_qerror_;
+  s.threshold = opts_.p95_threshold;
+  s.degraded = degraded_;
+  s.flips = flips_;
+  return s;
+}
+
+bool QErrorDriftMonitor::degraded() const {
+  common::MutexLock lock(&mu_);
+  return degraded_;
+}
+
+std::string QErrorDriftMonitor::ToJson() const {
+  const State s = GetState();
+  std::ostringstream out;
+  out << "{\"observed\":" << s.observed
+      << ",\"window_fill\":" << s.window_fill
+      << ",\"window_size\":" << s.window_size << ",\"p50\":"
+      << common::StrFormat("%.9g", s.p50) << ",\"p95\":"
+      << common::StrFormat("%.9g", s.p95) << ",\"max_qerror\":"
+      << common::StrFormat("%.9g", s.max_qerror) << ",\"threshold\":"
+      << common::StrFormat("%.9g", s.threshold) << ",\"degraded\":"
+      << (s.degraded ? "true" : "false") << ",\"flips\":" << s.flips << "}";
+  return out.str();
+}
+
+void QErrorDriftMonitor::Reset(const DriftMonitorOptions* options) {
+  common::MutexLock lock(&mu_);
+  if (options != nullptr) {
+    opts_ = *options;
+    if (opts_.window == 0) opts_.window = 1;
+  }
+  window_.clear();
+  window_.reserve(opts_.window);
+  next_slot_ = 0;
+  observed_ = 0;
+  max_qerror_ = 0.0;
+  degraded_ = false;
+  flips_ = 0;
+  p50_ = 0.0;
+  p95_ = 0.0;
+}
+
+}  // namespace qfcard::obs

@@ -1,0 +1,86 @@
+#ifndef QFCARD_OBS_QERROR_MONITOR_H_
+#define QFCARD_OBS_QERROR_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace qfcard::obs {
+
+/// Knobs for QErrorDriftMonitor. Defaults follow the drift experiment
+/// (Fig. 5 / bench_fig5_query_drift): a learned estimator whose rolling p95
+/// q-error exceeds 10 on in-distribution-sized windows has left its training
+/// distribution and needs retraining.
+struct DriftMonitorOptions {
+  size_t window = 256;        ///< labeled q-errors kept in the rolling window
+  double p95_threshold = 10.0;///< degradation flips when window p95 crosses
+  size_t min_samples = 30;    ///< no verdict before this many observations
+};
+
+/// Always-on runtime drift detector: maintains a rolling window of
+/// labeled-query q-errors (queries where the true cardinality became known —
+/// feedback from executed plans, eval harness truths, CLI truth checks) and
+/// flips a degradation flag while the window's p95 exceeds the threshold.
+/// This is the paper's Figure 5 observation operationalized: means hide
+/// drift, the p95 tail does not. Thread-safe; Observe is mutex-guarded and
+/// O(window log window), intended for labeled feedback (rare) not the
+/// estimation hot path.
+class QErrorDriftMonitor {
+ public:
+  /// Shared process-wide monitor, configured from the environment on first
+  /// use: QFCARD_DRIFT_WINDOW, QFCARD_DRIFT_P95 (x1000, integer env),
+  /// QFCARD_DRIFT_MIN_SAMPLES. Exported in every telemetry snapshot.
+  static QErrorDriftMonitor& Global();
+
+  explicit QErrorDriftMonitor(DriftMonitorOptions options = {});
+  QErrorDriftMonitor(const QErrorDriftMonitor&) = delete;
+  QErrorDriftMonitor& operator=(const QErrorDriftMonitor&) = delete;
+
+  /// Feeds one labeled q-error (>= 1) and re-evaluates the window p95.
+  void Observe(double qerror);
+
+  /// Point-in-time state of the monitor.
+  struct State {
+    uint64_t observed = 0;     ///< total q-errors ever fed
+    size_t window_fill = 0;    ///< q-errors currently in the window
+    size_t window_size = 0;    ///< configured window capacity
+    double p50 = 0.0;          ///< window median
+    double p95 = 0.0;          ///< window p95 (the alert statistic)
+    double max_qerror = 0.0;   ///< largest q-error ever fed
+    double threshold = 0.0;
+    bool degraded = false;     ///< p95 > threshold (with >= min_samples)
+    uint64_t flips = 0;        ///< healthy->degraded transitions so far
+  };
+  State GetState() const;
+
+  bool degraded() const;
+
+  /// JSON object for the telemetry snapshot (docs/observability.md).
+  std::string ToJson() const;
+
+  /// Clears the window, counters, and the flag. Reconfigures when `options`
+  /// is non-null.
+  void Reset(const DriftMonitorOptions* options = nullptr);
+
+ private:
+  mutable common::Mutex mu_;
+  DriftMonitorOptions opts_ QFCARD_GUARDED_BY(mu_);
+  std::vector<double> window_ QFCARD_GUARDED_BY(mu_);  // ring, oldest evicted
+  size_t next_slot_ QFCARD_GUARDED_BY(mu_) = 0;
+  uint64_t observed_ QFCARD_GUARDED_BY(mu_) = 0;
+  double max_qerror_ QFCARD_GUARDED_BY(mu_) = 0.0;
+  bool degraded_ QFCARD_GUARDED_BY(mu_) = false;
+  uint64_t flips_ QFCARD_GUARDED_BY(mu_) = 0;
+
+  void RecomputeLocked() QFCARD_REQUIRES(mu_);
+  double p50_ QFCARD_GUARDED_BY(mu_) = 0.0;
+  double p95_ QFCARD_GUARDED_BY(mu_) = 0.0;
+};
+
+}  // namespace qfcard::obs
+
+#endif  // QFCARD_OBS_QERROR_MONITOR_H_

@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/env.h"
+#include "common/str_util.h"
+#include "obs/metrics.h"
+
+namespace qfcard::obs {
+
+namespace internal {
+
+std::atomic<int> g_trace_mode{-1};
+
+bool ResolveTraceMode() {
+  const bool on = common::GetEnvInt("QFCARD_TRACE", 0) != 0;
+  int expected = -1;
+  g_trace_mode.compare_exchange_strong(expected, on ? 1 : 0,
+                                       std::memory_order_relaxed);
+  return g_trace_mode.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace internal
+
+void SetTraceEnabled(bool enabled) {
+  internal::g_trace_mode.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------------
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();  // leaked: outlives statics
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_(Now()) {
+  common::MutexLock lock(&mu_);
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(SpanRecord span) {
+  common::MutexLock lock(&mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  // Full: overwrite the oldest slot (next_slot_ walks the ring).
+  ring_[next_slot_] = std::move(span);
+  next_slot_ = (next_slot_ + 1) % capacity_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  common::MutexLock lock(&mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Oldest first: from next_slot_ (the overwrite cursor) around the ring.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::Dropped() const {
+  common::MutexLock lock(&mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+uint64_t TraceBuffer::Recorded() const {
+  common::MutexLock lock(&mu_);
+  return recorded_;
+}
+
+size_t TraceBuffer::capacity() const {
+  common::MutexLock lock(&mu_);
+  return capacity_;
+}
+
+void TraceBuffer::Reset() {
+  common::MutexLock lock(&mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  recorded_ = 0;
+  next_id_.store(1, std::memory_order_relaxed);
+  epoch_ = Now();
+}
+
+void TraceBuffer::ResetWithCapacity(size_t capacity) {
+  common::MutexLock lock(&mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_slot_ = 0;
+  recorded_ = 0;
+  next_id_.store(1, std::memory_order_relaxed);
+  epoch_ = Now();
+}
+
+std::string TraceBuffer::ToJson() const {
+  std::ostringstream out;
+  const std::vector<SpanRecord> spans = Snapshot();
+  uint64_t recorded = 0;
+  size_t capacity = 0;
+  {
+    common::MutexLock lock(&mu_);
+    recorded = recorded_;
+    capacity = capacity_;
+  }
+  const uint64_t dropped =
+      recorded > spans.size() ? recorded - spans.size() : 0;
+  out << "{\"capacity\":" << capacity << ",\"recorded\":" << recorded
+      << ",\"dropped\":" << dropped << ",\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out << ",";
+    const SpanRecord& s = spans[i];
+    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent_id
+        << ",\"name\":\"" << internal::JsonEscape(s.name) << "\",\"start_s\":"
+        << common::StrFormat("%.9f", s.start_s) << ",\"duration_s\":"
+        << common::StrFormat("%.9f", s.duration_s) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Innermost open span on this thread; new spans parent under it. Spans are
+// strictly scope-nested per thread (RAII), so a plain stack variable per
+// thread suffices — no synchronization needed.
+thread_local uint64_t tls_current_span = 0;
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!TraceEnabled()) return;
+  TraceBuffer& buffer = TraceBuffer::Global();
+  id_ = buffer.NextId();
+  parent_id_ = tls_current_span;
+  tls_current_span = id_;
+  start_ = Now();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  tls_current_span = parent_id_;
+  TraceBuffer& buffer = TraceBuffer::Global();
+  SpanRecord span;
+  span.id = id_;
+  span.parent_id = parent_id_;
+  span.name = name_;
+  span.start_s = buffer.SinceEpoch(start_);
+  span.duration_s = SecondsBetween(start_, Now());
+  buffer.Record(std::move(span));
+}
+
+bool WriteTraceJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << TraceBuffer::Global().ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace qfcard::obs

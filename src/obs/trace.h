@@ -1,0 +1,139 @@
+#ifndef QFCARD_OBS_TRACE_H_
+#define QFCARD_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/clock.h"
+
+namespace qfcard::obs {
+
+// ---------------------------------------------------------------------------
+// Runtime toggle (mirrors QFCARD_METRICS; see metrics.h)
+// ---------------------------------------------------------------------------
+
+namespace internal {
+extern std::atomic<int> g_trace_mode;  // -1 unresolved, 0 off, 1 on
+bool ResolveTraceMode();
+}  // namespace internal
+
+/// Whether span recording is on: the QFCARD_TRACE environment variable
+/// (default off), overridable via SetTraceEnabled. One relaxed load once
+/// resolved, so TraceSpan construction is ~free when tracing is off.
+inline bool TraceEnabled() {
+  const int mode = internal::g_trace_mode.load(std::memory_order_relaxed);
+  if (mode >= 0) return mode != 0;
+  return internal::ResolveTraceMode();
+}
+
+/// Programmatic override of QFCARD_TRACE (qfcard_cli --trace-out, tests).
+void SetTraceEnabled(bool enabled);
+
+// ---------------------------------------------------------------------------
+// Span records and the bounded ring buffer
+// ---------------------------------------------------------------------------
+
+/// One finished span. `start_s` is relative to the buffer's epoch (process
+/// start or the last Reset), so dumps from one run line up on a common
+/// timeline.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span
+  std::string name;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+/// Bounded ring of finished spans: constant memory no matter how long the
+/// process runs, overwriting the oldest record when full (the newest spans
+/// are the ones a drift alert investigation needs). Span ids are assigned
+/// from a monotonically increasing sequence starting at 1, so with a
+/// deterministic workload (serial pool, fixed seed) ids are stable across
+/// runs — reproducers can reference "span 17" meaningfully.
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global();
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Next span id (also bumps the sequence).
+  uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Seconds since the buffer epoch.
+  double SinceEpoch(Clock::time_point t) const {
+    return SecondsBetween(epoch_, t);
+  }
+
+  void Record(SpanRecord span);
+
+  /// Finished spans, oldest first (at most capacity()).
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans evicted by the ring so far.
+  uint64_t Dropped() const;
+  uint64_t Recorded() const;
+  size_t capacity() const;
+
+  /// Clears the ring, restarts the id sequence at 1, and re-anchors the
+  /// epoch. With the same workload afterwards, span ids and nesting repeat
+  /// exactly (tests/trace_test.cc pins this).
+  void Reset();
+
+  /// Reset + resize (test hook for exercising overflow cheaply).
+  void ResetWithCapacity(size_t capacity);
+
+  /// JSON object: {"capacity":..,"recorded":..,"dropped":..,"spans":[...]}.
+  std::string ToJson() const;
+
+ private:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  mutable common::Mutex mu_;
+  std::vector<SpanRecord> ring_ QFCARD_GUARDED_BY(mu_);
+  size_t capacity_ QFCARD_GUARDED_BY(mu_);
+  size_t next_slot_ QFCARD_GUARDED_BY(mu_) = 0;
+  uint64_t recorded_ QFCARD_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> next_id_{1};
+  Clock::time_point epoch_;
+};
+
+/// RAII trace span: records one SpanRecord into TraceBuffer::Global() on
+/// destruction when tracing is enabled, and maintains the per-thread parent
+/// chain so nested spans (estimate.batch > featurize.batch) link up. `name`
+/// must be a string literal (stored by pointer until the span closes).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// This span's id; 0 when tracing is off.
+  uint64_t id() const { return id_; }
+
+  /// Closes the span now (records it and pops the parent chain); the
+  /// destructor then does nothing. Idempotent. Lets a long-lived span (e.g.
+  /// cli.main) land in a trace dump written before scope exit.
+  void End();
+
+ private:
+  const char* name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  Clock::time_point start_;
+  bool active_ = false;
+};
+
+/// Writes TraceBuffer::Global().ToJson() to `path`; false on I/O failure.
+bool WriteTraceJson(const std::string& path);
+
+}  // namespace qfcard::obs
+
+#endif  // QFCARD_OBS_TRACE_H_

@@ -1,8 +1,9 @@
 #include "optimizer/plan_executor.h"
 
-#include <chrono>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 
 namespace qfcard::opt {
@@ -169,12 +170,12 @@ common::StatusOr<ExecResult> ExecutePlan(const storage::Catalog& catalog,
     QFCARD_ASSIGN_OR_RETURN(const storage::Table* t, catalog.GetTable(ref.name));
     ctx.tables.push_back(t);
   }
-  const auto start = std::chrono::steady_clock::now();
+  obs::TraceSpan span("plan.execute");
+  obs::ScopedTimer timer("plan.execute_seconds");
   QFCARD_ASSIGN_OR_RETURN(const TupleSet result, ExecNode(ctx, plan, plan.root));
-  const auto end = std::chrono::steady_clock::now();
   ExecResult out;
   out.result_rows = static_cast<int64_t>(result.count());
-  out.seconds = std::chrono::duration<double>(end - start).count();
+  out.seconds = timer.Stop();
   out.intermediate_rows = ctx.intermediate_rows;
   return out;
 }

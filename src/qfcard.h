@@ -9,6 +9,7 @@
 ///
 /// Layering (bottom-up):
 ///  - common/   : Status/StatusOr, deterministic RNG, env knobs
+///  - obs/      : telemetry — metrics registry, stage tracing, drift monitor
 ///  - storage/  : columnar tables, dictionaries, catalog, CSV I/O
 ///  - query/    : mixed-query AST, SQL parser, executors, schema graph
 ///  - featurize/: the paper's four query featurization techniques
@@ -24,6 +25,13 @@
 /// environment variable and return results byte-identical to the serial
 /// path at every thread count. Estimators are constructed by name through
 /// est::MakeEstimator (estimators/registry.h). See docs/batch_api.md.
+///
+/// The pipeline is observable end to end: obs::MetricsRegistry collects
+/// counters/gauges/histograms (per-stage latency, per-backend q-error),
+/// obs::TraceSpan records nested stage spans into a bounded ring buffer,
+/// and obs::QErrorDriftMonitor watches the rolling p95 q-error of labeled
+/// queries. Telemetry is off by default and ~free when off; enable with
+/// QFCARD_METRICS=1 / QFCARD_TRACE=1. See docs/observability.md.
 ///
 /// This umbrella header pulls in the full public API.
 
@@ -62,6 +70,11 @@
 #include "ml/mscn.h"
 #include "ml/nn.h"
 #include "ml/tree.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/qerror_monitor.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/join_order.h"
 #include "optimizer/plan_executor.h"

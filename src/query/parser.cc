@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace qfcard::query {
 
@@ -430,10 +432,15 @@ class Parser {
 }  // namespace
 
 common::StatusOr<RawQuery> ParseSql(std::string_view sql) {
+  obs::TraceSpan span("parse.sql");
+  obs::ScopedTimer timer("parse.sql_seconds");
+  obs::IncrementCounter("parse.queries");
   Lexer lexer(sql);
   QFCARD_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
-  return parser.Parse();
+  common::StatusOr<RawQuery> parsed = parser.Parse();
+  if (!parsed.ok()) obs::IncrementCounter("parse.errors");
+  return parsed;
 }
 
 }  // namespace qfcard::query

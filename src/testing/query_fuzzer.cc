@@ -14,6 +14,7 @@
 #include "estimators/true_card.h"
 #include "featurize/extensions.h"
 #include "featurize/feature_schema.h"
+#include "obs/metrics.h"
 #include "query/executor.h"
 #include "query/join_executor.h"
 #include "query/normalize.h"
@@ -63,6 +64,7 @@ class Fuzzer {
                      int round, const query::Query& q,
                      const storage::Catalog& catalog,
                      const FailurePredicate& still_fails) {
+    obs::IncrementCounter("fuzz.failures", "check=" + check);
     const query::Query minimal = ShrinkQuery(q, still_fails);
     report_.failures.push_back(FuzzFailure{
         check, detail, round,
@@ -71,6 +73,7 @@ class Fuzzer {
 
   void RecordPlainFailure(const std::string& check, const std::string& detail,
                           int round) {
+    obs::IncrementCounter("fuzz.failures", "check=" + check);
     report_.failures.push_back(FuzzFailure{
         check, detail, round,
         common::StrFormat("replay: qfcard_fuzz --seed=%llu --round=%d "

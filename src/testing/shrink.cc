@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace qfcard::testing {
 
@@ -46,7 +47,15 @@ bool TableReferenced(const query::Query& q, int t) {
 }  // namespace
 
 query::Query ShrinkQuery(const query::Query& q,
-                         const FailurePredicate& still_fails) {
+                         const FailurePredicate& still_fails_inner) {
+  // Telemetry wrapper: every candidate evaluation (the expensive part of
+  // shrinking — each one re-runs the differential check) bumps
+  // fuzz.shrink_candidates, so failure telemetry shows how hard the
+  // shrinker worked even when the reproducer ends up tiny.
+  const FailurePredicate still_fails = [&](const query::Query& cand) {
+    obs::IncrementCounter("fuzz.shrink_candidates");
+    return still_fails_inner(cand);
+  };
   query::Query cur = q;
   if (!still_fails(cur)) return cur;  // caller contract violated; don't loop
 

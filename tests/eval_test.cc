@@ -1,8 +1,10 @@
 #include "eval/harness.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "eval/report.h"
+#include "obs/metrics.h"
 #include "eval/summary.h"
 #include "featurize/conjunction.h"
 #include "gtest/gtest.h"
@@ -148,12 +150,49 @@ TEST_F(HarnessTest, GroupKeyHelpers) {
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {
-  Timer timer;
+  obs::ScopedTimer timer;
   // Burn a little CPU.
   volatile double acc = 0;
   for (int i = 0; i < 100000; ++i) acc = acc + i;
   EXPECT_GE(timer.Seconds(), 0.0);
   EXPECT_LT(timer.Seconds(), 10.0);
+}
+
+TEST(SummaryTest, SummarizeByGroupPinnedQuantiles) {
+  // Regression pin for the histogram-backed quantile path: a fixed
+  // deterministic workload of q-errors must keep reporting these exact
+  // interpolated values. Inputs use only integer-derived doubles, so bucket
+  // assignment is platform-exact. If QErrorBounds() or
+  // obs::Histogram::Quantile changes, recompute the constants consciously.
+  std::vector<double> errors;
+  std::vector<int> groups;
+  errors.reserve(400);
+  for (int i = 0; i < 400; ++i) {
+    // Values in [1.0, 11.0) spread by a full-period multiplicative walk.
+    errors.push_back(1.0 + static_cast<double>((i * 37) % 1000) / 100.0);
+    groups.push_back(i % 2);
+  }
+  const auto grouped = SummarizeByGroup(errors, groups);
+  ASSERT_EQ(grouped.size(), 2u);
+  // count/max are exact regardless of bucketing; mean is sum/count, exact.
+  EXPECT_EQ(grouped.at(0).count, 200u);
+  EXPECT_EQ(grouped.at(1).count, 200u);
+  const ml::QErrorSummary& s0 = grouped.at(0);
+  EXPECT_DOUBLE_EQ(s0.max, 10.98);
+  // Pinned interpolated quantiles (fixed inputs -> fixed bucket counts).
+  EXPECT_DOUBLE_EQ(s0.median, 5.975609756097561);
+  EXPECT_DOUBLE_EQ(s0.p95, 12.619047619047619);
+  // Sanity: the interpolated values stay within one bucket of the exact
+  // sort-based quantiles.
+  std::vector<double> g0;
+  for (int i = 0; i < 400; i += 2) g0.push_back(errors[static_cast<size_t>(i)]);
+  std::sort(g0.begin(), g0.end());
+  const double exact_p50 = ml::QuantileSorted(g0, 0.50);
+  const double exact_p95 = ml::QuantileSorted(g0, 0.95);
+  EXPECT_GT(s0.median, exact_p50 / 1.5);
+  EXPECT_LT(s0.median, exact_p50 * 1.5);
+  EXPECT_GT(s0.p95, exact_p95 / 1.5);
+  EXPECT_LT(s0.p95, exact_p95 * 1.5);
 }
 
 }  // namespace

@@ -12,7 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "estimators/registry.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+#include "testing/shrink.h"
 
 namespace qfcard::testing {
 namespace {
@@ -53,6 +58,55 @@ TEST(FuzzSmokeTest, ReplayRunsExactlyOneRound) {
   const FuzzReport report = RunFuzzer(options);
   EXPECT_EQ(report.rounds, 1);
   EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Sums a named counter across its label sets in the global registry.
+uint64_t GlobalCounterValue(const std::string& name,
+                            const std::string& labels) {
+  uint64_t total = 0;
+  for (const obs::MetricsRegistry::CounterRow& row :
+       obs::MetricsRegistry::Global().CounterRows()) {
+    if (row.name == name && row.labels == labels) total += row.value;
+  }
+  return total;
+}
+
+// Error paths are telemetry too (docs/observability.md): registry failures
+// and the shrink loop must leave an audit trail in the counters, so a fleet
+// quietly rejecting estimator configs — or a fuzzer stuck shrinking — shows
+// up in snapshots instead of only in stderr.
+TEST(FuzzSmokeTest, ErrorPathsIncrementFailureCounters) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().ResetForTest();
+  const storage::Catalog catalog = testutil::SmallCatalog();
+
+  // Each registry error kind bumps its own labeled counter.
+  EXPECT_FALSE(est::MakeEstimator("definitely-not-a-model", catalog).ok());
+  EXPECT_EQ(GlobalCounterValue("registry.errors", "kind=unknown-estimator"),
+            1u);
+  EXPECT_FALSE(est::MakeEstimator("gb+not-a-qft", catalog).ok());
+  EXPECT_EQ(GlobalCounterValue("registry.errors", "kind=unknown-qft"), 1u);
+  EXPECT_FALSE(est::MakeEstimator("frobnicator+complex", catalog).ok());
+  EXPECT_EQ(GlobalCounterValue("registry.errors", "kind=unknown-model"), 1u);
+  EXPECT_FALSE(
+      est::MakeEstimator("gb+complex", storage::Catalog()).ok());
+  EXPECT_EQ(GlobalCounterValue("registry.errors", "kind=bad-catalog"), 1u);
+
+  // The shrink loop counts every candidate it evaluates.
+  query::Query q = testutil::SingleTableQuery("small");
+  testutil::AddPredicate(q, 0, query::CmpOp::kGe, 2);
+  testutil::AddPredicate(q, 1, query::CmpOp::kLe, 90);
+  const query::Query minimal =
+      ShrinkQuery(q, [](const query::Query&) { return true; });
+  EXPECT_GT(GlobalCounterValue("fuzz.shrink_candidates", ""), 0u);
+  EXPECT_LE(minimal.predicates.size(), q.predicates.size());
+
+  // Gating: with metrics off the same failures leave no trace.
+  obs::MetricsRegistry::Global().ResetForTest();
+  obs::SetMetricsEnabled(false);
+  EXPECT_FALSE(est::MakeEstimator("definitely-not-a-model", catalog).ok());
+  EXPECT_EQ(GlobalCounterValue("registry.errors", "kind=unknown-estimator"),
+            0u);
 }
 
 TEST(FuzzSmokeTest, DeterministicAcrossRuns) {

@@ -1,0 +1,161 @@
+// Tests for the obs stage-tracing layer (docs/observability.md): RAII span
+// nesting and the per-thread parent chain, ring-buffer overflow keeping the
+// newest spans, id stability across Reset + identical reruns (the property
+// that makes "span 17" meaningful in a reproducer), End() idempotence, and
+// gating when tracing is off.
+
+#include "obs/trace.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace qfcard::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTraceEnabled(true);
+    TraceBuffer::Global().Reset();
+  }
+  void TearDown() override {
+    SetTraceEnabled(false);
+    TraceBuffer::Global().Reset();
+  }
+};
+
+// Runs a fixed two-level workload; returns nothing — the buffer holds the
+// result. Spans record at End (innermost first).
+void RunNestedWorkload() {
+  TraceSpan outer("estimate.batch");
+  {
+    TraceSpan inner("featurize.batch");
+    TraceSpan innermost("featurize.partition");
+  }
+  TraceSpan sibling("estimate.predict");
+}
+
+TEST_F(TraceTest, NestedSpansLinkParentIds) {
+  RunNestedWorkload();
+  const std::vector<SpanRecord> spans = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Completion order: innermost, inner, sibling, outer.
+  const SpanRecord& innermost = spans[0];
+  const SpanRecord& inner = spans[1];
+  const SpanRecord& sibling = spans[2];
+  const SpanRecord& outer = spans[3];
+  EXPECT_EQ(innermost.name, "featurize.partition");
+  EXPECT_EQ(inner.name, "featurize.batch");
+  EXPECT_EQ(sibling.name, "estimate.predict");
+  EXPECT_EQ(outer.name, "estimate.batch");
+  EXPECT_EQ(outer.parent_id, 0u);  // root
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(innermost.parent_id, inner.id);
+  // The sibling opened after `inner` closed, so it parents under outer
+  // again — the chain pops correctly.
+  EXPECT_EQ(sibling.parent_id, outer.id);
+  for (const SpanRecord& s : spans) {
+    EXPECT_GE(s.start_s, 0.0);
+    EXPECT_GE(s.duration_s, 0.0);
+  }
+  // Nested spans start no earlier than their parent.
+  EXPECT_GE(inner.start_s, outer.start_s);
+  EXPECT_GE(innermost.start_s, inner.start_s);
+}
+
+TEST_F(TraceTest, IdsAreStableAcrossResetAndIdenticalRerun) {
+  RunNestedWorkload();
+  const std::vector<SpanRecord> first = TraceBuffer::Global().Snapshot();
+  TraceBuffer::Global().Reset();
+  RunNestedWorkload();
+  const std::vector<SpanRecord> second = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+    EXPECT_EQ(first[i].parent_id, second[i].parent_id);
+    EXPECT_EQ(first[i].name, second[i].name);
+  }
+  // The sequence restarts at 1: the outermost span (opened first, closed
+  // last) carries id 1 in both runs.
+  EXPECT_EQ(first.back().id, 1u);
+}
+
+TEST_F(TraceTest, OverflowKeepsTheNewestSpans) {
+  TraceBuffer::Global().ResetWithCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(i % 2 == 0 ? "even" : "odd");
+  }
+  TraceBuffer& buffer = TraceBuffer::Global();
+  EXPECT_EQ(buffer.Recorded(), 10u);
+  EXPECT_EQ(buffer.Dropped(), 6u);
+  const std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // The survivors are the last four spans (ids 7..10), oldest first.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].id, 7u + i);
+  }
+  TraceBuffer::Global().ResetWithCapacity(4096);
+}
+
+TEST_F(TraceTest, EndIsIdempotentAndEnablesEarlyDump) {
+  TraceSpan span("cli.main");
+  span.End();
+  span.End();  // no double record
+  {
+    // After End, new spans must be roots again (the chain was popped).
+    TraceSpan next("after");
+    EXPECT_NE(next.id(), span.id());
+  }
+  const std::vector<SpanRecord> spans = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "cli.main");
+  EXPECT_EQ(spans[1].name, "after");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}  // span's destructor runs here and must not record a third entry
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  SetTraceEnabled(false);
+  {
+    TraceSpan span("ghost");
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_EQ(TraceBuffer::Global().Recorded(), 0u);
+  EXPECT_TRUE(TraceBuffer::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, ThreadsHaveIndependentParentChains) {
+  TraceSpan main_span("main.root");
+  std::thread worker([] {
+    // A span on another thread is a root: the parent chain is per-thread,
+    // so it must NOT parent under main.root.
+    TraceSpan span("worker.root");
+  });
+  worker.join();
+  main_span.End();
+  const std::vector<SpanRecord> spans = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "worker.root");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].name, "main.root");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+}
+
+TEST_F(TraceTest, ToJsonContainsSpansAndStats) {
+  TraceBuffer::Global().ResetWithCapacity(2);
+  RunNestedWorkload();  // 4 spans into capacity 2
+  const std::string json = TraceBuffer::Global().ToJson();
+  EXPECT_NE(json.find("\"capacity\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":2"), std::string::npos);
+  // The newest two spans survive: sibling and outer.
+  EXPECT_NE(json.find("\"name\":\"estimate.predict\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"estimate.batch\""), std::string::npos);
+  EXPECT_EQ(json.find("featurize.partition"), std::string::npos);
+  TraceBuffer::Global().ResetWithCapacity(4096);
+}
+
+}  // namespace
+}  // namespace qfcard::obs

@@ -26,6 +26,12 @@ unordered-container  Any std::unordered_map / std::unordered_set use must
                    cannot reach output (lookup-only, commutative reduction,
                    ...). This makes the safe uses auditable and new unsafe
                    ones a conscious, reviewed act.
+raw-steady-clock   steady_clock::now() in src/ outside src/obs/. All timing
+                   flows through obs::Now() / obs::ScopedTimer / obs::TraceSpan
+                   so there is exactly one clock path and every measurement can
+                   land in the telemetry registry (docs/observability.md).
+                   Naming the type (steady_clock::time_point members) stays
+                   legal — only the clock *read* is restricted.
 
 Suppressions
 ------------
@@ -64,9 +70,15 @@ UNORDERED_DECL_RE = re.compile(
 )
 COMMENT_RE = re.compile(r"//.*$")
 
+RAW_STEADY_CLOCK_RE = re.compile(r"\bsteady_clock\s*::\s*now\s*\(")
+
 # Randomness is implemented (seeded, replayable) here; the banned-random rule
 # does not apply to the implementation itself.
 RANDOM_IMPL = ("common/random.h", "common/random.cc")
+
+# The one legal steady_clock::now() call site: obs::Now() and the rest of the
+# telemetry layer built directly on it.
+CLOCK_IMPL_PREFIX = "src/obs/"
 
 
 def strip_comment(line: str) -> str:
@@ -135,6 +147,12 @@ def lint_file(path: pathlib.Path, rel: str) -> list[tuple[str, int, str, str]]:
             report(idx, "wall-clock",
                    "wall-clock read in library code; use "
                    "std::chrono::steady_clock for durations")
+        if (RAW_STEADY_CLOCK_RE.search(code)
+                and not rel.startswith(CLOCK_IMPL_PREFIX)):
+            report(idx, "raw-steady-clock",
+                   "raw steady_clock::now() outside src/obs/; route timing "
+                   "through obs::Now(), obs::ScopedTimer, or obs::TraceSpan "
+                   "so the telemetry layer stays the single clock path")
         for rx in iter_res:
             if rx.search(code):
                 report(idx, "unordered-iter",
