@@ -19,6 +19,18 @@
 //                   checks this file against tools/metrics_schema.json
 //   --trace-out=PATH    enable stage tracing (as if QFCARD_TRACE=1) and
 //                   write the span ring buffer as JSON to PATH on exit
+//   --model-dir=PATH    serve::ModelStore root for --save-model/--load-model
+//   --save-model    after training, publish the model to --model-dir as the
+//                   next version (ML estimators only; see docs/serving.md)
+//   --load-model[=N]    skip training and serve version N (default: latest)
+//                   from --model-dir; the restored model featurizes with its
+//                   saved schema, so estimates match the saving process even
+//                   if the table has since drifted
+//
+// The served model always sits behind a serve::ServingEstimator, so the
+// serve.swaps counter and serve.active_version gauge appear in every
+// telemetry snapshot and a retraining loop could hot-swap it live (see
+// examples/serving_loop.cpp).
 //
 // Labeling, training featurization, and the held-out accuracy report all
 // run through the batch API; set QFCARD_THREADS to parallelize them. Every
@@ -27,8 +39,10 @@
 // threshold.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "qfcard.h"
@@ -45,6 +59,10 @@ struct CliOptions {
   std::string model = "gb+complex";
   std::string metrics_out;
   std::string trace_out;
+  std::string model_dir;
+  bool save_model = false;
+  bool load_model = false;
+  uint64_t load_version = 0;  ///< 0 = latest
 };
 
 common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
@@ -66,6 +84,22 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       opts.metrics_out = arg.substr(14);
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       opts.trace_out = arg.substr(12);
+    } else if (arg.rfind("--model-dir=", 0) == 0) {
+      opts.model_dir = arg.substr(12);
+    } else if (arg == "--save-model") {
+      opts.save_model = true;
+    } else if (arg == "--load-model") {
+      opts.load_model = true;
+    } else if (arg.rfind("--load-model=", 0) == 0) {
+      opts.load_model = true;
+      const std::string version = arg.substr(13);
+      char* end = nullptr;
+      opts.load_version = std::strtoull(version.c_str(), &end, 10);
+      if (version.empty() || end == nullptr || *end != '\0' ||
+          opts.load_version == 0) {
+        return common::Status::InvalidArgument(
+            "--load-model= wants a positive version number, got: " + version);
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return common::Status::InvalidArgument("unknown flag: " + arg);
     } else {
@@ -79,6 +113,15 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
     }
     opts.csv_path = positional[0];
     if (positional.size() > 1) opts.table_name = positional[1];
+  }
+  if ((opts.save_model || opts.load_model) && opts.model_dir.empty()) {
+    return common::Status::InvalidArgument(
+        "--save-model/--load-model need --model-dir=PATH");
+  }
+  if (opts.save_model && opts.load_model) {
+    return common::Status::InvalidArgument(
+        "--save-model and --load-model are mutually exclusive (a loaded "
+        "model is already in the store)");
   }
   return opts;
 }
@@ -118,78 +161,149 @@ int main(int argc, char** argv) {
                table.name().c_str(), static_cast<long long>(table.num_rows()),
                table.num_columns());
 
-  // Build the estimator by registry name and train it on an auto-generated
-  // mixed workload (statistics-based estimators ignore Train).
-  std::fprintf(stderr, "building '%s' on auto-generated workload...\n",
-               opts.model.c_str());
-  est::EstimatorOptions eopts;
-  eopts.conj.max_partitions = 64;
-  auto estimator_or = est::MakeEstimator(opts.model, catalog, eopts);
-  if (!estimator_or.ok()) {
-    std::fprintf(stderr, "%s\n", estimator_or.status().ToString().c_str());
-    return 1;
-  }
-  const std::unique_ptr<est::CardinalityEstimator> estimator =
-      std::move(estimator_or).value();
+  std::unique_ptr<est::CardinalityEstimator> estimator;
+  std::string model_name = opts.model;
+  uint64_t served_version = 0;  // 0 = trained in-process, never published
+  size_t num_train = 0;
 
-  common::Rng rng(1);
-  const int num_workload =
-      static_cast<int>(common::ScalePick(800, 4000, 60000));
-  const std::vector<query::Query> queries = workload::GeneratePredicateWorkload(
-      table, num_workload,
-      workload::MixedWorkloadOptions(std::min(table.num_columns(), 6)), rng);
-  const std::vector<workload::LabeledQuery> labeled =
-      workload::LabelOnTable(table, queries, true).value();
-  // Hold out a tail slice for the post-training accuracy report below.
-  const size_t num_held_out = labeled.size() / 10;
-  const size_t num_train = labeled.size() - num_held_out;
-  {
-    std::vector<query::Query> qs;
-    std::vector<double> cards;
-    for (size_t i = 0; i < num_train; ++i) {
-      qs.push_back(labeled[i].query);
-      cards.push_back(labeled[i].card);
-    }
-    QFCARD_CHECK_OK(estimator->Train(qs, cards, 0.1, 2));
-  }
-
-  // Batched accuracy report on the held-out slice (one EstimateBatch call
-  // instead of a per-query loop).
-  if (num_held_out > 0) {
-    std::vector<query::Query> held_out;
-    for (size_t i = num_train; i < labeled.size(); ++i) {
-      held_out.push_back(labeled[i].query);
-    }
-    const auto ests_or = estimator->EstimateBatch(held_out);
-    if (ests_or.ok()) {
-      // Held-out truths are labeled q-errors: they seed the drift monitor's
-      // window (the post-training baseline) and the qerror histogram.
-      obs::QErrorDriftMonitor& drift = obs::QErrorDriftMonitor::Global();
-      obs::Histogram* qerr_hist =
-          obs::MetricsEnabled()
-              ? obs::MetricsRegistry::Global().HistogramNamed(
-                    "qerror", obs::QErrorBounds(), "backend=" + opts.model)
-              : nullptr;
-      std::vector<double> qerrors;
-      for (size_t i = 0; i < held_out.size(); ++i) {
-        qerrors.push_back(
-            ml::QError(labeled[num_train + i].card, ests_or.value()[i]));
-        drift.Observe(qerrors.back());
-        if (qerr_hist != nullptr) qerr_hist->Observe(qerrors.back());
+  if (opts.load_model) {
+    // Serve a published bundle: no workload, no training. The bundle
+    // carries the featurizer's schema and partitioner state, so the
+    // restored model estimates exactly like the process that saved it.
+    const serve::ModelStore store(opts.model_dir);
+    common::StatusOr<serve::ModelBundle> bundle_or =
+        [&]() -> common::StatusOr<serve::ModelBundle> {
+      if (opts.load_version != 0) {
+        served_version = opts.load_version;
+        return store.Load(opts.load_version);
       }
-      const ml::QErrorSummary summary = ml::QErrorSummary::FromErrors(qerrors);
-      std::fprintf(stderr,
-                   "held-out q-error over %zu queries: median=%.2f p95=%.2f\n",
-                   held_out.size(), summary.median, summary.p95);
-    } else {
-      std::fprintf(stderr, "held-out eval failed: %s\n",
-                   ests_or.status().ToString().c_str());
+      auto latest_or = store.LoadLatest();
+      if (!latest_or.ok()) return latest_or.status();
+      served_version = latest_or.value().first;
+      return std::move(latest_or).value().second;
+    }();
+    if (!bundle_or.ok()) {
+      std::fprintf(stderr, "loading model from '%s': %s\n",
+                   opts.model_dir.c_str(),
+                   bundle_or.status().ToString().c_str());
+      return 1;
+    }
+    model_name = bundle_or.value().estimator;
+    auto loaded_or = serve::EstimatorFromBundle(bundle_or.value(), catalog);
+    if (!loaded_or.ok()) {
+      std::fprintf(stderr, "restoring model: %s\n",
+                   loaded_or.status().ToString().c_str());
+      return 1;
+    }
+    estimator = std::move(loaded_or).value();
+    std::fprintf(stderr, "loaded '%s' v%llu from %s\n", model_name.c_str(),
+                 static_cast<unsigned long long>(served_version),
+                 opts.model_dir.c_str());
+  } else {
+    // Build the estimator by registry name and train it on an auto-generated
+    // mixed workload (statistics-based estimators ignore Train).
+    std::fprintf(stderr, "building '%s' on auto-generated workload...\n",
+                 opts.model.c_str());
+    est::EstimatorOptions eopts;
+    eopts.conj.max_partitions = 64;
+    auto estimator_or = est::MakeEstimator(opts.model, catalog, eopts);
+    if (!estimator_or.ok()) {
+      std::fprintf(stderr, "%s\n", estimator_or.status().ToString().c_str());
+      return 1;
+    }
+    estimator = std::move(estimator_or).value();
+
+    common::Rng rng(1);
+    const int num_workload =
+        static_cast<int>(common::ScalePick(800, 4000, 60000));
+    const std::vector<query::Query> queries =
+        workload::GeneratePredicateWorkload(
+            table, num_workload,
+            workload::MixedWorkloadOptions(std::min(table.num_columns(), 6)),
+            rng);
+    const std::vector<workload::LabeledQuery> labeled =
+        workload::LabelOnTable(table, queries, true).value();
+    // Hold out a tail slice for the post-training accuracy report below.
+    const size_t num_held_out = labeled.size() / 10;
+    num_train = labeled.size() - num_held_out;
+    {
+      std::vector<query::Query> qs;
+      std::vector<double> cards;
+      for (size_t i = 0; i < num_train; ++i) {
+        qs.push_back(labeled[i].query);
+        cards.push_back(labeled[i].card);
+      }
+      QFCARD_CHECK_OK(estimator->Train(qs, cards, 0.1, 2));
+    }
+
+    // Batched accuracy report on the held-out slice (one EstimateBatch call
+    // instead of a per-query loop).
+    if (num_held_out > 0) {
+      std::vector<query::Query> held_out;
+      for (size_t i = num_train; i < labeled.size(); ++i) {
+        held_out.push_back(labeled[i].query);
+      }
+      const auto ests_or = estimator->EstimateBatch(held_out);
+      if (ests_or.ok()) {
+        // Held-out truths are labeled q-errors: they seed the drift
+        // monitor's window (the post-training baseline) and the qerror
+        // histogram.
+        obs::QErrorDriftMonitor& drift = obs::QErrorDriftMonitor::Global();
+        obs::Histogram* qerr_hist =
+            obs::MetricsEnabled()
+                ? obs::MetricsRegistry::Global().HistogramNamed(
+                      "qerror", obs::QErrorBounds(), "backend=" + opts.model)
+                : nullptr;
+        std::vector<double> qerrors;
+        for (size_t i = 0; i < held_out.size(); ++i) {
+          qerrors.push_back(
+              ml::QError(labeled[num_train + i].card, ests_or.value()[i]));
+          drift.Observe(qerrors.back());
+          if (qerr_hist != nullptr) qerr_hist->Observe(qerrors.back());
+        }
+        const ml::QErrorSummary summary =
+            ml::QErrorSummary::FromErrors(qerrors);
+        std::fprintf(
+            stderr,
+            "held-out q-error over %zu queries: median=%.2f p95=%.2f\n",
+            held_out.size(), summary.median, summary.p95);
+      } else {
+        std::fprintf(stderr, "held-out eval failed: %s\n",
+                     ests_or.status().ToString().c_str());
+      }
+    }
+
+    if (opts.save_model) {
+      serve::ModelStore store(opts.model_dir);
+      auto bundle_or = serve::BundleFromEstimator(*estimator, model_name);
+      if (!bundle_or.ok()) {
+        std::fprintf(stderr, "cannot save '%s': %s\n", model_name.c_str(),
+                     bundle_or.status().ToString().c_str());
+        return 1;
+      }
+      auto version_or = store.Publish(bundle_or.value());
+      if (!version_or.ok()) {
+        std::fprintf(stderr, "publishing to '%s': %s\n",
+                     opts.model_dir.c_str(),
+                     version_or.status().ToString().c_str());
+        return 1;
+      }
+      served_version = version_or.value();
+      std::fprintf(stderr, "saved '%s' as v%llu in %s\n", model_name.c_str(),
+                   static_cast<unsigned long long>(served_version),
+                   opts.model_dir.c_str());
     }
   }
+
+  // Serve through the hot-swap front so the serve.* metric families are
+  // always live (a retraining loop could swap this model without downtime).
+  const serve::ServingEstimator serving(
+      std::shared_ptr<const est::CardinalityEstimator>(std::move(estimator)),
+      served_version);
   std::fprintf(stderr,
                "ready (%zu training queries, %zu byte model). Enter SQL "
                "count(*) queries, one per line.\n",
-               num_train, estimator->SizeBytes());
+               num_train, serving.SizeBytes());
 
   obs::QErrorDriftMonitor& drift = obs::QErrorDriftMonitor::Global();
   bool was_degraded = drift.degraded();
@@ -203,7 +317,7 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", q_or.status().ToString().c_str());
       continue;
     }
-    const auto est_or = estimator->EstimateCard(q_or.value());
+    const auto est_or = serving.EstimateCard(q_or.value());
     if (!est_or.ok()) {
       std::printf("error: %s\n", est_or.status().ToString().c_str());
       continue;

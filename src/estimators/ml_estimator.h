@@ -42,6 +42,16 @@ class MlEstimator : public CardinalityEstimator {
   const featurize::Featurizer& featurizer() const { return *featurizer_; }
   const ml::Model& model() const { return *model_; }
 
+  /// Serializes the trained model parameters (the featurizer is persisted
+  /// separately by serve::EncodeBundle).
+  common::Status SerializeModel(std::vector<uint8_t>* out) const {
+    return model_->Serialize(out);
+  }
+  /// Restores model parameters serialized by SerializeModel.
+  common::Status DeserializeModel(const std::vector<uint8_t>& data) {
+    return model_->Deserialize(data);
+  }
+
  private:
   std::unique_ptr<featurize::Featurizer> featurizer_;
   std::unique_ptr<ml::Model> model_;
@@ -73,6 +83,20 @@ class MscnEstimator : public CardinalityEstimator {
                : "MSCN+conj";
   }
   size_t SizeBytes() const override { return model_.SizeBytes(); }
+
+  const featurize::MscnFeaturizer& featurizer() const { return featurizer_; }
+  const ml::Mscn& model() const { return model_; }
+
+  /// Serializes the trained network (the featurizer is persisted separately
+  /// by serve::EncodeBundle).
+  common::Status SerializeModel(std::vector<uint8_t>* out) const {
+    return model_.Serialize(out);
+  }
+  /// Restores a network serialized by SerializeModel; its set dimensions
+  /// must match this estimator's featurizer.
+  common::Status DeserializeModel(const std::vector<uint8_t>& data) {
+    return model_.Deserialize(data);
+  }
 
  private:
   featurize::MscnFeaturizer featurizer_;

@@ -29,6 +29,9 @@ class DisjunctionEncoding : public Featurizer {
   int AttrOffset(int a) const { return conj_.AttrOffset(a); }
   int AttrEntries(int a) const { return conj_.AttrEntries(a); }
 
+  const ConjunctionOptions& options() const { return conj_.options(); }
+  const FeatureSchema& schema() const { return conj_.schema(); }
+
  private:
   ConjunctionEncoding conj_;  // reused for layout and clause encoding
 };

@@ -22,6 +22,14 @@ const char* QftKindToString(QftKind kind) {
   return "unknown";
 }
 
+common::StatusOr<QftKind> QftKindFromString(const std::string& name) {
+  if (name == "simple") return QftKind::kSimple;
+  if (name == "range") return QftKind::kRange;
+  if (name == "conjunctive") return QftKind::kConjunctive;
+  if (name == "complex") return QftKind::kComplex;
+  return common::Status::InvalidArgument("unknown QFT kind: " + name);
+}
+
 std::unique_ptr<Featurizer> MakeFeaturizer(QftKind kind, FeatureSchema schema,
                                            const ConjunctionOptions& opts) {
   switch (kind) {

@@ -18,6 +18,11 @@ enum class QftKind {
 
 const char* QftKindToString(QftKind kind);
 
+/// Inverse of QftKindToString; accepts the featurizer name() abbreviations
+/// ("simple", "range", "conjunctive", "complex"). Used by serve/ to restore
+/// a featurizer from its persisted kind.
+common::StatusOr<QftKind> QftKindFromString(const std::string& name);
+
 /// Constructs a featurizer of the given kind over `schema`. `opts` applies
 /// to the conjunctive/complex kinds.
 std::unique_ptr<Featurizer> MakeFeaturizer(QftKind kind, FeatureSchema schema,

@@ -56,6 +56,32 @@ GlobalFeatureSchema GlobalFeatureSchema::FromCatalog(
   return out;
 }
 
+common::StatusOr<GlobalFeatureSchema> GlobalFeatureSchema::FromState(
+    FeatureSchema schema, std::vector<int> first_attr,
+    std::vector<int> num_columns) {
+  if (first_attr.size() != num_columns.size()) {
+    return common::Status::InvalidArgument(
+        "global schema state: per-table arrays disagree in length");
+  }
+  int expected_first = 0;
+  for (size_t t = 0; t < first_attr.size(); ++t) {
+    if (num_columns[t] < 0 || first_attr[t] != expected_first) {
+      return common::Status::InvalidArgument(
+          "global schema state: inconsistent table layout");
+    }
+    expected_first += num_columns[t];
+  }
+  if (expected_first != schema.num_attributes()) {
+    return common::Status::InvalidArgument(
+        "global schema state: attribute count does not match table layout");
+  }
+  GlobalFeatureSchema out;
+  out.schema_ = std::move(schema);
+  out.first_attr_ = std::move(first_attr);
+  out.num_columns_ = std::move(num_columns);
+  return out;
+}
+
 common::StatusOr<int> GlobalFeatureSchema::GlobalIndex(int table_idx,
                                                        int column) const {
   if (table_idx < 0 || table_idx >= num_tables()) {

@@ -44,6 +44,7 @@ class FeatureSchema {
   const AttributeInfo& attr(int idx) const {
     return attrs_[static_cast<size_t>(idx)];
   }
+  const std::vector<AttributeInfo>& attrs() const { return attrs_; }
 
   /// Verifies that `idx` is a valid attribute index.
   common::Status CheckAttr(int idx) const;
@@ -60,12 +61,22 @@ class GlobalFeatureSchema {
   /// Builds the global schema over all tables of `catalog` in catalog order.
   static GlobalFeatureSchema FromCatalog(const storage::Catalog& catalog);
 
+  /// Rebuilds a schema from previously captured state (see accessors below);
+  /// used by serve/ so a restored global featurizer keeps the exact attribute
+  /// domains it was trained with, even if the live catalog has drifted.
+  static common::StatusOr<GlobalFeatureSchema> FromState(
+      FeatureSchema schema, std::vector<int> first_attr,
+      std::vector<int> num_columns);
+
   const FeatureSchema& schema() const { return schema_; }
   int num_tables() const { return static_cast<int>(first_attr_.size()); }
 
   /// Returns the global attribute index of column `column` of catalog table
   /// `table_idx`.
   common::StatusOr<int> GlobalIndex(int table_idx, int column) const;
+
+  const std::vector<int>& first_attr() const { return first_attr_; }
+  const std::vector<int>& num_columns() const { return num_columns_; }
 
  private:
   FeatureSchema schema_;

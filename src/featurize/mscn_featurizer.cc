@@ -11,12 +11,19 @@ namespace qfcard::featurize {
 MscnFeaturizer::MscnFeaturizer(const storage::Catalog* catalog,
                                const query::SchemaGraph* graph, PredMode mode,
                                ConjunctionOptions opts)
+    : MscnFeaturizer(catalog, graph, mode, std::move(opts),
+                     GlobalFeatureSchema::FromCatalog(*catalog)) {}
+
+MscnFeaturizer::MscnFeaturizer(const storage::Catalog* catalog,
+                               const query::SchemaGraph* graph, PredMode mode,
+                               ConjunctionOptions opts,
+                               GlobalFeatureSchema global)
     : catalog_(catalog),
       graph_(graph),
       mode_(mode),
       opts_(opts),
-      global_(GlobalFeatureSchema::FromCatalog(*catalog)) {
-  num_tables_ = catalog_->num_tables();
+      global_(std::move(global)) {
+  num_tables_ = global_.num_tables();
   num_edges_ = static_cast<int>(graph_->edges().size());
   num_attrs_ = global_.schema().num_attributes();
   const Partitioner& part = opts_.partitioner != nullptr

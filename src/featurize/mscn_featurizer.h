@@ -42,10 +42,21 @@ class MscnFeaturizer {
                  const query::SchemaGraph* graph, PredMode mode,
                  ConjunctionOptions opts = {});
 
+  /// Like the primary constructor, but featurizes against a previously
+  /// captured `global` schema instead of deriving one from the live catalog.
+  /// serve/ uses this so a restored model featurizes byte-identically to the
+  /// one that was saved even when the catalog's statistics have drifted
+  /// (the catalog is still used for structural name lookups).
+  MscnFeaturizer(const storage::Catalog* catalog,
+                 const query::SchemaGraph* graph, PredMode mode,
+                 ConjunctionOptions opts, GlobalFeatureSchema global);
+
   int table_dim() const { return num_tables_; }
   int join_dim() const { return num_edges_ == 0 ? 1 : num_edges_; }
   int pred_dim() const { return pred_dim_; }
   PredMode mode() const { return mode_; }
+  const ConjunctionOptions& options() const { return opts_; }
+  const GlobalFeatureSchema& global() const { return global_; }
 
   common::StatusOr<MscnSample> Featurize(const query::Query& q) const;
 

@@ -61,6 +61,15 @@ EquiDepthPartitioner EquiDepthPartitioner::FromTable(
   return out;
 }
 
+EquiDepthPartitioner EquiDepthPartitioner::FromState(
+    std::vector<std::string> attr_names,
+    std::vector<std::vector<double>> boundaries) {
+  EquiDepthPartitioner out;
+  out.attr_names_ = std::move(attr_names);
+  out.boundaries_ = std::move(boundaries);
+  return out;
+}
+
 int EquiDepthPartitioner::AttrSlot(const AttributeInfo& attr) const {
   for (size_t i = 0; i < attr_names_.size(); ++i) {
     if (attr_names_[i] == attr.name) return static_cast<int>(i);
@@ -173,6 +182,15 @@ VOptimalPartitioner VOptimalPartitioner::FromTable(const storage::Table& table,
     out.attr_names_.push_back(col.name());
     out.boundaries_.push_back(std::move(bounds));
   }
+  return out;
+}
+
+VOptimalPartitioner VOptimalPartitioner::FromState(
+    std::vector<std::string> attr_names,
+    std::vector<std::vector<double>> boundaries) {
+  VOptimalPartitioner out;
+  out.attr_names_ = std::move(attr_names);
+  out.boundaries_ = std::move(boundaries);
   return out;
 }
 

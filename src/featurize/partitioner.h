@@ -51,9 +51,20 @@ class EquiDepthPartitioner : public Partitioner {
   static EquiDepthPartitioner FromTable(const storage::Table& table,
                                         int max_partitions);
 
+  /// Rebuilds a partitioner from previously captured state (see accessors
+  /// below); used by serve/ to restore a saved featurizer byte-identically.
+  static EquiDepthPartitioner FromState(
+      std::vector<std::string> attr_names,
+      std::vector<std::vector<double>> boundaries);
+
   int NumPartitions(const AttributeInfo& attr, int max_partitions) const override;
   int IndexOf(const AttributeInfo& attr, int max_partitions,
               double value) const override;
+
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+  const std::vector<std::vector<double>>& boundaries() const {
+    return boundaries_;
+  }
 
  private:
   // boundaries_[a] holds ascending inner boundaries b_1 < ... < b_{k-1};
@@ -78,9 +89,20 @@ class VOptimalPartitioner : public Partitioner {
                                        int max_partitions,
                                        int max_candidates = 512);
 
+  /// Rebuilds a partitioner from previously captured state (see accessors
+  /// below); used by serve/ to restore a saved featurizer byte-identically.
+  static VOptimalPartitioner FromState(
+      std::vector<std::string> attr_names,
+      std::vector<std::vector<double>> boundaries);
+
   int NumPartitions(const AttributeInfo& attr, int max_partitions) const override;
   int IndexOf(const AttributeInfo& attr, int max_partitions,
               double value) const override;
+
+  const std::vector<std::string>& attr_names() const { return attr_names_; }
+  const std::vector<std::vector<double>>& boundaries() const {
+    return boundaries_;
+  }
 
  private:
   // boundaries_[a]: ascending inner boundaries; partition i covers values

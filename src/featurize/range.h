@@ -27,6 +27,8 @@ class RangeEncoding : public Featurizer {
   common::Status FeaturizeInto(const query::Query& q,
                                float* out) const override;
 
+  const FeatureSchema& schema() const { return schema_; }
+
  private:
   FeatureSchema schema_;
 };

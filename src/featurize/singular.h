@@ -26,6 +26,8 @@ class SingularEncoding : public Featurizer {
   common::Status FeaturizeInto(const query::Query& q,
                                float* out) const override;
 
+  const FeatureSchema& schema() const { return schema_; }
+
  private:
   FeatureSchema schema_;
 };

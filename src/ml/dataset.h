@@ -81,6 +81,12 @@ class Model {
     return common::Status::Unimplemented(name() + " has no serialization");
   }
 
+  /// Length of the feature vectors Predict expects, or -1 when unknown
+  /// (untrained, or the model does not track it). Loaders cross-check this
+  /// against the restored featurizer's dim() so a model bundle paired with
+  /// the wrong featurizer fails cleanly instead of reading out of bounds.
+  virtual int InputDim() const { return -1; }
+
   /// Predicts all rows of `x`, in row order, fanning Predict out over the
   /// global thread pool (QFCARD_THREADS). Each row writes its own output
   /// slot, so results are identical at every pool size.

@@ -15,6 +15,7 @@ common::Status GradientBoosting::Fit(const Dataset& train,
   if (train.num_rows() == 0) {
     return common::Status::InvalidArgument("empty training set");
   }
+  num_features_ = train.dim();
   double sum = 0.0;
   for (const float v : train.y) sum += v;
   base_ = static_cast<float>(sum / train.num_rows());
@@ -93,7 +94,36 @@ size_t GradientBoosting::SizeBytes() const {
 }
 
 namespace {
+
 constexpr uint32_t kGbmMagic = 0x5147424d;  // "QGBM"
+
+// A corrupt node list must not survive into Predict, which walks child
+// indices and reads x[feature] unchecked. Trees are serialized in build
+// order — children are always appended after their parent — so requiring
+// child > parent both rejects cycles and guarantees Predict terminates.
+common::Status ValidateTree(const std::vector<TreeNode>& nodes,
+                            int num_features) {
+  const int n = static_cast<int>(nodes.size());
+  if (n == 0) {
+    return common::Status::InvalidArgument("serialized GB tree is empty");
+  }
+  for (int i = 0; i < n; ++i) {
+    const TreeNode& node = nodes[static_cast<size_t>(i)];
+    const bool leaf = node.left < 0 && node.right < 0;
+    if (leaf) continue;
+    if (node.feature < 0 || node.feature >= num_features) {
+      return common::Status::InvalidArgument(
+          "serialized GB tree references a feature out of range");
+    }
+    if (node.left <= i || node.left >= n || node.right <= i ||
+        node.right >= n) {
+      return common::Status::InvalidArgument(
+          "serialized GB tree has a child index out of range");
+    }
+  }
+  return common::Status::Ok();
+}
+
 }  // namespace
 
 common::Status GradientBoosting::Serialize(std::vector<uint8_t>* out) const {
@@ -101,6 +131,7 @@ common::Status GradientBoosting::Serialize(std::vector<uint8_t>* out) const {
   writer.Write(kGbmMagic);
   writer.Write(base_);
   writer.Write(params_.learning_rate);  // needed at prediction time
+  writer.Write<int32_t>(num_features_);
   writer.Write<uint32_t>(static_cast<uint32_t>(trees_.size()));
   for (const RegressionTree& tree : trees_) {
     writer.WriteVector(tree.nodes());
@@ -115,19 +146,40 @@ common::Status GradientBoosting::Deserialize(const std::vector<uint8_t>& data) {
   if (magic != kGbmMagic) {
     return common::Status::InvalidArgument("not a serialized GB model");
   }
-  QFCARD_RETURN_IF_ERROR(reader.Read(&base_));
-  QFCARD_RETURN_IF_ERROR(reader.Read(&params_.learning_rate));
+  float base = 0.0f;
+  double learning_rate = 0.0;
+  int32_t num_features = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&base));
+  QFCARD_RETURN_IF_ERROR(reader.Read(&learning_rate));
+  QFCARD_RETURN_IF_ERROR(reader.Read(&num_features));
+  if (num_features <= 0 ||
+      !(learning_rate > 0.0 && learning_rate <= 1e6)) {
+    return common::Status::InvalidArgument(
+        "serialized GB model has a corrupt header");
+  }
   uint32_t num_trees = 0;
   QFCARD_RETURN_IF_ERROR(reader.Read(&num_trees));
-  trees_.clear();
-  trees_.reserve(num_trees);
+  // Each tree costs at least its 8-byte node-count prefix; a count claiming
+  // more trees than the input can hold is corrupt (and would otherwise drive
+  // a huge reserve below).
+  if (num_trees > reader.remaining() / sizeof(uint64_t)) {
+    return common::Status::OutOfRange(
+        "serialized GB tree count exceeds remaining input");
+  }
+  std::vector<RegressionTree> trees;
+  trees.reserve(num_trees);
   for (uint32_t t = 0; t < num_trees; ++t) {
     std::vector<TreeNode> nodes;
     QFCARD_RETURN_IF_ERROR(reader.ReadVector(&nodes));
+    QFCARD_RETURN_IF_ERROR(ValidateTree(nodes, num_features));
     RegressionTree tree;
     tree.SetNodes(std::move(nodes));
-    trees_.push_back(std::move(tree));
+    trees.push_back(std::move(tree));
   }
+  base_ = base;
+  params_.learning_rate = learning_rate;
+  num_features_ = num_features;
+  trees_ = std::move(trees);
   return common::Status::Ok();
 }
 

@@ -40,10 +40,14 @@ class GradientBoosting : public Model {
 
   int num_trees() const { return static_cast<int>(trees_.size()); }
   const GbmParams& params() const { return params_; }
+  /// Feature-vector length seen by Fit (and persisted by Serialize); -1
+  /// before training.
+  int InputDim() const override { return num_features_; }
 
  private:
   GbmParams params_;
   float base_ = 0.0f;
+  int num_features_ = -1;
   std::vector<RegressionTree> trees_;
 };
 

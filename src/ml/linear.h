@@ -24,6 +24,9 @@ class LinearRegression : public Model {
   std::string name() const override { return "Linear"; }
   common::Status Serialize(std::vector<uint8_t>* out) const override;
   common::Status Deserialize(const std::vector<uint8_t>& data) override;
+  int InputDim() const override {
+    return weights_.empty() ? -1 : static_cast<int>(weights_.size()) - 1;
+  }
 
  private:
   double l2_;

@@ -189,6 +189,15 @@ common::Status Mscn::Deserialize(const std::vector<uint8_t>& data) {
     return common::Status::InvalidArgument(
         "serialized MSCN dimensions do not match this featurizer");
   }
+  // Predict pools into params_.hidden-wide slots, so the restored hidden
+  // width must match the constructed architecture, not just the input dims.
+  const int h = params_.hidden;
+  if (table_mlp_.output_dim() != h || join_mlp_.output_dim() != h ||
+      pred_mlp_.output_dim() != h || out_mlp_.input_dim() != 3 * h ||
+      out_mlp_.output_dim() != 1) {
+    return common::Status::InvalidArgument(
+        "serialized MSCN hidden width does not match this instance");
+  }
   return common::Status::Ok();
 }
 

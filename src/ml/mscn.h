@@ -42,6 +42,8 @@ class Mscn {
 
   size_t SizeBytes() const;
 
+  const MscnParams& params() const { return params_; }
+
   /// Serializes all four MLPs (architecture + parameters).
   common::Status Serialize(std::vector<uint8_t>* out) const;
   /// Restores a model serialized by Serialize(); set-element dimensions

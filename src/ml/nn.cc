@@ -169,8 +169,27 @@ common::Status Mlp::Deserialize(ByteReader& reader) {
   QFCARD_RETURN_IF_ERROR(reader.ReadVector(&dims));
   uint8_t relu_last = 0;
   QFCARD_RETURN_IF_ERROR(reader.Read(&relu_last));
-  if (dims.size() < 2) {
-    return common::Status::InvalidArgument("serialized MLP has < 2 dims");
+  if (dims.size() < 2 || dims.size() > 64) {
+    return common::Status::InvalidArgument(
+        "serialized MLP has an implausible layer count");
+  }
+  // Init allocates O(sum dims[l] * dims[l+1]) before any weight bytes are
+  // read, so a corrupt dims vector is an allocation bomb unless the claimed
+  // parameter count is first checked against the bytes actually present.
+  uint64_t expected_params = 0;
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    if (dims[l] < 1 || dims[l] > (1 << 20) || dims[l + 1] < 1 ||
+        dims[l + 1] > (1 << 20)) {
+      return common::Status::InvalidArgument(
+          "serialized MLP has a layer dim out of range");
+    }
+    expected_params += static_cast<uint64_t>(dims[l]) *
+                           static_cast<uint64_t>(dims[l + 1]) +
+                       static_cast<uint64_t>(dims[l + 1]);
+  }
+  if (expected_params > reader.remaining() / sizeof(float)) {
+    return common::Status::OutOfRange(
+        "serialized MLP parameter count exceeds remaining input");
   }
   common::Rng rng(0);  // weights are overwritten below
   Init(dims, relu_last != 0, rng);

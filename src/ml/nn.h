@@ -41,7 +41,8 @@ class Mlp {
   void Serialize(ByteWriter& writer) const;
   common::Status Deserialize(ByteReader& reader);
 
-  int input_dim() const { return dims_.front(); }
+  /// Input width, or -1 before Init/Deserialize.
+  int input_dim() const { return dims_.empty() ? -1 : dims_.front(); }
   int output_dim() const { return dims_.back(); }
   size_t NumParams() const;
 
@@ -103,6 +104,7 @@ class FeedForwardNet : public Model {
   std::string name() const override { return "NN"; }
   common::Status Serialize(std::vector<uint8_t>* out) const override;
   common::Status Deserialize(const std::vector<uint8_t>& data) override;
+  int InputDim() const override { return mlp_.input_dim(); }
 
  private:
   NnParams params_;

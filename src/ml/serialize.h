@@ -10,9 +10,9 @@
 
 namespace qfcard::ml {
 
-/// Appends POD values and vectors to a byte buffer. Fixed little-endian-ish
-/// host layout; qfcard models serialize/deserialize on the same machine
-/// (persistence across restarts, not a wire format).
+/// Appends POD values, vectors, and strings to a byte buffer. Fixed
+/// little-endian-ish host layout; qfcard models serialize/deserialize on the
+/// same machine (persistence across restarts, not a wire format).
 class ByteWriter {
  public:
   explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
@@ -37,11 +37,23 @@ class ByteWriter {
     }
   }
 
+  /// Length-prefixed string (uint64 size + raw bytes, no terminator).
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    const size_t offset = out_->size();
+    out_->resize(offset + s.size());
+    if (!s.empty()) std::memcpy(out_->data() + offset, s.data(), s.size());
+  }
+
  private:
   std::vector<uint8_t>* out_;
 };
 
-/// Reads values written by ByteWriter, with bounds checking.
+/// Reads values written by ByteWriter. Every read is bounds-checked against
+/// the remaining input and surfaces truncation/corruption as common::Status —
+/// adversarial bundles (bit flips, truncations, hostile size prefixes) must
+/// come back as clean errors, never UB or unbounded allocation (the loader
+/// fuzz round in src/testing/ asserts this under ASan/UBSan).
 class ByteReader {
  public:
   explicit ByteReader(const std::vector<uint8_t>& data) : data_(data) {}
@@ -49,8 +61,8 @@ class ByteReader {
   template <typename T>
   common::Status Read(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (pos_ + sizeof(T) > data_.size()) {
-      return common::Status::OutOfRange("serialized model truncated");
+    if (sizeof(T) > remaining()) {
+      return common::Status::OutOfRange("serialized data truncated");
     }
     std::memcpy(value, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -62,8 +74,12 @@ class ByteReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t size = 0;
     QFCARD_RETURN_IF_ERROR(Read(&size));
-    if (pos_ + size * sizeof(T) > data_.size()) {
-      return common::Status::OutOfRange("serialized model truncated");
+    // Divide instead of multiplying: size * sizeof(T) can wrap uint64 for a
+    // hostile size prefix, silently passing a `pos_ + bytes > data_.size()`
+    // check and reading out of bounds.
+    if (size > remaining() / sizeof(T)) {
+      return common::Status::OutOfRange(
+          "serialized vector longer than remaining input");
     }
     values->resize(size);
     if (size > 0) {
@@ -72,6 +88,23 @@ class ByteReader {
     pos_ += size * sizeof(T);
     return common::Status::Ok();
   }
+
+  /// Reads a string written by ByteWriter::WriteString.
+  common::Status ReadString(std::string* s) {
+    uint64_t size = 0;
+    QFCARD_RETURN_IF_ERROR(Read(&size));
+    if (size > remaining()) {
+      return common::Status::OutOfRange(
+          "serialized string longer than remaining input");
+    }
+    s->assign(reinterpret_cast<const char*>(data_.data() + pos_),
+              static_cast<size_t>(size));
+    pos_ += size;
+    return common::Status::Ok();
+  }
+
+  /// Bytes left to read; size prefixes claiming more than this are corrupt.
+  size_t remaining() const { return data_.size() - pos_; }
 
   bool AtEnd() const { return pos_ == data_.size(); }
 

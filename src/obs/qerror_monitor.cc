@@ -39,6 +39,7 @@ QErrorDriftMonitor::QErrorDriftMonitor(DriftMonitorOptions options) {
 
 void QErrorDriftMonitor::Observe(double qerror) {
   bool flipped = false;
+  State flip_state;
   {
     common::MutexLock lock(&mu_);
     ++observed_;
@@ -55,12 +56,46 @@ void QErrorDriftMonitor::Observe(double qerror) {
     if (now_degraded && !degraded_) {
       ++flips_;
       flipped = true;
+      flip_state.observed = observed_;
+      flip_state.window_fill = window_.size();
+      flip_state.window_size = opts_.window;
+      flip_state.p50 = p50_;
+      flip_state.p95 = p95_;
+      flip_state.max_qerror = max_qerror_;
+      flip_state.threshold = opts_.p95_threshold;
+      flip_state.degraded = true;
+      flip_state.flips = flips_;
     }
     degraded_ = now_degraded;
   }
   // Counters outside the monitor lock (registry takes its own).
   IncrementCounter("drift.observed");
-  if (flipped) IncrementCounter("drift.flips");
+  if (flipped) {
+    IncrementCounter("drift.flips");
+    // Listeners run under listeners_mu_ only (mu_ already released), so a
+    // listener may read GetState(); it must not Add/RemoveFlipListener.
+    common::MutexLock lock(&listeners_mu_);
+    for (const auto& [id, listener] : listeners_) listener(flip_state);
+  }
+}
+
+uint64_t QErrorDriftMonitor::AddFlipListener(FlipListener listener) {
+  common::MutexLock lock(&listeners_mu_);
+  const uint64_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void QErrorDriftMonitor::RemoveFlipListener(uint64_t id) {
+  // Taking listeners_mu_ blocks until any in-flight Observe notification has
+  // finished with the listener, making removal a safe destruction point.
+  common::MutexLock lock(&listeners_mu_);
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    if (listeners_[i].first == id) {
+      listeners_.erase(listeners_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
 }
 
 void QErrorDriftMonitor::RecomputeLocked() {

@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -66,6 +68,19 @@ class QErrorDriftMonitor {
   /// is non-null.
   void Reset(const DriftMonitorOptions* options = nullptr);
 
+  /// Called on every healthy->degraded flip with the state that triggered
+  /// it, from the Observe thread. Listeners must be fast and must not call
+  /// back into this monitor (the listener lock is held during the call);
+  /// hand heavy work off to another thread (serve::Retrainer does).
+  using FlipListener = std::function<void(const State&)>;
+
+  /// Registers a flip listener; returns an id for RemoveFlipListener.
+  uint64_t AddFlipListener(FlipListener listener);
+
+  /// Unregisters a listener. Blocks until any in-flight invocation of it has
+  /// returned, so the listener's captures can be destroyed safely afterward.
+  void RemoveFlipListener(uint64_t id);
+
  private:
   mutable common::Mutex mu_;
   DriftMonitorOptions opts_ QFCARD_GUARDED_BY(mu_);
@@ -79,6 +94,16 @@ class QErrorDriftMonitor {
   void RecomputeLocked() QFCARD_REQUIRES(mu_);
   double p50_ QFCARD_GUARDED_BY(mu_) = 0.0;
   double p95_ QFCARD_GUARDED_BY(mu_) = 0.0;
+
+  // Listener registry under its own lock so registration never contends
+  // with the window math, and so RemoveFlipListener can block on in-flight
+  // callbacks without holding mu_. Lock order: mu_ is never held while
+  // listeners_mu_ is taken with callbacks running (Observe releases mu_
+  // before notifying).
+  mutable common::Mutex listeners_mu_;
+  std::vector<std::pair<uint64_t, FlipListener>> listeners_
+      QFCARD_GUARDED_BY(listeners_mu_);
+  uint64_t next_listener_id_ QFCARD_GUARDED_BY(listeners_mu_) = 1;
 };
 
 }  // namespace qfcard::obs

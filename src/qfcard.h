@@ -18,6 +18,8 @@
 ///  - optimizer/: DP join ordering + plan execution (end-to-end experiment)
 ///  - workload/ : synthetic forest/IMDb data and workload generators
 ///  - eval/     : experiment harness and reporting
+///  - serve/    : model lifecycle — versioned bundles on disk, hot-swap
+///                serving, drift-triggered retraining (docs/serving.md)
 ///
 /// Estimation is batch-first: prefer est::CardinalityEstimator::EstimateBatch
 /// and featurize::Featurizer::FeaturizeBatch over per-query calls; both fan
@@ -84,6 +86,10 @@
 #include "query/parser.h"
 #include "query/query.h"
 #include "query/schema_graph.h"
+#include "serve/bundle.h"
+#include "serve/model_store.h"
+#include "serve/retrainer.h"
+#include "serve/serving_estimator.h"
 #include "storage/catalog.h"
 #include "storage/column.h"
 #include "storage/csv.h"

@@ -1,0 +1,483 @@
+#include "serve/bundle.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstring>
+#include <utility>
+
+#include "estimators/ml_estimator.h"
+#include "featurize/conjunction.h"
+#include "featurize/disjunction.h"
+#include "featurize/extensions.h"
+#include "featurize/feature_schema.h"
+#include "featurize/mscn_featurizer.h"
+#include "featurize/range.h"
+#include "featurize/singular.h"
+#include "ml/gbm.h"
+#include "ml/linear.h"
+#include "ml/mscn.h"
+#include "ml/nn.h"
+#include "ml/serialize.h"
+
+namespace qfcard::serve {
+
+namespace {
+
+constexpr uint32_t kBundleMagic = 0x5142444c;   // "QBDL"
+constexpr uint32_t kBundleVersion = 1;
+constexpr uint32_t kLocalQftMagic = 0x51465a31; // "QFZ1"
+constexpr uint32_t kMscnMagic = 0x514d4631;     // "QMF1"
+
+// Partitioner state tags inside featurizer blobs.
+constexpr uint8_t kPartEquiWidth = 0;  // stateless; also "no partitioner set"
+constexpr uint8_t kPartEquiDepth = 1;
+constexpr uint8_t kPartVOptimal = 2;
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// MSCN needs a non-null schema graph for its featurizer's lifetime; bundles
+// loaded without one share an empty graph (no join edges), matching the
+// registry's behavior for single-table catalogs.
+const query::SchemaGraph& EmptyGraph() {
+  static const query::SchemaGraph* graph = new query::SchemaGraph();
+  return *graph;
+}
+
+// ---------------------------------------------------------------------------
+// Shared sub-encodings: schema, options, partitioner state
+// ---------------------------------------------------------------------------
+
+void WriteSchema(ml::ByteWriter& writer, const featurize::FeatureSchema& s) {
+  writer.Write<uint32_t>(static_cast<uint32_t>(s.num_attributes()));
+  for (const featurize::AttributeInfo& a : s.attrs()) {
+    writer.WriteString(a.name);
+    writer.Write<double>(a.min);
+    writer.Write<double>(a.max);
+    writer.Write<uint8_t>(a.integral ? 1 : 0);
+    writer.Write<int64_t>(a.distinct);
+  }
+}
+
+common::Status ReadSchema(ml::ByteReader& reader,
+                          featurize::FeatureSchema* out) {
+  uint32_t count = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&count));
+  // Each attribute costs at least 33 bytes (8 name length + 8 + 8 + 1 + 8).
+  if (count > reader.remaining() / 33) {
+    return common::Status::OutOfRange(
+        "bundle schema attribute count exceeds remaining input");
+  }
+  std::vector<featurize::AttributeInfo> attrs;
+  attrs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    featurize::AttributeInfo info;
+    uint8_t integral = 0;
+    QFCARD_RETURN_IF_ERROR(reader.ReadString(&info.name));
+    QFCARD_RETURN_IF_ERROR(reader.Read(&info.min));
+    QFCARD_RETURN_IF_ERROR(reader.Read(&info.max));
+    QFCARD_RETURN_IF_ERROR(reader.Read(&integral));
+    QFCARD_RETURN_IF_ERROR(reader.Read(&info.distinct));
+    info.integral = integral != 0;
+    if (!(info.min <= info.max)) {  // also rejects NaN
+      return common::Status::InvalidArgument(
+          "bundle schema attribute has a corrupt [min, max] domain");
+    }
+    attrs.push_back(std::move(info));
+  }
+  *out = featurize::FeatureSchema(std::move(attrs));
+  return common::Status::Ok();
+}
+
+void WriteBoundaries(ml::ByteWriter& writer,
+                     const std::vector<std::string>& names,
+                     const std::vector<std::vector<double>>& boundaries) {
+  writer.Write<uint32_t>(static_cast<uint32_t>(names.size()));
+  for (size_t i = 0; i < names.size(); ++i) {
+    writer.WriteString(names[i]);
+    writer.WriteVector(boundaries[i]);
+  }
+}
+
+common::Status ReadBoundaries(ml::ByteReader& reader,
+                              std::vector<std::string>* names,
+                              std::vector<std::vector<double>>* boundaries) {
+  uint32_t count = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&count));
+  if (count > reader.remaining() / 16) {  // 8 name length + 8 vector length
+    return common::Status::OutOfRange(
+        "bundle partitioner attribute count exceeds remaining input");
+  }
+  names->clear();
+  boundaries->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::vector<double> bounds;
+    QFCARD_RETURN_IF_ERROR(reader.ReadString(&name));
+    QFCARD_RETURN_IF_ERROR(reader.ReadVector(&bounds));
+    if (!std::is_sorted(bounds.begin(), bounds.end())) {
+      return common::Status::InvalidArgument(
+          "bundle partitioner boundaries are not ascending");
+    }
+    names->push_back(std::move(name));
+    boundaries->push_back(std::move(bounds));
+  }
+  return common::Status::Ok();
+}
+
+common::Status WriteOptions(ml::ByteWriter& writer,
+                            const featurize::ConjunctionOptions& opts) {
+  writer.Write<int32_t>(opts.max_partitions);
+  writer.Write<uint8_t>(opts.append_attr_selectivity ? 1 : 0);
+  writer.Write<uint8_t>(opts.exact_small_domains ? 1 : 0);
+  writer.Write<uint8_t>(opts.use_half_values ? 1 : 0);
+  writer.WriteVector(opts.per_attribute_partitions);
+  const featurize::Partitioner* p = opts.partitioner;
+  if (p == nullptr ||
+      dynamic_cast<const featurize::EquiWidthPartitioner*>(p) != nullptr) {
+    writer.Write<uint8_t>(kPartEquiWidth);
+    return common::Status::Ok();
+  }
+  if (const auto* ed = dynamic_cast<const featurize::EquiDepthPartitioner*>(p)) {
+    writer.Write<uint8_t>(kPartEquiDepth);
+    WriteBoundaries(writer, ed->attr_names(), ed->boundaries());
+    return common::Status::Ok();
+  }
+  if (const auto* vo = dynamic_cast<const featurize::VOptimalPartitioner*>(p)) {
+    writer.Write<uint8_t>(kPartVOptimal);
+    WriteBoundaries(writer, vo->attr_names(), vo->boundaries());
+    return common::Status::Ok();
+  }
+  return common::Status::Unimplemented(
+      "bundle: unknown Partitioner subclass cannot be persisted");
+}
+
+// Decoded options plus the restored partitioner backing opts.partitioner
+// (null when the blob used the stateless equi-width default).
+struct DecodedOptions {
+  featurize::ConjunctionOptions opts;
+  std::unique_ptr<const featurize::Partitioner> partitioner;
+};
+
+common::Status ReadOptions(ml::ByteReader& reader, int num_attributes,
+                           DecodedOptions* out) {
+  int32_t max_partitions = 0;
+  uint8_t append_sel = 0;
+  uint8_t exact_small = 0;
+  uint8_t half_values = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&max_partitions));
+  QFCARD_RETURN_IF_ERROR(reader.Read(&append_sel));
+  QFCARD_RETURN_IF_ERROR(reader.Read(&exact_small));
+  QFCARD_RETURN_IF_ERROR(reader.Read(&half_values));
+  if (max_partitions < 1 || max_partitions > (1 << 20)) {
+    return common::Status::InvalidArgument(
+        "bundle options: max_partitions out of range");
+  }
+  out->opts.max_partitions = max_partitions;
+  out->opts.append_attr_selectivity = append_sel != 0;
+  out->opts.exact_small_domains = exact_small != 0;
+  out->opts.use_half_values = half_values != 0;
+  QFCARD_RETURN_IF_ERROR(reader.ReadVector(&out->opts.per_attribute_partitions));
+  if (!out->opts.per_attribute_partitions.empty() &&
+      static_cast<int>(out->opts.per_attribute_partitions.size()) !=
+          num_attributes) {
+    return common::Status::InvalidArgument(
+        "bundle options: per-attribute budgets disagree with the schema");
+  }
+  for (const int b : out->opts.per_attribute_partitions) {
+    if (b < 1 || b > (1 << 20)) {
+      return common::Status::InvalidArgument(
+          "bundle options: per-attribute budget out of range");
+    }
+  }
+  uint8_t tag = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&tag));
+  if (tag == kPartEquiWidth) {
+    out->partitioner = nullptr;
+    out->opts.partitioner = nullptr;
+    return common::Status::Ok();
+  }
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> boundaries;
+  QFCARD_RETURN_IF_ERROR(ReadBoundaries(reader, &names, &boundaries));
+  if (tag == kPartEquiDepth) {
+    out->partitioner = std::make_unique<featurize::EquiDepthPartitioner>(
+        featurize::EquiDepthPartitioner::FromState(std::move(names),
+                                                   std::move(boundaries)));
+  } else if (tag == kPartVOptimal) {
+    out->partitioner = std::make_unique<featurize::VOptimalPartitioner>(
+        featurize::VOptimalPartitioner::FromState(std::move(names),
+                                                  std::move(boundaries)));
+  } else {
+    return common::Status::InvalidArgument(
+        "bundle options: unknown partitioner tag");
+  }
+  out->opts.partitioner = out->partitioner.get();
+  return common::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Featurizer blobs
+// ---------------------------------------------------------------------------
+
+common::Status EncodeLocalFeaturizer(featurize::QftKind kind,
+                                     const featurize::FeatureSchema& schema,
+                                     const featurize::ConjunctionOptions& opts,
+                                     std::vector<uint8_t>* out) {
+  ml::ByteWriter writer(out);
+  writer.Write(kLocalQftMagic);
+  writer.Write<uint8_t>(static_cast<uint8_t>(kind));
+  WriteSchema(writer, schema);
+  return WriteOptions(writer, opts);
+}
+
+common::Status EncodeMscnFeaturizer(const featurize::MscnFeaturizer& f,
+                                    int hidden, std::vector<uint8_t>* out) {
+  ml::ByteWriter writer(out);
+  writer.Write(kMscnMagic);
+  writer.Write<uint8_t>(static_cast<uint8_t>(f.mode()));
+  writer.Write<int32_t>(hidden);
+  const featurize::GlobalFeatureSchema& global = f.global();
+  WriteSchema(writer, global.schema());
+  writer.WriteVector(global.first_attr());
+  writer.WriteVector(global.num_columns());
+  return WriteOptions(writer, f.options());
+}
+
+common::StatusOr<std::unique_ptr<est::CardinalityEstimator>> LoadLocal(
+    ml::ByteReader& reader, const ModelBundle& bundle) {
+  uint8_t kind_raw = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&kind_raw));
+  if (kind_raw > static_cast<uint8_t>(featurize::QftKind::kComplex)) {
+    return common::Status::InvalidArgument("bundle: unknown QFT kind tag");
+  }
+  const auto kind = static_cast<featurize::QftKind>(kind_raw);
+  featurize::FeatureSchema schema;
+  QFCARD_RETURN_IF_ERROR(ReadSchema(reader, &schema));
+  DecodedOptions decoded;
+  QFCARD_RETURN_IF_ERROR(
+      ReadOptions(reader, schema.num_attributes(), &decoded));
+  if (!reader.AtEnd()) {
+    return common::Status::InvalidArgument(
+        "bundle: trailing bytes after featurizer state");
+  }
+  std::unique_ptr<featurize::Featurizer> featurizer =
+      featurize::MakeFeaturizer(kind, std::move(schema), decoded.opts);
+
+  // "<model>+<qft>" — only the model half matters here (the QFT was decoded
+  // from the blob); hyperparameters affect training only.
+  const std::string key = Lowered(bundle.estimator);
+  const size_t plus = key.find('+');
+  const std::string model_key =
+      plus == std::string::npos ? key : key.substr(0, plus);
+  std::unique_ptr<ml::Model> model;
+  if (model_key == "gb") {
+    model = std::make_unique<ml::GradientBoosting>();
+  } else if (model_key == "nn") {
+    model = std::make_unique<ml::FeedForwardNet>();
+  } else if (model_key == "linear") {
+    model = std::make_unique<ml::LinearRegression>();
+  } else {
+    return common::Status::InvalidArgument(
+        "bundle: estimator name \"" + bundle.estimator +
+        "\" names no known model (expected gb/nn/linear)");
+  }
+  QFCARD_RETURN_IF_ERROR(model->Deserialize(bundle.model));
+  if (model->InputDim() != featurizer->dim()) {
+    return common::Status::InvalidArgument(
+        "bundle: model input dimension does not match the restored "
+        "featurizer");
+  }
+  auto inner = std::make_unique<est::MlEstimator>(std::move(featurizer),
+                                                  std::move(model));
+  return std::unique_ptr<est::CardinalityEstimator>(
+      std::make_unique<LoadedEstimator>(std::move(decoded.partitioner),
+                                        std::move(inner)));
+}
+
+common::StatusOr<std::unique_ptr<est::CardinalityEstimator>> LoadMscn(
+    ml::ByteReader& reader, const ModelBundle& bundle,
+    const storage::Catalog& catalog, const query::SchemaGraph* graph) {
+  uint8_t mode_raw = 0;
+  int32_t hidden = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&mode_raw));
+  QFCARD_RETURN_IF_ERROR(reader.Read(&hidden));
+  if (mode_raw > static_cast<uint8_t>(
+                     featurize::MscnFeaturizer::PredMode::kPerAttributeRange)) {
+    return common::Status::InvalidArgument(
+        "bundle: unknown MSCN predicate mode tag");
+  }
+  if (hidden < 1 || hidden > (1 << 16)) {
+    return common::Status::InvalidArgument(
+        "bundle: MSCN hidden width out of range");
+  }
+  featurize::FeatureSchema schema;
+  std::vector<int> first_attr;
+  std::vector<int> num_columns;
+  QFCARD_RETURN_IF_ERROR(ReadSchema(reader, &schema));
+  QFCARD_RETURN_IF_ERROR(reader.ReadVector(&first_attr));
+  QFCARD_RETURN_IF_ERROR(reader.ReadVector(&num_columns));
+  const int num_attributes = schema.num_attributes();
+  QFCARD_ASSIGN_OR_RETURN(featurize::GlobalFeatureSchema global,
+                          featurize::GlobalFeatureSchema::FromState(
+                              std::move(schema), std::move(first_attr),
+                              std::move(num_columns)));
+  DecodedOptions decoded;
+  QFCARD_RETURN_IF_ERROR(ReadOptions(reader, num_attributes, &decoded));
+  if (!reader.AtEnd()) {
+    return common::Status::InvalidArgument(
+        "bundle: trailing bytes after featurizer state");
+  }
+  featurize::MscnFeaturizer featurizer(
+      &catalog, graph != nullptr ? graph : &EmptyGraph(),
+      static_cast<featurize::MscnFeaturizer::PredMode>(mode_raw), decoded.opts,
+      std::move(global));
+  ml::MscnParams params;
+  params.hidden = hidden;
+  auto inner =
+      std::make_unique<est::MscnEstimator>(std::move(featurizer), params);
+  QFCARD_RETURN_IF_ERROR(inner->DeserializeModel(bundle.model));
+  return std::unique_ptr<est::CardinalityEstimator>(
+      std::make_unique<LoadedEstimator>(std::move(decoded.partitioner),
+                                        std::move(inner)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256>& kTable = *[] {
+    auto* table = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      (*table)[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodeBundle(const ModelBundle& bundle, std::vector<uint8_t>* out) {
+  out->clear();
+  ml::ByteWriter writer(out);
+  writer.Write(kBundleMagic);
+  writer.Write(kBundleVersion);
+  writer.WriteString(bundle.estimator);
+  writer.WriteVector(bundle.featurizer);
+  writer.WriteVector(bundle.model);
+  writer.Write<uint32_t>(Crc32(out->data(), out->size()));
+}
+
+common::StatusOr<ModelBundle> DecodeBundle(const std::vector<uint8_t>& data) {
+  if (data.size() < sizeof(uint32_t)) {
+    return common::Status::OutOfRange("bundle shorter than its checksum");
+  }
+  const size_t body = data.size() - sizeof(uint32_t);
+  uint32_t stored = 0;
+  std::memcpy(&stored, data.data() + body, sizeof(stored));
+  if (Crc32(data.data(), body) != stored) {
+    return common::Status::InvalidArgument("bundle checksum mismatch");
+  }
+  ml::ByteReader reader(data);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&magic));
+  if (magic != kBundleMagic) {
+    return common::Status::InvalidArgument("not a qfcard model bundle");
+  }
+  QFCARD_RETURN_IF_ERROR(reader.Read(&version));
+  if (version != kBundleVersion) {
+    return common::Status::InvalidArgument("unsupported bundle version");
+  }
+  ModelBundle bundle;
+  QFCARD_RETURN_IF_ERROR(reader.ReadString(&bundle.estimator));
+  QFCARD_RETURN_IF_ERROR(reader.ReadVector(&bundle.featurizer));
+  QFCARD_RETURN_IF_ERROR(reader.ReadVector(&bundle.model));
+  if (reader.remaining() != sizeof(uint32_t)) {
+    return common::Status::InvalidArgument(
+        "bundle has trailing bytes before its checksum");
+  }
+  return bundle;
+}
+
+common::StatusOr<ModelBundle> BundleFromEstimator(
+    const est::CardinalityEstimator& estimator,
+    const std::string& registry_name) {
+  const est::CardinalityEstimator* target = &estimator;
+  while (const auto* loaded = dynamic_cast<const LoadedEstimator*>(target)) {
+    target = &loaded->inner();
+  }
+
+  ModelBundle bundle;
+  bundle.estimator = registry_name;
+  if (const auto* ml_est = dynamic_cast<const est::MlEstimator*>(target)) {
+    const featurize::Featurizer& f = ml_est->featurizer();
+    QFCARD_ASSIGN_OR_RETURN(const featurize::QftKind kind,
+                            featurize::QftKindFromString(f.name()));
+    const featurize::FeatureSchema* schema = nullptr;
+    featurize::ConjunctionOptions opts;  // simple/range ignore these
+    switch (kind) {
+      case featurize::QftKind::kSimple:
+        schema = &dynamic_cast<const featurize::SingularEncoding&>(f).schema();
+        break;
+      case featurize::QftKind::kRange:
+        schema = &dynamic_cast<const featurize::RangeEncoding&>(f).schema();
+        break;
+      case featurize::QftKind::kConjunctive: {
+        const auto& conj = dynamic_cast<const featurize::ConjunctionEncoding&>(f);
+        schema = &conj.schema();
+        opts = conj.options();
+        break;
+      }
+      case featurize::QftKind::kComplex: {
+        const auto& disj = dynamic_cast<const featurize::DisjunctionEncoding&>(f);
+        schema = &disj.schema();
+        opts = disj.options();
+        break;
+      }
+    }
+    QFCARD_RETURN_IF_ERROR(
+        EncodeLocalFeaturizer(kind, *schema, opts, &bundle.featurizer));
+    QFCARD_RETURN_IF_ERROR(ml_est->SerializeModel(&bundle.model));
+    return bundle;
+  }
+  if (const auto* mscn = dynamic_cast<const est::MscnEstimator*>(target)) {
+    QFCARD_RETURN_IF_ERROR(EncodeMscnFeaturizer(
+        mscn->featurizer(), mscn->model().params().hidden, &bundle.featurizer));
+    QFCARD_RETURN_IF_ERROR(mscn->SerializeModel(&bundle.model));
+    return bundle;
+  }
+  return common::Status::Unimplemented(
+      "estimator \"" + target->name() +
+      "\" has no persistable learned state (only ML estimators bundle)");
+}
+
+common::StatusOr<std::unique_ptr<est::CardinalityEstimator>>
+EstimatorFromBundle(const ModelBundle& bundle, const storage::Catalog& catalog,
+                    const query::SchemaGraph* graph) {
+  ml::ByteReader reader(bundle.featurizer);
+  uint32_t magic = 0;
+  QFCARD_RETURN_IF_ERROR(reader.Read(&magic));
+  if (magic == kLocalQftMagic) return LoadLocal(reader, bundle);
+  if (magic == kMscnMagic) return LoadMscn(reader, bundle, catalog, graph);
+  return common::Status::InvalidArgument(
+      "bundle: unrecognized featurizer blob magic");
+}
+
+}  // namespace qfcard::serve

@@ -1,0 +1,92 @@
+#ifndef QFCARD_SERVE_BUNDLE_H_
+#define QFCARD_SERVE_BUNDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimators/estimator.h"
+#include "featurize/partitioner.h"
+#include "query/schema_graph.h"
+#include "storage/catalog.h"
+
+namespace qfcard::serve {
+
+/// Everything needed to reconstruct a trained ML estimator: the registry
+/// name it was built from, the featurizer's captured state (schema domains,
+/// partitioner boundaries, options — so a restored model featurizes
+/// byte-identically even when the live catalog's statistics have drifted),
+/// and the model parameters. See docs/serving.md for the byte layout.
+struct ModelBundle {
+  std::string estimator;            ///< est::MakeEstimator name, e.g. "gb+conjunctive"
+  std::vector<uint8_t> featurizer;  ///< featurizer state blob
+  std::vector<uint8_t> model;       ///< model parameter blob (ml Serialize format)
+};
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Encodes the bundle container: magic, format version, the three payloads,
+/// and a trailing CRC32 over everything before it.
+void EncodeBundle(const ModelBundle& bundle, std::vector<uint8_t>* out);
+
+/// Decodes an EncodeBundle container, verifying the checksum first. Corrupt
+/// or truncated input comes back as a clean Status error, never UB.
+common::StatusOr<ModelBundle> DecodeBundle(const std::vector<uint8_t>& data);
+
+/// Captures a trained estimator into a bundle. Supported: MlEstimator over
+/// the four paper QFTs and MscnEstimator (any predicate mode); everything
+/// else (statistics estimators have no learned state worth versioning)
+/// returns Unimplemented. `registry_name` is the est::MakeEstimator key the
+/// estimator was built from and is stored verbatim.
+common::StatusOr<ModelBundle> BundleFromEstimator(
+    const est::CardinalityEstimator& estimator,
+    const std::string& registry_name);
+
+/// Reconstructs an estimator from a bundle against `catalog` (used for
+/// structural name lookups only; attribute domains come from the bundle).
+/// `graph` is MSCN's join-edge source; nullptr means no join edges. The
+/// returned estimator owns any restored partitioner state; the bundle's
+/// model input dimension is cross-checked against the restored featurizer
+/// so a mismatched pairing fails cleanly instead of reading out of bounds.
+common::StatusOr<std::unique_ptr<est::CardinalityEstimator>>
+EstimatorFromBundle(const ModelBundle& bundle, const storage::Catalog& catalog,
+                    const query::SchemaGraph* graph = nullptr);
+
+/// The wrapper EstimatorFromBundle returns: forwards everything to the
+/// reconstructed estimator while owning the restored partitioner (declared
+/// before the estimator so it outlives the featurizer referencing it).
+class LoadedEstimator : public est::CardinalityEstimator {
+ public:
+  LoadedEstimator(std::unique_ptr<const featurize::Partitioner> partitioner,
+                  std::unique_ptr<est::CardinalityEstimator> inner)
+      : partitioner_(std::move(partitioner)), inner_(std::move(inner)) {}
+
+  common::StatusOr<double> EstimateCard(const query::Query& q) const override {
+    return inner_->EstimateCard(q);
+  }
+  common::StatusOr<std::vector<double>> EstimateBatch(
+      const std::vector<query::Query>& queries) const override {
+    return inner_->EstimateBatch(queries);
+  }
+  common::Status Train(const std::vector<query::Query>& queries,
+                       const std::vector<double>& cards, double valid_fraction,
+                       uint64_t seed) override {
+    return inner_->Train(queries, cards, valid_fraction, seed);
+  }
+  std::string name() const override { return inner_->name(); }
+  size_t SizeBytes() const override { return inner_->SizeBytes(); }
+
+  /// The reconstructed estimator, for re-bundling a loaded model.
+  const est::CardinalityEstimator& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<const featurize::Partitioner> partitioner_;
+  std::unique_ptr<est::CardinalityEstimator> inner_;
+};
+
+}  // namespace qfcard::serve
+
+#endif  // QFCARD_SERVE_BUNDLE_H_

@@ -1,0 +1,350 @@
+#include "serve/model_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "obs/metrics.h"
+
+namespace qfcard::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestHeader = "qfcard-model-store 1";
+constexpr const char* kFeaturizerFile = "featurizer.bin";
+constexpr const char* kModelFile = "model.bin";
+
+std::string VersionDirName(uint64_t version) {
+  return common::StrFormat("v%06llu",
+                           static_cast<unsigned long long>(version));
+}
+
+// Parses "vNNN..." directory names; returns 0 for anything else (0 is never
+// a published version).
+uint64_t ParseVersionDirName(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'v') return 0;
+  uint64_t v = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return v;
+}
+
+common::Status WriteFileBytes(const fs::path& path,
+                              const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Status::Internal("model store: cannot open " +
+                                    path.string() + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return common::Status::Internal("model store: short write to " +
+                                    path.string());
+  }
+  return common::Status::Ok();
+}
+
+common::Status ReadFileBytes(const fs::path& path,
+                             std::vector<uint8_t>* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::NotFound("model store: cannot open " +
+                                    path.string());
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) {
+    return common::Status::Internal("model store: cannot size " +
+                                    path.string());
+  }
+  in.seekg(0, std::ios::beg);
+  bytes->resize(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes->data()),
+          static_cast<std::streamsize>(bytes->size()));
+  if (!in) {
+    return common::Status::Internal("model store: short read from " +
+                                    path.string());
+  }
+  return common::Status::Ok();
+}
+
+struct ManifestPayload {
+  std::string file;
+  uint64_t size = 0;
+  uint32_t crc32 = 0;
+};
+
+struct Manifest {
+  std::string estimator;
+  uint64_t version = 0;
+  std::vector<ManifestPayload> payloads;
+};
+
+std::string RenderManifest(const Manifest& m) {
+  std::ostringstream out;
+  out << kManifestHeader << "\n";
+  out << "estimator " << m.estimator << "\n";
+  out << "version " << m.version << "\n";
+  for (const ManifestPayload& p : m.payloads) {
+    out << "payload " << p.file << " " << p.size << " "
+        << common::StrFormat("%08x", p.crc32) << "\n";
+  }
+  return out.str();
+}
+
+// Overflow-checked digit parsers (std::stoull throws on corrupt manifests).
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseHex32(const std::string& s, uint32_t* out) {
+  if (s.empty() || s.size() > 8) return false;
+  uint32_t v = 0;
+  for (const char c : s) {
+    uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
+common::StatusOr<Manifest> ParseManifest(const std::string& text) {
+  Manifest m;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    return common::Status::InvalidArgument(
+        "model store: manifest header mismatch");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = common::Split(line, ' ');
+    if (fields.size() == 2 && fields[0] == "estimator") {
+      m.estimator = fields[1];
+    } else if (fields.size() == 2 && fields[0] == "version") {
+      if (!ParseU64(fields[1], &m.version)) {
+        return common::Status::InvalidArgument(
+            "model store: corrupt manifest version");
+      }
+    } else if (fields.size() == 4 && fields[0] == "payload") {
+      ManifestPayload p;
+      p.file = fields[1];
+      if (!ParseU64(fields[2], &p.size) || !ParseHex32(fields[3], &p.crc32)) {
+        return common::Status::InvalidArgument(
+            "model store: corrupt manifest payload line");
+      }
+      m.payloads.push_back(std::move(p));
+    } else {
+      return common::Status::InvalidArgument(
+          "model store: unrecognized manifest line: " + line);
+    }
+  }
+  if (m.estimator.empty() || m.payloads.empty()) {
+    return common::Status::InvalidArgument(
+        "model store: manifest missing estimator or payloads");
+  }
+  return m;
+}
+
+common::Status LoadPayload(const fs::path& dir, const Manifest& manifest,
+                           const std::string& file,
+                           std::vector<uint8_t>* bytes) {
+  const ManifestPayload* entry = nullptr;
+  for (const ManifestPayload& p : manifest.payloads) {
+    if (p.file == file) {
+      entry = &p;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    return common::Status::InvalidArgument(
+        "model store: manifest lists no payload " + file);
+  }
+  QFCARD_RETURN_IF_ERROR(ReadFileBytes(dir / file, bytes));
+  if (bytes->size() != entry->size) {
+    return common::Status::InvalidArgument(
+        "model store: payload " + file + " size disagrees with manifest");
+  }
+  if (Crc32(bytes->data(), bytes->size()) != entry->crc32) {
+    return common::Status::InvalidArgument(
+        "model store: payload " + file + " checksum mismatch");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+ModelStore::ModelStore(std::string root) : root_(std::move(root)) {}
+
+common::StatusOr<std::vector<uint64_t>> ModelStore::ListVersions() const {
+  std::vector<uint64_t> versions;
+  std::error_code ec;
+  fs::directory_iterator it(root_, ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory) return versions;
+    return common::Status::Internal("model store: cannot list " + root_ +
+                                    ": " + ec.message());
+  }
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_directory(ec) || ec) continue;
+    const uint64_t v = ParseVersionDirName(entry.path().filename().string());
+    if (v > 0) versions.push_back(v);
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+common::Status ModelStore::PublishLocked(const ModelBundle& bundle,
+                                         uint64_t version) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    return common::Status::Internal("model store: cannot create " + root_ +
+                                    ": " + ec.message());
+  }
+  const fs::path final_dir = fs::path(root_) / VersionDirName(version);
+  const fs::path tmp_dir =
+      fs::path(root_) / ("." + VersionDirName(version) + ".tmp");
+  fs::remove_all(tmp_dir, ec);  // leftover from a crashed publish
+  fs::create_directory(tmp_dir, ec);
+  if (ec) {
+    return common::Status::Internal("model store: cannot create temp dir: " +
+                                    ec.message());
+  }
+
+  Manifest manifest;
+  manifest.estimator = bundle.estimator;
+  manifest.version = version;
+  manifest.payloads.push_back(
+      {kFeaturizerFile, bundle.featurizer.size(),
+       Crc32(bundle.featurizer.data(), bundle.featurizer.size())});
+  manifest.payloads.push_back({kModelFile, bundle.model.size(),
+                               Crc32(bundle.model.data(),
+                                     bundle.model.size())});
+
+  QFCARD_RETURN_IF_ERROR(
+      WriteFileBytes(tmp_dir / kFeaturizerFile, bundle.featurizer));
+  QFCARD_RETURN_IF_ERROR(WriteFileBytes(tmp_dir / kModelFile, bundle.model));
+  const std::string manifest_text = RenderManifest(manifest);
+  {
+    std::ofstream out(tmp_dir / "MANIFEST", std::ios::trunc);
+    out << manifest_text;
+    out.flush();
+    if (!out) {
+      return common::Status::Internal("model store: cannot write manifest");
+    }
+  }
+
+  // Atomic publish: the version directory appears fully formed or not at
+  // all.
+  fs::rename(tmp_dir, final_dir, ec);
+  if (ec) {
+    fs::remove_all(tmp_dir, ec);
+    return common::Status::Internal("model store: cannot publish version " +
+                                    VersionDirName(version));
+  }
+  return common::Status::Ok();
+}
+
+common::StatusOr<uint64_t> ModelStore::Publish(const ModelBundle& bundle) {
+  if (bundle.estimator.empty() ||
+      bundle.estimator.find_first_of(" \t\n") != std::string::npos) {
+    return common::Status::InvalidArgument(
+        "model store: estimator name must be a non-empty single token");
+  }
+  common::MutexLock lock(&mu_);
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<uint64_t> versions,
+                          ListVersions());
+  const uint64_t on_disk = versions.empty() ? 0 : versions.back();
+  const uint64_t version = std::max(last_allocated_, on_disk) + 1;
+  QFCARD_RETURN_IF_ERROR(PublishLocked(bundle, version));
+  last_allocated_ = version;
+  obs::IncrementCounter("serve.store.publishes");
+  return version;
+}
+
+common::StatusOr<ModelBundle> ModelStore::Load(uint64_t version) const {
+  const fs::path dir = fs::path(root_) / VersionDirName(version);
+  std::vector<uint8_t> manifest_bytes;
+  common::Status read = ReadFileBytes(dir / "MANIFEST", &manifest_bytes);
+  if (!read.ok()) {
+    return common::Status::NotFound("model store: version " +
+                                    VersionDirName(version) +
+                                    " is not published under " + root_);
+  }
+  QFCARD_ASSIGN_OR_RETURN(
+      const Manifest manifest,
+      ParseManifest(std::string(manifest_bytes.begin(),
+                                manifest_bytes.end())));
+  if (manifest.version != version) {
+    return common::Status::InvalidArgument(
+        "model store: manifest version disagrees with its directory");
+  }
+  ModelBundle bundle;
+  bundle.estimator = manifest.estimator;
+  QFCARD_RETURN_IF_ERROR(
+      LoadPayload(dir, manifest, kFeaturizerFile, &bundle.featurizer));
+  QFCARD_RETURN_IF_ERROR(LoadPayload(dir, manifest, kModelFile, &bundle.model));
+  obs::IncrementCounter("serve.store.loads");
+  return bundle;
+}
+
+common::StatusOr<std::pair<uint64_t, ModelBundle>> ModelStore::LoadLatest()
+    const {
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<uint64_t> versions,
+                          ListVersions());
+  if (versions.empty()) {
+    return common::Status::NotFound("model store: no published versions in " +
+                                    root_);
+  }
+  QFCARD_ASSIGN_OR_RETURN(ModelBundle bundle, Load(versions.back()));
+  return std::make_pair(versions.back(), std::move(bundle));
+}
+
+common::StatusOr<int> ModelStore::RetainLatest(size_t keep) {
+  common::MutexLock lock(&mu_);
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<uint64_t> versions,
+                          ListVersions());
+  int removed = 0;
+  if (versions.size() <= keep) return removed;
+  const size_t drop = versions.size() - keep;
+  for (size_t i = 0; i < drop; ++i) {
+    std::error_code ec;
+    fs::remove_all(fs::path(root_) / VersionDirName(versions[i]), ec);
+    if (ec) {
+      return common::Status::Internal(
+          "model store: cannot remove version " +
+          VersionDirName(versions[i]) + ": " + ec.message());
+    }
+    ++removed;
+  }
+  obs::IncrementCounter("serve.store.gc_removed", "",
+                        static_cast<uint64_t>(removed));
+  return removed;
+}
+
+}  // namespace qfcard::serve

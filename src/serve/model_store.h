@@ -1,0 +1,69 @@
+#ifndef QFCARD_SERVE_MODEL_STORE_H_
+#define QFCARD_SERVE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "serve/bundle.h"
+
+namespace qfcard::serve {
+
+/// Versioned on-disk store of model bundles. Layout under the root:
+///
+///   <root>/v000001/MANIFEST         text manifest (see docs/serving.md)
+///   <root>/v000001/featurizer.bin   featurizer state blob
+///   <root>/v000001/model.bin        model parameter blob
+///
+/// Publish writes the new version into a hidden temp directory and renames
+/// it into place, so readers never observe a half-written version (rename
+/// within one filesystem is atomic on POSIX). Every payload's size and CRC32
+/// are recorded in the manifest and re-verified on load. Version numbers are
+/// dense-by-allocation (max existing + 1) and never reused while the store
+/// object lives; no wall-clock timestamps are recorded anywhere, keeping
+/// store contents deterministic for a given publish sequence.
+///
+/// Thread-safe: version allocation and publish are serialized on an internal
+/// mutex; loads only read published (immutable) directories.
+class ModelStore {
+ public:
+  explicit ModelStore(std::string root);
+
+  /// Writes `bundle` as the next version; returns the version number.
+  common::StatusOr<uint64_t> Publish(const ModelBundle& bundle);
+
+  /// Loads one published version, verifying manifest sizes and checksums.
+  common::StatusOr<ModelBundle> Load(uint64_t version) const;
+
+  /// Loads the highest published version; NotFound when the store is empty.
+  common::StatusOr<std::pair<uint64_t, ModelBundle>> LoadLatest() const;
+
+  /// Published versions in ascending order (empty vector for an empty or
+  /// not-yet-created root).
+  common::StatusOr<std::vector<uint64_t>> ListVersions() const;
+
+  /// Retention GC: deletes all but the `keep` highest versions. Returns how
+  /// many versions were removed.
+  common::StatusOr<int> RetainLatest(size_t keep);
+
+  const std::string& root() const { return root_; }
+
+ private:
+  common::Status PublishLocked(const ModelBundle& bundle, uint64_t version)
+      QFCARD_REQUIRES(mu_);
+
+  const std::string root_;
+  common::Mutex mu_;
+  /// Highest version this store has allocated; 0 before the first Publish
+  /// (re-seeded from disk at each allocation so concurrent stores on the
+  /// same root do not collide with already-published versions).
+  uint64_t last_allocated_ QFCARD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace qfcard::serve
+
+#endif  // QFCARD_SERVE_MODEL_STORE_H_

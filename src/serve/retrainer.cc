@@ -1,0 +1,233 @@
+#include "serve/retrainer.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/str_util.h"
+#include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "serve/bundle.h"
+
+namespace qfcard::serve {
+
+Retrainer::Retrainer(ServingEstimator* serving, const storage::Catalog* catalog,
+                     RetrainerOptions options)
+    : serving_(serving), catalog_(catalog), opts_([&options] {
+        // Degenerate knobs are clamped instead of rejected: the retrainer is
+        // a background subsystem and must stay constructible.
+        options.max_feedback = std::max<size_t>(2, options.max_feedback);
+        options.min_feedback =
+            std::min(std::max<size_t>(2, options.min_feedback),
+                     options.max_feedback);
+        return std::move(options);
+      }()) {}
+
+Retrainer::~Retrainer() { Stop(); }
+
+void Retrainer::AddFeedback(const query::Query& q, double true_card) {
+  const double truth = std::max(1.0, true_card);
+  {
+    common::MutexLock lock(&mu_);
+    if (feedback_.size() < opts_.max_feedback) {
+      feedback_.emplace_back(q, truth);
+    } else {
+      feedback_[next_slot_] = {q, truth};
+      next_slot_ = (next_slot_ + 1) % opts_.max_feedback;
+    }
+  }
+  obs::IncrementCounter("serve.feedback.observed");
+}
+
+void Retrainer::Start() {
+  common::MutexLock lifecycle(&lifecycle_mu_);
+  if (worker_.joinable()) return;
+  {
+    common::MutexLock lock(&mu_);
+    stop_ = false;
+    retrain_requested_ = false;
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+  if (opts_.monitor != nullptr && listener_id_ == 0) {
+    // The listener only flags the request and notifies — the monitor's
+    // contract forbids heavy work (and calls back into the monitor) from
+    // the Observe thread; the worker does the actual retrain.
+    listener_id_ = opts_.monitor->AddFlipListener(
+        [this](const obs::QErrorDriftMonitor::State&) { TriggerRetrain(); });
+  }
+}
+
+void Retrainer::Stop() {
+  common::MutexLock lifecycle(&lifecycle_mu_);
+  if (opts_.monitor != nullptr && listener_id_ != 0) {
+    // Remove first: blocks until in-flight flip callbacks return, so no
+    // TriggerRetrain can race the join below.
+    opts_.monitor->RemoveFlipListener(listener_id_);
+    listener_id_ = 0;
+  }
+  if (!worker_.joinable()) return;
+  {
+    common::MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  worker_.join();
+}
+
+void Retrainer::TriggerRetrain() {
+  {
+    common::MutexLock lock(&mu_);
+    retrain_requested_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+void Retrainer::WorkerLoop() {
+  mu_.Lock();
+  while (true) {
+    while (!stop_ && !retrain_requested_) cv_.Wait(&mu_);
+    if (stop_) break;
+    retrain_requested_ = false;
+    mu_.Unlock();
+    // Outcome and metrics are recorded by RetrainNow itself; a failed
+    // background run leaves the active model serving and the error in
+    // last_result().detail.
+    (void)RetrainNow();
+    mu_.Lock();
+  }
+  mu_.Unlock();
+}
+
+void Retrainer::RecordResult(const RetrainResult& result) {
+  common::MutexLock lock(&mu_);
+  last_ = result;
+}
+
+common::StatusOr<RetrainResult> Retrainer::RetrainNow() {
+  common::MutexLock retrain_lock(&retrain_mu_);
+  RetrainResult result;
+  std::vector<std::pair<query::Query, double>> sample;
+  uint64_t run = 0;
+  {
+    common::MutexLock lock(&mu_);
+    sample = feedback_;
+    run = runs_++;
+  }
+  obs::IncrementCounter("serve.retrain.runs");
+  result.version = serving_->ActiveVersion();
+  result.feedback_used = sample.size();
+
+  if (sample.size() < opts_.min_feedback) {
+    result.detail = common::StrFormat(
+        "insufficient feedback (%llu < %llu)",
+        static_cast<unsigned long long>(sample.size()),
+        static_cast<unsigned long long>(opts_.min_feedback));
+    RecordResult(result);
+    return result;
+  }
+  result.attempted = true;
+
+  // Deterministic per-run shuffle, then carve the holdout off the front; the
+  // candidate never trains on holdout queries and both models are scored on
+  // the same holdout.
+  common::Rng rng(common::MixSeed(opts_.seed, run));
+  rng.Shuffle(sample);
+  const size_t n = sample.size();
+  const size_t holdout_n = std::clamp<size_t>(
+      static_cast<size_t>(opts_.holdout_fraction * static_cast<double>(n)), 1,
+      n - 1);
+
+  std::vector<query::Query> holdout_queries, train_queries;
+  std::vector<double> holdout_truths, train_truths;
+  holdout_queries.reserve(holdout_n);
+  holdout_truths.reserve(holdout_n);
+  train_queries.reserve(n - holdout_n);
+  train_truths.reserve(n - holdout_n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < holdout_n) {
+      holdout_queries.push_back(sample[i].first);
+      holdout_truths.push_back(sample[i].second);
+    } else {
+      train_queries.push_back(sample[i].first);
+      train_truths.push_back(sample[i].second);
+    }
+  }
+
+  const auto fail = [&](common::Status status) -> common::Status {
+    result.detail = status.ToString();
+    RecordResult(result);
+    obs::IncrementCounter("serve.retrain.errors");
+    return status;
+  };
+
+  const std::shared_ptr<const est::CardinalityEstimator> active =
+      serving_->Active();
+  common::StatusOr<std::vector<double>> stale_or =
+      active->EstimateBatch(holdout_queries);
+  if (!stale_or.ok()) return fail(stale_or.status());
+  result.stale_p95 =
+      ml::QErrorSummary::FromErrors(ml::QErrors(holdout_truths, *stale_or)).p95;
+
+  common::StatusOr<std::unique_ptr<est::CardinalityEstimator>> candidate_or =
+      est::MakeEstimator(opts_.estimator_name, *catalog_, opts_.estimator_opts);
+  if (!candidate_or.ok()) return fail(candidate_or.status());
+  std::unique_ptr<est::CardinalityEstimator> candidate =
+      std::move(candidate_or).value();
+  common::Status train_status =
+      candidate->Train(train_queries, train_truths, opts_.valid_fraction,
+                       common::MixSeed(opts_.seed, run * 2 + 1));
+  if (!train_status.ok()) return fail(train_status);
+
+  common::StatusOr<std::vector<double>> cand_or =
+      candidate->EstimateBatch(holdout_queries);
+  if (!cand_or.ok()) return fail(cand_or.status());
+  result.candidate_p95 =
+      ml::QErrorSummary::FromErrors(ml::QErrors(holdout_truths, *cand_or)).p95;
+
+  if (result.candidate_p95 < result.stale_p95) {
+    uint64_t version = serving_->ActiveVersion() + 1;
+    if (opts_.store != nullptr) {
+      common::StatusOr<ModelBundle> bundle =
+          BundleFromEstimator(*candidate, opts_.estimator_name);
+      if (!bundle.ok()) return fail(bundle.status());
+      common::StatusOr<uint64_t> published = opts_.store->Publish(*bundle);
+      if (!published.ok()) return fail(published.status());
+      version = *published;
+    }
+    serving_->Swap(std::shared_ptr<const est::CardinalityEstimator>(
+                       std::move(candidate)),
+                   version);
+    result.promoted = true;
+    result.version = version;
+    result.detail = common::StrFormat(
+        "promoted: holdout p95 %.3f -> %.3f", result.stale_p95,
+        result.candidate_p95);
+    obs::IncrementCounter("serve.retrain.promoted");
+  } else {
+    result.detail = common::StrFormat(
+        "rejected: candidate holdout p95 %.3f did not improve on %.3f",
+        result.candidate_p95, result.stale_p95);
+    obs::IncrementCounter("serve.retrain.rejected");
+  }
+  RecordResult(result);
+  return result;
+}
+
+uint64_t Retrainer::runs() const {
+  common::MutexLock lock(&mu_);
+  return runs_;
+}
+
+RetrainResult Retrainer::last_result() const {
+  common::MutexLock lock(&mu_);
+  return last_;
+}
+
+size_t Retrainer::feedback_size() const {
+  common::MutexLock lock(&mu_);
+  return feedback_.size();
+}
+
+}  // namespace qfcard::serve

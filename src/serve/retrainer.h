@@ -1,0 +1,150 @@
+#ifndef QFCARD_SERVE_RETRAINER_H_
+#define QFCARD_SERVE_RETRAINER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "estimators/registry.h"
+#include "obs/qerror_monitor.h"
+#include "query/query.h"
+#include "serve/model_store.h"
+#include "serve/serving_estimator.h"
+
+namespace qfcard::serve {
+
+/// Knobs for Retrainer. Defaults retrain the paper's strongest single-table
+/// combination (gradient boosting over the complex QFT) on up to 4096 pieces
+/// of feedback, holding out 20% to score promotion.
+struct RetrainerOptions {
+  /// Registry key (est::MakeEstimator) used to build each candidate.
+  std::string estimator_name = "gb+complex";
+  est::EstimatorOptions estimator_opts;
+  /// A retrain run becomes a no-op below this much feedback.
+  size_t min_feedback = 64;
+  /// Ring capacity: oldest feedback is overwritten beyond this.
+  size_t max_feedback = 4096;
+  /// Fraction of the feedback window held out (never trained on) to score
+  /// the stale model against the candidate. Clamped so both splits are
+  /// non-empty.
+  double holdout_fraction = 0.2;
+  /// Passed through to CardinalityEstimator::Train for early stopping.
+  double valid_fraction = 0.1;
+  /// Base seed; each run r shuffles with MixSeed(seed, r) so runs are
+  /// deterministic yet draw distinct splits.
+  uint64_t seed = 20260806;
+  /// When set, Start() subscribes to healthy->degraded flips and schedules a
+  /// retrain on each one. Not owned; must outlive the retrainer.
+  obs::QErrorDriftMonitor* monitor = nullptr;
+  /// When set, promoted candidates are published here before the swap, and
+  /// the store's version number becomes the serving version. Not owned.
+  ModelStore* store = nullptr;
+};
+
+/// Outcome of one retrain run, also kept as last_result().
+struct RetrainResult {
+  bool attempted = false;   ///< false when feedback was insufficient
+  bool promoted = false;    ///< candidate beat the stale model and swapped in
+  size_t feedback_used = 0; ///< window size the run saw
+  double stale_p95 = 0.0;     ///< holdout p95 q-error of the active model
+  double candidate_p95 = 0.0; ///< holdout p95 q-error of the candidate
+  uint64_t version = 0;     ///< serving version after the run
+  std::string detail;       ///< human-readable reason (promoted/rejected/...)
+};
+
+/// Closes the drift loop (docs/serving.md): ingests true-cardinality
+/// feedback, listens for QErrorDriftMonitor healthy->degraded flips, and on
+/// each flip retrains a candidate on the feedback window in a background
+/// thread. The candidate is promoted — published to the store and hot-swapped
+/// into the ServingEstimator — only when its holdout p95 q-error strictly
+/// improves on the active model's; otherwise the active model keeps serving.
+///
+/// Promotion policy: p95, not mean, is the gate (the paper's Figure 5
+/// observation — drift shows in the tail). The holdout is carved from the
+/// feedback window before training, so the candidate is never scored on
+/// queries it trained on, and the stale model is scored on the same holdout.
+///
+/// Thread-safety: AddFeedback/TriggerRetrain/RetrainNow and the accessors
+/// are safe from any thread; retrain runs themselves are serialized on an
+/// internal mutex. Start/Stop manage the worker and must be externally
+/// serialized with each other (one owner); the destructor calls Stop().
+class Retrainer {
+ public:
+  /// `serving` and `catalog` are not owned and must outlive the retrainer
+  /// (as must options.monitor/options.store when set).
+  Retrainer(ServingEstimator* serving, const storage::Catalog* catalog,
+            RetrainerOptions options);
+  ~Retrainer();
+
+  Retrainer(const Retrainer&) = delete;
+  Retrainer& operator=(const Retrainer&) = delete;
+
+  /// Records one executed query with its observed true cardinality
+  /// (clamped to >= 1). Cheap; safe from the serving path.
+  void AddFeedback(const query::Query& q, double true_card);
+
+  /// Spawns the background worker and subscribes to the drift monitor's
+  /// flip notifications (when a monitor is configured). Idempotent.
+  void Start();
+
+  /// Unsubscribes from the monitor and joins the worker. Idempotent; safe
+  /// without a prior Start().
+  void Stop();
+
+  /// Asks the background worker to run a retrain soon (what the flip
+  /// listener calls). No-op unless Start()ed.
+  void TriggerRetrain();
+
+  /// Runs one retrain synchronously on the calling thread and returns its
+  /// outcome. Errors (estimator construction, training, store publish)
+  /// surface as a Status; "not enough feedback" is a successful result with
+  /// attempted == false.
+  common::StatusOr<RetrainResult> RetrainNow();
+
+  /// Retrain runs started so far (including insufficient-feedback no-ops).
+  uint64_t runs() const;
+
+  /// Outcome of the most recent run (default-constructed before any run).
+  RetrainResult last_result() const;
+
+  /// Feedback entries currently in the window.
+  size_t feedback_size() const;
+
+ private:
+  void WorkerLoop();
+  void RecordResult(const RetrainResult& result);
+
+  ServingEstimator* const serving_;
+  const storage::Catalog* const catalog_;
+  const RetrainerOptions opts_;
+
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::vector<std::pair<query::Query, double>> feedback_ QFCARD_GUARDED_BY(mu_);
+  size_t next_slot_ QFCARD_GUARDED_BY(mu_) = 0;  // ring cursor once full
+  bool stop_ QFCARD_GUARDED_BY(mu_) = false;
+  bool retrain_requested_ QFCARD_GUARDED_BY(mu_) = false;
+  uint64_t runs_ QFCARD_GUARDED_BY(mu_) = 0;
+  RetrainResult last_ QFCARD_GUARDED_BY(mu_);
+
+  /// Serializes whole retrain runs (held across training, which is slow);
+  /// never held while mu_-guarded waits happen. Lock order: retrain_mu_
+  /// before mu_.
+  common::Mutex retrain_mu_;
+
+  /// Worker/listener lifecycle, touched only under lifecycle_mu_ (which the
+  /// worker itself never takes, so Stop can join while holding it).
+  common::Mutex lifecycle_mu_;
+  std::thread worker_ QFCARD_GUARDED_BY(lifecycle_mu_);
+  uint64_t listener_id_ QFCARD_GUARDED_BY(lifecycle_mu_) = 0;
+};
+
+}  // namespace qfcard::serve
+
+#endif  // QFCARD_SERVE_RETRAINER_H_

@@ -1,0 +1,95 @@
+#include "serve/serving_estimator.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace qfcard::serve {
+
+namespace {
+
+void ExportVersionGauge(uint64_t version) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry::Global()
+      .GaugeNamed("serve.active_version")
+      ->Set(static_cast<int64_t>(version));
+}
+
+}  // namespace
+
+ServingEstimator::ServingEstimator(
+    std::shared_ptr<const est::CardinalityEstimator> initial, uint64_t version)
+    : active_(std::move(initial)), version_(version) {
+  {
+    common::MutexLock lock(&mu_);
+    swaps_ = 1;
+  }
+  obs::IncrementCounter("serve.swaps");
+  ExportVersionGauge(version);
+}
+
+common::StatusOr<double> ServingEstimator::EstimateCard(
+    const query::Query& q) const {
+  // Acquire-load pins one fully-published model for the whole call.
+  const std::shared_ptr<const est::CardinalityEstimator> model =
+      active_.load(std::memory_order_acquire);
+  return model->EstimateCard(q);
+}
+
+common::StatusOr<std::vector<double>> ServingEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) const {
+  const std::shared_ptr<const est::CardinalityEstimator> model =
+      active_.load(std::memory_order_acquire);
+  return model->EstimateBatch(queries);
+}
+
+common::Status ServingEstimator::Train(
+    const std::vector<query::Query>& queries, const std::vector<double>& cards,
+    double valid_fraction, uint64_t seed) {
+  (void)queries;
+  (void)cards;
+  (void)valid_fraction;
+  (void)seed;
+  return common::Status::FailedPrecondition(
+      "serving estimator: the active model is immutable; train a candidate "
+      "and Swap it in");
+}
+
+std::string ServingEstimator::name() const {
+  return "serving:" + active_.load(std::memory_order_acquire)->name();
+}
+
+size_t ServingEstimator::SizeBytes() const {
+  return active_.load(std::memory_order_acquire)->SizeBytes();
+}
+
+void ServingEstimator::Swap(
+    std::shared_ptr<const est::CardinalityEstimator> next, uint64_t version) {
+  // version_ first: a reader pairing the new model with the old version
+  // label is harmless (the label is observability-only), the reverse order
+  // would briefly label the old model with the new version on the gauge.
+  version_.store(version, std::memory_order_relaxed);
+  active_.store(std::move(next), std::memory_order_release);
+  {
+    common::MutexLock lock(&mu_);
+    ++swaps_;
+  }
+  obs::IncrementCounter("serve.swaps");
+  ExportVersionGauge(version);
+}
+
+std::shared_ptr<const est::CardinalityEstimator> ServingEstimator::Active()
+    const {
+  return active_.load(std::memory_order_acquire);
+}
+
+uint64_t ServingEstimator::ActiveVersion() const {
+  return version_.load(std::memory_order_relaxed);
+}
+
+uint64_t ServingEstimator::SwapCount() const {
+  common::MutexLock lock(&mu_);
+  return swaps_;
+}
+
+}  // namespace qfcard::serve

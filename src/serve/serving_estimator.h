@@ -1,0 +1,79 @@
+#ifndef QFCARD_SERVE_SERVING_ESTIMATOR_H_
+#define QFCARD_SERVE_SERVING_ESTIMATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "estimators/estimator.h"
+
+namespace qfcard::serve {
+
+/// CardinalityEstimator front that hot-swaps the model it serves while
+/// concurrent EstimateBatch traffic runs.
+///
+/// Memory-ordering contract (docs/serving.md): the active model is published
+/// through one std::atomic<std::shared_ptr<const CardinalityEstimator>>.
+/// Swap stores with release ordering after the replacement model is fully
+/// constructed; every estimate loads with acquire ordering and keeps its
+/// shared_ptr pinned for the whole call. A request therefore runs entirely
+/// against one fully-built immutable model — swaps can never tear an
+/// in-flight batch — and a model unpinned by a swap is destroyed when its
+/// last in-flight request finishes. Models must be const-thread-safe (the
+/// repo-wide estimator contract).
+///
+/// Control-plane state (swap count) is mu_-guarded per the static-analysis
+/// policy; the data plane never takes mu_. Exports serve.swaps (counter) and
+/// serve.active_version (gauge) via obs::MetricsRegistry.
+class ServingEstimator : public est::CardinalityEstimator {
+ public:
+  /// Starts serving `initial` as `version`. The initial publication counts
+  /// as the first swap (serve.swaps starts at 1).
+  ServingEstimator(std::shared_ptr<const est::CardinalityEstimator> initial,
+                   uint64_t version);
+
+  common::StatusOr<double> EstimateCard(const query::Query& q) const override;
+  common::StatusOr<std::vector<double>> EstimateBatch(
+      const std::vector<query::Query>& queries) const override;
+
+  /// The active model is immutable: train a candidate offline and Swap it
+  /// in (see serve::Retrainer). Always returns FailedPrecondition.
+  common::Status Train(const std::vector<query::Query>& queries,
+                       const std::vector<double>& cards, double valid_fraction,
+                       uint64_t seed) override;
+
+  std::string name() const override;
+  size_t SizeBytes() const override;
+
+  /// Atomically replaces the served model. `next` must be fully trained and
+  /// const-thread-safe; `version` is exported through the active-version
+  /// gauge and ActiveVersion().
+  void Swap(std::shared_ptr<const est::CardinalityEstimator> next,
+            uint64_t version);
+
+  /// Pins and returns the currently served model.
+  std::shared_ptr<const est::CardinalityEstimator> Active() const;
+
+  /// Version label of the served model (store version, or any caller-chosen
+  /// monotonic id).
+  uint64_t ActiveVersion() const;
+
+  /// Total publications, including the initial one.
+  uint64_t SwapCount() const;
+
+ private:
+  std::atomic<std::shared_ptr<const est::CardinalityEstimator>> active_;
+  std::atomic<uint64_t> version_;
+
+  mutable common::Mutex mu_;
+  uint64_t swaps_ QFCARD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace qfcard::serve
+
+#endif  // QFCARD_SERVE_SERVING_ESTIMATOR_H_

@@ -31,6 +31,10 @@ namespace qfcard::testing {
 ///                           byte-identical to the serial EstimateCard loop,
 ///                           including the sampling estimator's per-query
 ///                           random streams.
+///   loader-*                (loader rounds) serve/ bundle round-trips are
+///                           prediction-identical, and corrupted or
+///                           truncated saved models fail with clean Status
+///                           errors instead of crashing the loaders.
 ///
 /// Rounds derive their RNG as MixSeed(seed, round), so any failing round
 /// replays in isolation with --seed/--round. Failures are delta-debugged to
@@ -43,6 +47,13 @@ struct FuzzOptions {
   /// Every join_round_every-th round fuzzes the IMDb-like join schema
   /// (naive join enumeration is exponential, so these rounds are smaller).
   int join_round_every = 5;
+  /// Every loader_round_every-th round (join rounds take precedence) fuzzes
+  /// the serve/ model loaders instead: train each saveable model family,
+  /// round-trip it through the bundle container, then bit-flip and truncate
+  /// the saved bytes — every container mutation must be rejected by the
+  /// checksum, and damaged payloads fed straight to the parsers must come
+  /// back as clean Status errors, never crashes.
+  int loader_round_every = 9;
   int64_t max_rows = 600;  ///< rows per generated table
   bool check_parser = true;
   bool check_executor = true;

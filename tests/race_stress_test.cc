@@ -12,6 +12,7 @@
 #include "featurize/extensions.h"
 #include "featurize/feature_schema.h"
 #include "query/query.h"
+#include "serve/serving_estimator.h"
 #include "storage/catalog.h"
 #include "storage/column.h"
 #include "storage/table.h"
@@ -209,6 +210,59 @@ TEST_F(RaceStressTest, ConcurrentLazyColumnStats) {
     EXPECT_EQ(seen[static_cast<size_t>(t)].rows, 2000);
     EXPECT_GT(seen[static_cast<size_t>(t)].distinct, 0);
   }
+}
+
+TEST_F(RaceStressTest, HotSwapUnderConcurrentEstimateBatch) {
+  const storage::Catalog catalog = StressCatalog();
+  const std::vector<query::Query> queries = StressQueries(kBatch);
+
+  // Two deterministic models with distinct outputs, so every batch result
+  // must equal one of the two reference vectors exactly — any mixture means
+  // a request saw a torn publication.
+  auto built_a = est::MakeEstimator("postgres", catalog);
+  auto built_b = est::MakeEstimator("true", catalog);
+  ASSERT_TRUE(built_a.ok() && built_b.ok());
+  std::shared_ptr<const est::CardinalityEstimator> model_a =
+      std::move(built_a).value();
+  std::shared_ptr<const est::CardinalityEstimator> model_b =
+      std::move(built_b).value();
+  const std::vector<double> ref_a = model_a->EstimateBatch(queries).value();
+  const std::vector<double> ref_b = model_b->EstimateBatch(queries).value();
+  ASSERT_NE(ref_a, ref_b);
+
+  serve::ServingEstimator serving(model_a, /*version=*/1);
+  constexpr int kSwaps = 200;
+  std::atomic<bool> done{false};
+  // Thread 0 is the control plane: it hammers Swap between the two models
+  // while every other thread streams batches through the data plane.
+  RunConcurrently([&](int t) {
+    if (t == 0) {
+      for (int i = 0; i < kSwaps; ++i) {
+        const bool to_b = i % 2 == 0;
+        serving.Swap(to_b ? model_b : model_a,
+                     /*version=*/static_cast<uint64_t>(2 + i));
+      }
+      done.store(true, std::memory_order_release);
+      return;
+    }
+    int batches = 0;
+    while (!done.load(std::memory_order_acquire) || batches < 3) {
+      auto result = serving.EstimateBatch(queries);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const bool is_a = result.value() == ref_a;
+      const bool is_b = result.value() == ref_b;
+      ASSERT_TRUE(is_a || is_b)
+          << "batch " << batches << " on thread " << t
+          << " mixed two models mid-flight";
+      ++batches;
+    }
+  });
+
+  // After the writer finished: the last swap (i = kSwaps-1, odd) installed
+  // model_a, and every publication was counted.
+  EXPECT_EQ(serving.EstimateBatch(queries).value(), ref_a);
+  EXPECT_EQ(serving.ActiveVersion(), static_cast<uint64_t>(kSwaps + 1));
+  EXPECT_EQ(serving.SwapCount(), static_cast<uint64_t>(kSwaps + 1));
 }
 
 TEST_F(RaceStressTest, ParallelForExceptionSmallestIndexWinsUnderContention) {

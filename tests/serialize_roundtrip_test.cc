@@ -1,0 +1,252 @@
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "estimators/registry.h"
+#include "featurize/partitioner.h"
+#include "gtest/gtest.h"
+#include "serve/bundle.h"
+#include "storage/catalog.h"
+#include "workload/forest.h"
+#include "workload/labeler.h"
+#include "workload/query_gen.h"
+
+namespace qfcard::serve {
+namespace {
+
+/// One labeled forest workload shared by every round-trip case (building it
+/// labels ~150 queries, so do it once).
+struct Fixture {
+  storage::Catalog catalog;
+  std::vector<query::Query> train_queries;
+  std::vector<double> train_cards;
+  std::vector<query::Query> test_queries;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    workload::ForestOptions forest;
+    forest.num_rows = 3000;
+    forest.num_attributes = 6;
+    forest.seed = 42;
+    storage::Table table = workload::MakeForestTable(forest);
+    common::Rng rng(7);
+    const std::vector<query::Query> queries =
+        workload::GeneratePredicateWorkload(
+            table, 150, workload::ConjunctiveWorkloadOptions(/*max_attrs=*/3),
+            rng);
+    const auto labeled = workload::LabelOnTable(table, queries,
+                                                /*drop_empty=*/true);
+    QFCARD_CHECK_OK(labeled.status());
+    size_t i = 0;
+    for (const auto& lq : labeled.value()) {
+      if (i++ % 5 == 0) {
+        f->test_queries.push_back(lq.query);
+      } else {
+        f->train_queries.push_back(lq.query);
+        f->train_cards.push_back(lq.card);
+      }
+    }
+    QFCARD_CHECK_OK(f->catalog.AddTable(std::move(table)));
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Hyperparameters small enough that training every model type stays in
+/// test-time budget (round-trip fidelity does not depend on model quality).
+est::EstimatorOptions SmallOptions() {
+  est::EstimatorOptions opts;
+  opts.gbm.num_trees = 12;
+  opts.gbm.max_depth = 3;
+  opts.nn.hidden = {8};
+  opts.nn.max_epochs = 5;
+  opts.nn.max_steps = 150;
+  opts.mscn.hidden = 8;
+  opts.mscn.max_epochs = 5;
+  opts.mscn.max_steps = 150;
+  return opts;
+}
+
+/// Train -> bundle -> encode -> decode -> load -> re-bundle -> re-encode.
+/// Asserts predictions are bit-identical across the save/load boundary and
+/// that re-saving the loaded estimator reproduces the original bytes.
+void ExpectRoundTrip(const std::string& name,
+                     const est::EstimatorOptions& opts) {
+  SCOPED_TRACE(name);
+  const Fixture& fx = GetFixture();
+
+  auto estimator_or = est::MakeEstimator(name, fx.catalog, opts);
+  ASSERT_TRUE(estimator_or.ok()) << estimator_or.status().ToString();
+  std::unique_ptr<est::CardinalityEstimator> estimator =
+      std::move(estimator_or).value();
+  ASSERT_TRUE(estimator
+                  ->Train(fx.train_queries, fx.train_cards,
+                          /*valid_fraction=*/0.15, /*seed=*/20260806)
+                  .ok());
+  auto before_or = estimator->EstimateBatch(fx.test_queries);
+  ASSERT_TRUE(before_or.ok()) << before_or.status().ToString();
+
+  auto bundle_or = BundleFromEstimator(*estimator, name);
+  ASSERT_TRUE(bundle_or.ok()) << bundle_or.status().ToString();
+  std::vector<uint8_t> bytes;
+  EncodeBundle(*bundle_or, &bytes);
+
+  auto decoded_or = DecodeBundle(bytes);
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  EXPECT_EQ(decoded_or->estimator, name);
+  EXPECT_EQ(decoded_or->featurizer, bundle_or->featurizer);
+  EXPECT_EQ(decoded_or->model, bundle_or->model);
+
+  auto loaded_or = EstimatorFromBundle(*decoded_or, fx.catalog);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  auto after_or = (*loaded_or)->EstimateBatch(fx.test_queries);
+  ASSERT_TRUE(after_or.ok()) << after_or.status().ToString();
+  ASSERT_EQ(after_or->size(), before_or->size());
+  for (size_t i = 0; i < before_or->size(); ++i) {
+    EXPECT_EQ((*before_or)[i], (*after_or)[i])
+        << "prediction " << i << " changed across save/load";
+  }
+
+  auto rebundle_or = BundleFromEstimator(**loaded_or, name);
+  ASSERT_TRUE(rebundle_or.ok()) << rebundle_or.status().ToString();
+  std::vector<uint8_t> rebytes;
+  EncodeBundle(*rebundle_or, &rebytes);
+  EXPECT_EQ(bytes, rebytes) << "re-saving a loaded bundle changed its bytes";
+}
+
+TEST(SerializeRoundTrip, LinearSimple) {
+  ExpectRoundTrip("linear+simple", SmallOptions());
+}
+
+TEST(SerializeRoundTrip, GbRange) {
+  ExpectRoundTrip("gb+range", SmallOptions());
+}
+
+TEST(SerializeRoundTrip, GbConjunctive) {
+  ExpectRoundTrip("gb+conjunctive", SmallOptions());
+}
+
+TEST(SerializeRoundTrip, NnComplex) {
+  ExpectRoundTrip("nn+complex", SmallOptions());
+}
+
+TEST(SerializeRoundTrip, GbConjunctiveWithEquiDepthPartitioner) {
+  const Fixture& fx = GetFixture();
+  est::EstimatorOptions opts = SmallOptions();
+  // Static so the partitioner outlives the estimator inside ExpectRoundTrip.
+  static const auto* partitioner = new featurize::EquiDepthPartitioner(
+      featurize::EquiDepthPartitioner::FromTable(fx.catalog.table(0), 16));
+  opts.conj.partitioner = partitioner;
+  opts.conj.max_partitions = 16;
+  ExpectRoundTrip("gb+conjunctive", opts);
+}
+
+TEST(SerializeRoundTrip, MscnOriginal) {
+  ExpectRoundTrip("mscn", SmallOptions());
+}
+
+TEST(SerializeRoundTrip, MscnRange) {
+  ExpectRoundTrip("mscn+range", SmallOptions());
+}
+
+TEST(SerializeRoundTrip, MscnConjunctive) {
+  ExpectRoundTrip("mscn+conj", SmallOptions());
+}
+
+TEST(SerializeRoundTrip, StatisticsEstimatorsAreUnimplemented) {
+  const Fixture& fx = GetFixture();
+  auto postgres = est::MakeEstimator("postgres", fx.catalog);
+  ASSERT_TRUE(postgres.ok());
+  auto bundle = BundleFromEstimator(**postgres, "postgres");
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_EQ(bundle.status().code(), common::StatusCode::kUnimplemented);
+}
+
+/// A small trained bundle for the corruption cases (linear keeps it cheap).
+std::vector<uint8_t> SmallEncodedBundle() {
+  const Fixture& fx = GetFixture();
+  auto estimator = est::MakeEstimator("linear+simple", fx.catalog).value();
+  QFCARD_CHECK_OK(
+      estimator->Train(fx.train_queries, fx.train_cards, 0.15, 20260806));
+  std::vector<uint8_t> bytes;
+  EncodeBundle(BundleFromEstimator(*estimator, "linear+simple").value(),
+               &bytes);
+  return bytes;
+}
+
+TEST(BundleCorruption, EmptyAndTinyInputsAreRejected) {
+  EXPECT_FALSE(DecodeBundle({}).ok());
+  EXPECT_FALSE(DecodeBundle({0x51}).ok());
+  EXPECT_FALSE(DecodeBundle({0x51, 0x42, 0x44, 0x4c}).ok());
+}
+
+TEST(BundleCorruption, EveryTruncationIsRejected) {
+  const std::vector<uint8_t> bytes = SmallEncodedBundle();
+  ASSERT_TRUE(DecodeBundle(bytes).ok());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<uint8_t> prefix(bytes.begin(),
+                                      bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DecodeBundle(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(BundleCorruption, BitFlipsAreDetectedByChecksum) {
+  const std::vector<uint8_t> bytes = SmallEncodedBundle();
+  for (size_t i = 0; i < bytes.size(); i += 3) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0x20;
+    EXPECT_FALSE(DecodeBundle(corrupt).ok()) << "flip at byte " << i;
+  }
+}
+
+TEST(BundleCorruption, TrailingGarbageIsRejected) {
+  std::vector<uint8_t> bytes = SmallEncodedBundle();
+  bytes.push_back(0);
+  EXPECT_FALSE(DecodeBundle(bytes).ok());
+}
+
+TEST(BundleCorruption, GarbagePayloadsFailCleanly) {
+  const Fixture& fx = GetFixture();
+  const ModelBundle good = DecodeBundle(SmallEncodedBundle()).value();
+
+  ModelBundle bad_model = good;
+  bad_model.model.assign(64, 0xAB);
+  EXPECT_FALSE(EstimatorFromBundle(bad_model, fx.catalog).ok());
+
+  ModelBundle bad_featurizer = good;
+  bad_featurizer.featurizer.assign(64, 0xCD);
+  EXPECT_FALSE(EstimatorFromBundle(bad_featurizer, fx.catalog).ok());
+
+  ModelBundle empty_model = good;
+  empty_model.model.clear();
+  EXPECT_FALSE(EstimatorFromBundle(empty_model, fx.catalog).ok());
+}
+
+TEST(BundleCorruption, MismatchedFeaturizerAndModelAreRejected) {
+  const Fixture& fx = GetFixture();
+  const est::EstimatorOptions opts = SmallOptions();
+
+  auto simple = est::MakeEstimator("linear+simple", fx.catalog, opts).value();
+  QFCARD_CHECK_OK(simple->Train(fx.train_queries, fx.train_cards, 0.15, 1));
+  auto conj =
+      est::MakeEstimator("linear+conjunctive", fx.catalog, opts).value();
+  QFCARD_CHECK_OK(conj->Train(fx.train_queries, fx.train_cards, 0.15, 1));
+
+  // Pair the conjunctive featurizer (wide vectors) with the simple-QFT
+  // model (narrow input): the loader's input-dimension cross-check must
+  // reject it instead of letting Predict read out of bounds.
+  ModelBundle franken =
+      BundleFromEstimator(*conj, "linear+conjunctive").value();
+  franken.model = BundleFromEstimator(*simple, "linear+simple").value().model;
+  const auto loaded = EstimatorFromBundle(franken, fx.catalog);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qfcard::serve

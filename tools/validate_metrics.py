@@ -124,6 +124,11 @@ def check_schema(snap: dict, schema: dict, chk: Checker) -> None:
                     f"counter '{name}' must be > 0 (got {total}) — "
                     "instrumentation went dead?")
 
+    gauges = metrics.get("gauges", [])
+    for name in schema.get("gauges", {}).get("required", []):
+        chk.require(bool(rows_named(gauges, name)),
+                    f"required gauge '{name}' missing")
+
     for spec in schema.get("histograms", {}).get("required", []):
         name = spec["name"]
         prefix = spec.get("labels_prefix", "")
