@@ -13,19 +13,10 @@
 //   --model=NAME    estimator from est::MakeEstimator, e.g. gb+complex,
 //                   nn+complex, postgres, sampling ("gb"/"nn" are accepted
 //                   as shorthand for <model>+complex; default gb+complex)
-//   --metrics-out=PATH  enable telemetry (as if QFCARD_METRICS=1) and write
-//                   the JSON snapshot (metrics + drift monitor + trace
-//                   stats) to PATH on exit; tools/validate_metrics.py
-//                   checks this file against tools/metrics_schema.json
-//   --trace-out=PATH    enable stage tracing (as if QFCARD_TRACE=1) and
-//                   write the span ring buffer as JSON to PATH on exit
-//   --model-dir=PATH    serve::ModelStore root for --save-model/--load-model
-//   --save-model    after training, publish the model to --model-dir as the
-//                   next version (ML estimators only; see docs/serving.md)
-//   --load-model[=N]    skip training and serve version N (default: latest)
-//                   from --model-dir; the restored model featurizes with its
-//                   saved schema, so estimates match the saving process even
-//                   if the table has since drifted
+//
+// Telemetry and model-store flags (--metrics-out, --trace-out, --model-dir,
+// --save-model, --load-model[=N]) are shared across the example binaries;
+// see examples/common_flags.h for their documentation.
 //
 // The served model always sits behind a serve::ServingEstimator, so the
 // serve.swaps counter and serve.active_version gauge appear in every
@@ -45,6 +36,7 @@
 #include <memory>
 #include <string>
 
+#include "common_flags.h"
 #include "qfcard.h"
 
 using namespace qfcard;  // NOLINT: example brevity
@@ -57,12 +49,7 @@ struct CliOptions {
   bool synthetic = false;
   bool truth = true;
   std::string model = "gb+complex";
-  std::string metrics_out;
-  std::string trace_out;
-  std::string model_dir;
-  bool save_model = false;
-  bool load_model = false;
-  uint64_t load_version = 0;  ///< 0 = latest
+  examples::CommonFlags common;
 };
 
 common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
@@ -70,6 +57,9 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    QFCARD_ASSIGN_OR_RETURN(
+        const bool consumed, examples::TryParseCommonFlag(arg, &opts.common));
+    if (consumed) continue;
     if (arg == "--synthetic") {
       opts.synthetic = true;
     } else if (arg == "--no-truth") {
@@ -79,26 +69,6 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       // Shorthands from before the registry existed.
       if (opts.model == "gb" || opts.model == "nn") {
         opts.model += "+complex";
-      }
-    } else if (arg.rfind("--metrics-out=", 0) == 0) {
-      opts.metrics_out = arg.substr(14);
-    } else if (arg.rfind("--trace-out=", 0) == 0) {
-      opts.trace_out = arg.substr(12);
-    } else if (arg.rfind("--model-dir=", 0) == 0) {
-      opts.model_dir = arg.substr(12);
-    } else if (arg == "--save-model") {
-      opts.save_model = true;
-    } else if (arg == "--load-model") {
-      opts.load_model = true;
-    } else if (arg.rfind("--load-model=", 0) == 0) {
-      opts.load_model = true;
-      const std::string version = arg.substr(13);
-      char* end = nullptr;
-      opts.load_version = std::strtoull(version.c_str(), &end, 10);
-      if (version.empty() || end == nullptr || *end != '\0' ||
-          opts.load_version == 0) {
-        return common::Status::InvalidArgument(
-            "--load-model= wants a positive version number, got: " + version);
       }
     } else if (!arg.empty() && arg[0] == '-') {
       return common::Status::InvalidArgument("unknown flag: " + arg);
@@ -114,15 +84,7 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
     opts.csv_path = positional[0];
     if (positional.size() > 1) opts.table_name = positional[1];
   }
-  if ((opts.save_model || opts.load_model) && opts.model_dir.empty()) {
-    return common::Status::InvalidArgument(
-        "--save-model/--load-model need --model-dir=PATH");
-  }
-  if (opts.save_model && opts.load_model) {
-    return common::Status::InvalidArgument(
-        "--save-model and --load-model are mutually exclusive (a loaded "
-        "model is already in the store)");
-  }
+  QFCARD_RETURN_IF_ERROR(examples::ValidateCommonFlags(opts.common));
   return opts;
 }
 
@@ -136,8 +98,7 @@ int main(int argc, char** argv) {
   }
   const CliOptions& opts = opts_or.value();
 
-  if (!opts.metrics_out.empty()) obs::SetMetricsEnabled(true);
-  if (!opts.trace_out.empty()) obs::SetTraceEnabled(true);
+  examples::ApplyTelemetryFlags(opts.common);
   obs::TraceSpan cli_span("cli.main");
 
   storage::Catalog catalog;
@@ -166,16 +127,16 @@ int main(int argc, char** argv) {
   uint64_t served_version = 0;  // 0 = trained in-process, never published
   size_t num_train = 0;
 
-  if (opts.load_model) {
+  if (opts.common.load_model) {
     // Serve a published bundle: no workload, no training. The bundle
     // carries the featurizer's schema and partitioner state, so the
     // restored model estimates exactly like the process that saved it.
-    const serve::ModelStore store(opts.model_dir);
+    const serve::ModelStore store(opts.common.model_dir);
     common::StatusOr<serve::ModelBundle> bundle_or =
         [&]() -> common::StatusOr<serve::ModelBundle> {
-      if (opts.load_version != 0) {
-        served_version = opts.load_version;
-        return store.Load(opts.load_version);
+      if (opts.common.load_version != 0) {
+        served_version = opts.common.load_version;
+        return store.Load(opts.common.load_version);
       }
       auto latest_or = store.LoadLatest();
       if (!latest_or.ok()) return latest_or.status();
@@ -184,7 +145,7 @@ int main(int argc, char** argv) {
     }();
     if (!bundle_or.ok()) {
       std::fprintf(stderr, "loading model from '%s': %s\n",
-                   opts.model_dir.c_str(),
+                   opts.common.model_dir.c_str(),
                    bundle_or.status().ToString().c_str());
       return 1;
     }
@@ -198,7 +159,7 @@ int main(int argc, char** argv) {
     estimator = std::move(loaded_or).value();
     std::fprintf(stderr, "loaded '%s' v%llu from %s\n", model_name.c_str(),
                  static_cast<unsigned long long>(served_version),
-                 opts.model_dir.c_str());
+                 opts.common.model_dir.c_str());
   } else {
     // Build the estimator by registry name and train it on an auto-generated
     // mixed workload (statistics-based estimators ignore Train).
@@ -273,8 +234,8 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (opts.save_model) {
-      serve::ModelStore store(opts.model_dir);
+    if (opts.common.save_model) {
+      serve::ModelStore store(opts.common.model_dir);
       auto bundle_or = serve::BundleFromEstimator(*estimator, model_name);
       if (!bundle_or.ok()) {
         std::fprintf(stderr, "cannot save '%s': %s\n", model_name.c_str(),
@@ -284,14 +245,14 @@ int main(int argc, char** argv) {
       auto version_or = store.Publish(bundle_or.value());
       if (!version_or.ok()) {
         std::fprintf(stderr, "publishing to '%s': %s\n",
-                     opts.model_dir.c_str(),
+                     opts.common.model_dir.c_str(),
                      version_or.status().ToString().c_str());
         return 1;
       }
       served_version = version_or.value();
       std::fprintf(stderr, "saved '%s' as v%llu in %s\n", model_name.c_str(),
                    static_cast<unsigned long long>(served_version),
-                   opts.model_dir.c_str());
+                   opts.common.model_dir.c_str());
     }
   }
 
@@ -317,18 +278,25 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", q_or.status().ToString().c_str());
       continue;
     }
-    const auto est_or = serving.EstimateCard(q_or.value());
-    if (!est_or.ok()) {
-      std::printf("error: %s\n", est_or.status().ToString().c_str());
+    // The request/response API (docs/batch_api.md) is the serving entry
+    // point: the response carries the estimate plus provenance (which model
+    // version answered, and how long the call took).
+    est::EstimateRequest request;
+    request.query = q_or.value();
+    const auto resp_or = serving.Estimate(request);
+    if (!resp_or.ok()) {
+      std::printf("error: %s\n", resp_or.status().ToString().c_str());
       continue;
     }
+    const est::EstimateResponse& resp = resp_or.value();
     if (opts.truth) {
       const auto truth_or = query::Executor::Count(table, q_or.value());
       if (truth_or.ok()) {
         const double truth = static_cast<double>(truth_or.value());
-        const double qerr = ml::QError(truth, est_or.value());
-        std::printf("estimate=%.0f  true=%.0f  q-error=%.2f\n", est_or.value(),
-                    truth, qerr);
+        const double qerr = ml::QError(truth, resp.estimate);
+        std::printf("estimate=%.0f  true=%.0f  q-error=%.2f  [v%llu]\n",
+                    resp.estimate, truth, qerr,
+                    static_cast<unsigned long long>(resp.model_version));
         // Every truth-checked query is labeled feedback for the drift
         // monitor; warn once per healthy->degraded flip.
         drift.Observe(qerr);
@@ -345,28 +313,11 @@ int main(int argc, char** argv) {
         continue;
       }
     }
-    std::printf("estimate=%.0f\n", est_or.value());
+    std::printf("estimate=%.0f  [v%llu]\n", resp.estimate,
+                static_cast<unsigned long long>(resp.model_version));
   }
 
   cli_span.End();
-  if (!opts.metrics_out.empty()) {
-    if (obs::WriteSnapshotJson(opts.metrics_out)) {
-      std::fprintf(stderr, "telemetry snapshot written to %s\n",
-                   opts.metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
-                   opts.metrics_out.c_str());
-      return 1;
-    }
-  }
-  if (!opts.trace_out.empty()) {
-    if (obs::WriteTraceJson(opts.trace_out)) {
-      std::fprintf(stderr, "trace written to %s\n", opts.trace_out.c_str());
-    } else {
-      std::fprintf(stderr, "error: cannot write trace to %s\n",
-                   opts.trace_out.c_str());
-      return 1;
-    }
-  }
+  if (!examples::WriteTelemetryOutputs(opts.common)) return 1;
   return 0;
 }

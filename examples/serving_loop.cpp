@@ -11,9 +11,12 @@
 //      improves, publishes it as version 2, and hot-swaps it under the
 //      still-running traffic — the loop then shows the recovered accuracy.
 //
-//   $ ./build/examples/serving_loop
+//   $ ./build/examples/serving_loop [--model-dir=PATH] [--metrics-out=PATH]
+//                                   [--trace-out=PATH]
 //
-// Sized by QFCARD_SCALE (smoke / default / full) like the benches.
+// Telemetry flags are shared with the other examples (common_flags.h);
+// --model-dir overrides the default on-disk store location. Sized by
+// QFCARD_SCALE (smoke / default / full) like the benches.
 
 #include <chrono>
 #include <cstdio>
@@ -23,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common_flags.h"
 #include "qfcard.h"
 
 using namespace qfcard;  // NOLINT: example brevity
@@ -49,28 +53,37 @@ Traffic MakeTraffic(const storage::Table& table, int count, uint64_t seed) {
   return t;
 }
 
-/// Streams one batch through the server, reporting p95 q-error and feeding
-/// every truth back into the drift monitor and the retrainer.
+/// Streams one batch through the server via the request/response API
+/// (docs/batch_api.md), reporting p95 q-error and feeding every truth back
+/// into the drift monitor and the retrainer. The responses also carry which
+/// model version served the batch, so the label line no longer needs to
+/// query the server separately.
 double ServeBatch(const serve::ServingEstimator& serving,
                   obs::QErrorDriftMonitor& monitor, serve::Retrainer& retrainer,
                   const Traffic& traffic, const char* label) {
-  const std::vector<double> estimates =
-      serving.EstimateBatch(traffic.queries).value();
+  std::vector<est::EstimateRequest> requests(traffic.queries.size());
+  for (size_t i = 0; i < traffic.queries.size(); ++i) {
+    requests[i].query = traffic.queries[i];
+  }
+  const std::vector<est::EstimateResponse> responses =
+      serving.EstimateRequests(requests).value();
   // Feedback first, monitor second: if an observation flips the monitor and
   // schedules a retrain, the feedback window already holds the whole batch.
-  for (size_t i = 0; i < estimates.size(); ++i) {
+  for (size_t i = 0; i < responses.size(); ++i) {
     retrainer.AddFeedback(traffic.queries[i], traffic.truths[i]);
   }
   std::vector<double> qerrors;
-  for (size_t i = 0; i < estimates.size(); ++i) {
-    const double qerr = ml::QError(traffic.truths[i], estimates[i]);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const double qerr = ml::QError(traffic.truths[i], responses[i].estimate);
     qerrors.push_back(qerr);
     monitor.Observe(qerr);
   }
+  const uint64_t served_version =
+      responses.empty() ? serving.ActiveVersion() : responses[0].model_version;
   const ml::QErrorSummary summary =
       ml::QErrorSummary::FromErrors(std::move(qerrors));
   std::printf("%-22s v%llu  %4zu queries  median=%6.2f  p95=%8.2f%s\n", label,
-              static_cast<unsigned long long>(serving.ActiveVersion()),
+              static_cast<unsigned long long>(served_version),
               traffic.queries.size(), summary.median, summary.p95,
               monitor.degraded() ? "  [drift flagged]" : "");
   return summary.p95;
@@ -78,7 +91,27 @@ double ServeBatch(const serve::ServingEstimator& serving,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  examples::CommonFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto consumed_or = examples::TryParseCommonFlag(arg, &flags);
+    if (!consumed_or.ok() || !consumed_or.value()) {
+      std::fprintf(stderr, "%s\n",
+                   consumed_or.ok()
+                       ? ("unknown flag: " + arg).c_str()
+                       : consumed_or.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (flags.save_model || flags.load_model) {
+    std::fprintf(stderr,
+                 "serving_loop scripts its own publish/load cycle; "
+                 "--save-model/--load-model are not supported\n");
+    return 1;
+  }
+  examples::ApplyTelemetryFlags(flags);
+
   const int64_t rows = common::ScalePick(3000, 20000, 200000);
   const int traffic_size = static_cast<int>(common::ScalePick(150, 400, 2000));
 
@@ -107,7 +140,8 @@ int main() {
   eopts.gbm.num_trees = 60;
   auto estimator = est::MakeEstimator("gb+conjunctive", catalog, eopts).value();
   QFCARD_CHECK_OK(estimator->Train(train.queries, train.truths, 0.1, 1));
-  serve::ModelStore store("serving_loop_store");
+  serve::ModelStore store(
+      flags.model_dir.empty() ? "serving_loop_store" : flags.model_dir);
   const uint64_t v1 =
       store.Publish(
                serve::BundleFromEstimator(*estimator, "gb+conjunctive").value())
@@ -161,5 +195,6 @@ int main() {
   std::printf("\nstore now holds %zu version(s); swaps=%llu\n",
               store.ListVersions().value().size(),
               static_cast<unsigned long long>(serving.SwapCount()));
+  if (!examples::WriteTelemetryOutputs(flags)) return 1;
   return 0;
 }

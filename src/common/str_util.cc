@@ -1,5 +1,6 @@
 #include "common/str_util.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
@@ -50,6 +51,39 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
     out.append(parts[i]);
   }
   return out;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  // One rolling row of the classic DP table: O(|a|*|b|) time, O(|b|) space.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];  // dp[i-1][j-1]
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t above = row[j];  // dp[i-1][j]
+      const size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min(subst, std::min(above, row[j - 1]) + 1);
+      diag = above;
+    }
+  }
+  return row[b.size()];
+}
+
+std::string ClosestMatch(std::string_view name,
+                         const std::vector<std::string>& candidates,
+                         size_t max_distance) {
+  const std::string lowered = ToLower(name);
+  std::string best;
+  size_t best_distance = max_distance + 1;
+  for (const std::string& candidate : candidates) {
+    const size_t d = EditDistance(lowered, ToLower(candidate));
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 std::string StrFormat(const char* fmt, ...) {

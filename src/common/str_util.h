@@ -22,6 +22,17 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Levenshtein edit distance (insertions, deletions, substitutions).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// The candidate with the smallest case-insensitive edit distance to `name`,
+/// or "" when `candidates` is empty or no candidate comes within
+/// `max_distance` edits. Ties break to the earliest candidate, so callers
+/// passing a deterministic list get a deterministic suggestion.
+std::string ClosestMatch(std::string_view name,
+                         const std::vector<std::string>& candidates,
+                         size_t max_distance = 3);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

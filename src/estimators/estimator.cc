@@ -6,6 +6,35 @@
 
 namespace qfcard::est {
 
+common::StatusOr<EstimateResponse> CardinalityEstimator::Estimate(
+    const EstimateRequest& request) const {
+  obs::ScopedTimer timer;
+  EstimateResponse response;
+  QFCARD_ASSIGN_OR_RETURN(response.estimate, EstimateCard(request.query));
+  response.latency_seconds = timer.Seconds();
+  return response;
+}
+
+common::StatusOr<std::vector<EstimateResponse>>
+CardinalityEstimator::EstimateRequests(
+    const std::vector<EstimateRequest>& requests) const {
+  obs::ScopedTimer timer;
+  std::vector<query::Query> queries;
+  queries.reserve(requests.size());
+  for (const EstimateRequest& request : requests) {
+    queries.push_back(request.query);
+  }
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<double> estimates,
+                          EstimateBatch(queries));
+  const double elapsed = timer.Seconds();
+  std::vector<EstimateResponse> responses(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses[i].estimate = estimates[i];
+    responses[i].latency_seconds = elapsed;
+  }
+  return responses;
+}
+
 common::StatusOr<std::vector<double>> CardinalityEstimator::EstimateBatch(
     const std::vector<query::Query>& queries) const {
   obs::TraceSpan span("estimate.batch");

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "estimators/request.h"
 #include "query/query.h"
 
 namespace qfcard::est {
@@ -16,19 +17,38 @@ namespace qfcard::est {
 /// Bernoulli sampling, QFT x ML model combinations, and the true-cardinality
 /// oracle.
 ///
-/// The API is batch-first (docs/batch_api.md): EstimateBatch is the serving
-/// entry point and parallelizes across queries via the global thread pool
-/// sized by QFCARD_THREADS. EstimateCard remains for single interactive
-/// queries. Implementations must keep EstimateCard const-thread-safe so the
-/// default EstimateBatch can fan it out; estimators with per-call random
-/// state (see SamplingEstimator) derive a deterministic per-query stream so
-/// batch results are byte-identical to the serial loop at any pool size.
+/// The API is batch-first (docs/batch_api.md): Estimate/EstimateRequests —
+/// speaking est::EstimateRequest/EstimateResponse — are the public serving
+/// entry points, and EstimateBatch parallelizes across queries via the
+/// global thread pool sized by QFCARD_THREADS. EstimateCard remains for
+/// single interactive queries. Implementations must keep EstimateCard
+/// const-thread-safe so the default EstimateBatch can fan it out; estimators
+/// with per-call random state (see SamplingEstimator) derive a deterministic
+/// per-query stream so batch results are byte-identical to the serial loop
+/// at any pool size — and therefore independent of how a batching layer
+/// groups queries, which is what makes the estimation server's cross-request
+/// micro-batching transparent (docs/serving.md).
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;
 
   /// Estimated result cardinality of `q` (clamped to >= 1 by convention).
   virtual common::StatusOr<double> EstimateCard(const query::Query& q) const = 0;
+
+  /// Serves one EstimateRequest. The default implementation answers from
+  /// EstimateCard and reports route_id/model_version 0 (no routing, no
+  /// versioning); serve::ServingEstimator fills in the active model version
+  /// and serve::EstimationServer the feature-space route.
+  virtual common::StatusOr<EstimateResponse> Estimate(
+      const EstimateRequest& request) const;
+
+  /// Serves a batch of requests, one response per request in input order —
+  /// the batch face of the request API. The default forwards the extracted
+  /// queries to EstimateBatch, so backends that override EstimateBatch
+  /// (matrix featurization, batched predict) serve requests at full speed
+  /// without also overriding this.
+  virtual common::StatusOr<std::vector<EstimateResponse>> EstimateRequests(
+      const std::vector<EstimateRequest>& requests) const;
 
   /// Estimates every query, returning one cardinality per query in input
   /// order. The default implementation runs EstimateCard per query on the

@@ -45,6 +45,16 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeMscn(
       std::make_unique<MscnEstimator>(std::move(featurizer), opts.mscn));
 }
 
+// "; did you mean \"gb+conjunctive\"?" when a registered name is within a
+// few edits of the typo, "" otherwise — appended to unknown-name errors so
+// a fat-fingered --model flag points at the fix instead of a 15-name list.
+std::string DidYouMean(const std::string& name) {
+  const std::string suggestion =
+      common::ClosestMatch(name, RegisteredEstimators());
+  if (suggestion.empty()) return "";
+  return "; did you mean \"" + suggestion + "\"?";
+}
+
 common::StatusOr<const storage::Table*> ResolveTable(
     const storage::Catalog& catalog, const EstimatorOptions& opts) {
   if (!opts.table.empty()) return catalog.GetTable(opts.table);
@@ -97,8 +107,8 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
   if (plus == std::string::npos || plus == 0 || plus + 1 >= key.size()) {
     obs::IncrementCounter("registry.errors", "kind=unknown-estimator");
     return common::Status::InvalidArgument(
-        "registry: unknown estimator \"" + name + "\"; registered names: " +
-        common::Join(RegisteredEstimators(), ", "));
+        "registry: unknown estimator \"" + name + "\"" + DidYouMean(name) +
+        "; registered names: " + common::Join(RegisteredEstimators(), ", "));
   }
   const std::string model_key = key.substr(0, plus);
   const std::string qft_key = key.substr(plus + 1);
@@ -116,7 +126,8 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
     obs::IncrementCounter("registry.errors", "kind=unknown-qft");
     return common::Status::InvalidArgument(
         "registry: unknown QFT \"" + qft_key +
-        "\" (expected simple/range/conj|conjunctive/complex|comp)");
+        "\" (expected simple/range/conj|conjunctive/complex|comp)" +
+        DidYouMean(name));
   }
 
   std::unique_ptr<ml::Model> model;
@@ -130,8 +141,8 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
     obs::IncrementCounter("registry.errors", "kind=unknown-model");
     return common::Status::InvalidArgument(
         "registry: unknown model \"" + model_key +
-        "\" (expected gb/nn/linear); registered names: " +
-        common::Join(RegisteredEstimators(), ", "));
+        "\" (expected gb/nn/linear)" + DidYouMean(name) +
+        "; registered names: " + common::Join(RegisteredEstimators(), ", "));
   }
 
   QFCARD_ASSIGN_OR_RETURN(const storage::Table* table,

@@ -1,0 +1,57 @@
+#ifndef QFCARD_ESTIMATORS_REQUEST_H_
+#define QFCARD_ESTIMATORS_REQUEST_H_
+
+#include <cstdint>
+
+#include "query/query.h"
+
+namespace qfcard::est {
+
+/// Per-request knobs of the serving API (docs/serving.md). Kept separate
+/// from the query so transports and batching layers can pass requests around
+/// without re-deriving policy from context.
+struct EstimateOptions {
+  /// Under the router's intelligent policy a request whose feature space has
+  /// never been seen creates a new route (model) as a side effect. Setting
+  /// this to false opts this one request out: an unseen shape is rejected
+  /// instead, as if the router ran in controlled mode. Ignored by estimators
+  /// that do no routing.
+  bool allow_route_creation = true;
+
+  bool operator==(const EstimateOptions&) const = default;
+};
+
+/// One estimation request — the public entry point of the serving API
+/// (docs/batch_api.md). Everything that used to be a bare query-vector
+/// element now travels with its options and an optional routing hint.
+struct EstimateRequest {
+  query::Query query;
+  EstimateOptions options;
+  /// Feature-space hash to route to, skipping the hash computation. 0 (the
+  /// default) means "compute serve::FeatureSpaceHash(query)". A nonzero hint
+  /// is still subject to the router's admission policy.
+  uint64_t route_hint = 0;
+};
+
+/// The answer to one EstimateRequest. Alongside the estimate it carries the
+/// provenance a production client needs for debugging and SLO accounting:
+/// which feature-space route served it, which model version was active, and
+/// how long the request took.
+struct EstimateResponse {
+  /// Estimated cardinality (>= 1 by the repo-wide convention).
+  double estimate = 1.0;
+  /// Feature-space route that served the request; 0 when the estimator does
+  /// no routing (direct estimator call, or a forced-mode default route).
+  uint64_t route_id = 0;
+  /// ServingEstimator version that produced the estimate; 0 for unversioned
+  /// in-process models.
+  uint64_t model_version = 0;
+  /// Seconds from submission to completion on the serving side. For direct
+  /// estimator calls this is the featurize+predict time; through the
+  /// estimation server it additionally includes micro-batching queue wait.
+  double latency_seconds = 0.0;
+};
+
+}  // namespace qfcard::est
+
+#endif  // QFCARD_ESTIMATORS_REQUEST_H_

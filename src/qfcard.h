@@ -18,8 +18,10 @@
 ///  - optimizer/: DP join ordering + plan execution (end-to-end experiment)
 ///  - workload/ : synthetic forest/IMDb data and workload generators
 ///  - eval/     : experiment harness and reporting
-///  - serve/    : model lifecycle — versioned bundles on disk, hot-swap
-///                serving, drift-triggered retraining (docs/serving.md)
+///  - serve/    : model lifecycle and the estimation server — versioned
+///                bundles on disk, hot-swap serving, drift-triggered
+///                retraining, feature-space routing, cross-request
+///                micro-batching (docs/serving.md)
 ///
 /// Estimation is batch-first: prefer est::CardinalityEstimator::EstimateBatch
 /// and featurize::Featurizer::FeaturizeBatch over per-query calls; both fan
@@ -48,6 +50,7 @@
 #include "estimators/ml_estimator.h"
 #include "estimators/postgres.h"
 #include "estimators/registry.h"
+#include "estimators/request.h"
 #include "estimators/sampling.h"
 #include "estimators/true_card.h"
 #include "eval/harness.h"
@@ -87,8 +90,11 @@
 #include "query/query.h"
 #include "query/schema_graph.h"
 #include "serve/bundle.h"
+#include "serve/fss.h"
 #include "serve/model_store.h"
 #include "serve/retrainer.h"
+#include "serve/router.h"
+#include "serve/server.h"
 #include "serve/serving_estimator.h"
 #include "storage/catalog.h"
 #include "storage/column.h"

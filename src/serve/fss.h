@@ -1,0 +1,45 @@
+#ifndef QFCARD_SERVE_FSS_H_
+#define QFCARD_SERVE_FSS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/query.h"
+
+namespace qfcard::serve {
+
+/// 64-bit structural hash of a query's feature space, mirroring AQO's
+/// `get_fss_for_object(clauses, relids)`: two queries land in the same
+/// feature space iff they are equal up to their literal constants. The hash
+/// covers
+///   - the set of relations (table names, not FROM-clause positions),
+///   - the join predicate set (as unordered table/column endpoint pairs),
+///   - per compound predicate: the referenced (table, column) and the
+///     disjunct structure — for each conjunctive clause, the multiset of
+///     comparison operators,
+///   - the GROUP BY column set,
+/// and deliberately ignores every literal value, so `A1 >= 10 AND A1 <= 20`
+/// and `A1 >= 500 AND A1 <= 501` share a route while `A1 >= 10` and
+/// `A1 = 10` do not.
+///
+/// All combining is commutative at every level (predicates, disjuncts,
+/// predicates within a clause, joins, relations), so the hash is invariant
+/// under clause reordering — a query and any clause-permuted equivalent
+/// route to the same model (pinned by tests/fss_test.cc). The function is a
+/// pure byte computation (FNV-1a + splitmix64 finalizers, no std::hash), so
+/// values are stable across platforms, standard libraries, and processes —
+/// route ids can be persisted and compared between runs.
+uint64_t FeatureSpaceHash(const query::Query& q);
+
+/// Human-readable signature of the same structure, for route labels and
+/// logs: e.g. "forest|c1:{>=,<=}|c3:{=}+{=}|g{c2}". Deterministic: components
+/// are emitted in sorted order, matching the hash's order-invariance.
+std::string FeatureSpaceSignature(const query::Query& q);
+
+/// Formats a feature-space hash the way metrics labels and logs spell it:
+/// 16 lowercase hex digits (e.g. "3f62a91c0b44d17e").
+std::string FormatFss(uint64_t fss);
+
+}  // namespace qfcard::serve
+
+#endif  // QFCARD_SERVE_FSS_H_

@@ -1,0 +1,158 @@
+#ifndef QFCARD_SERVE_SERVER_H_
+#define QFCARD_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "estimators/request.h"
+#include "obs/clock.h"
+#include "serve/router.h"
+
+namespace qfcard::serve {
+
+struct EstimationServerOptions {
+  /// A route's pending micro-batch is flushed as soon as it holds this many
+  /// requests...
+  size_t max_batch = 64;
+  /// ...or as soon as its oldest request has waited this long, whichever
+  /// comes first. The deadline bounds tail latency at low QPS; the size
+  /// bound amortizes featurization + model dispatch at high QPS (the
+  /// paper's Table 7 cost).
+  double flush_deadline_seconds = 0.001;
+  /// Admission control: total requests queued across all routes. Beyond it
+  /// new submissions are rejected with ResourceExhausted instead of growing
+  /// the queue without bound.
+  size_t max_pending = 4096;
+  /// Dispatcher threads executing flushed batches. 0 is a test hook: nothing
+  /// flushes until Stop() drains synchronously.
+  int num_workers = 2;
+};
+
+/// Long-lived estimation front end (docs/serving.md): many client threads
+/// submit EstimateRequests concurrently; the server routes each to its
+/// feature-space model via the ModelRouter and coalesces requests that hit
+/// the same route — across client connections — into one
+/// ServingEstimator::EstimateRequests call through a bounded micro-batching
+/// queue (flush on size or deadline).
+///
+/// Because every estimator's batch results are byte-identical to the serial
+/// per-query path (docs/batch_api.md), how the server groups concurrent
+/// requests into batches is unobservable in the estimates: a query answered
+/// through the server returns bit-for-bit what a direct EstimateBatch on the
+/// route's model returns (pinned by tests/server_test.cc at 1/2/8 client
+/// threads).
+///
+/// Thread-safety: Estimate/EstimateMany are safe from any thread and block
+/// until their responses are ready. Start/Stop must be externally serialized
+/// with each other (one owner); the destructor calls Stop(). Route models
+/// are hot-swappable under traffic (ServingEstimator's contract) — swapping
+/// never tears an in-flight batch.
+///
+/// Exports per-route serve.route.* metrics: requests/batches (counters,
+/// route=<fss> labels), latency_seconds/exec_seconds (histograms),
+/// queue_depth (gauge), plus the router's rejected{reason=...} counters.
+class EstimationServer {
+ public:
+  /// `router` is not owned and must outlive the server.
+  explicit EstimationServer(ModelRouter* router,
+                            EstimationServerOptions options = {});
+  ~EstimationServer();
+
+  EstimationServer(const EstimationServer&) = delete;
+  EstimationServer& operator=(const EstimationServer&) = delete;
+
+  /// Spawns the dispatcher workers. Idempotent.
+  void Start();
+
+  /// Stops accepting new requests, drains every pending micro-batch (blocked
+  /// clients get their responses, not errors), and joins the workers.
+  /// Idempotent; safe without a prior Start().
+  void Stop();
+
+  /// Submits one request and blocks until its micro-batch is flushed and
+  /// computed. Routing rejections (unknown shape under the controlled
+  /// policy, route limit), queue-full admission rejections
+  /// (ResourceExhausted), and not-running errors come back without queuing.
+  common::StatusOr<est::EstimateResponse> Estimate(
+      const est::EstimateRequest& request);
+
+  /// Submits all requests before waiting on any, so they can share
+  /// micro-batches; returns one result per request in input order.
+  std::vector<common::StatusOr<est::EstimateResponse>> EstimateMany(
+      const std::vector<est::EstimateRequest>& requests);
+
+  /// Requests currently queued (admission-control view).
+  size_t PendingRequests() const;
+
+  /// Micro-batches flushed so far.
+  uint64_t BatchesFlushed() const;
+
+  bool running() const;
+
+  const ModelRouter& router() const { return *router_; }
+
+ private:
+  /// One blocked client's result slot. Lives on the client's stack; written
+  /// by the flushing worker and read by the owner, both under mu_ (the
+  /// fields carry no annotations because slots are locals, but every access
+  /// after enqueue happens with mu_ held).
+  struct Slot {
+    est::EstimateResponse response;
+    common::Status status;
+    bool done = false;
+  };
+
+  struct PendingRequest {
+    query::Query query;
+    obs::Clock::time_point enqueued;
+    Slot* slot = nullptr;
+  };
+
+  /// Per-feature-space micro-batch accumulator.
+  struct RouteQueue {
+    std::shared_ptr<ServingEstimator> serving;
+    std::vector<PendingRequest> pending;
+    obs::Clock::time_point oldest;  ///< enqueue time of pending.front()
+  };
+
+  /// Resolves, admits, and enqueues without waiting. On success the slot
+  /// will eventually be completed by a worker (or the Stop() drain).
+  common::Status Enqueue(const est::EstimateRequest& request, Slot* slot);
+
+  /// Blocks until *slot is done and returns its result.
+  common::StatusOr<est::EstimateResponse> AwaitSlot(Slot* slot);
+
+  void WorkerLoop();
+
+  /// Flushes one due micro-batch if any, returning true when work was done.
+  /// `drain` ignores size/deadline and flushes whatever is pending.
+  bool FlushOneBatch(bool drain) QFCARD_REQUIRES(mu_);
+
+  ModelRouter* const router_;
+  const EstimationServerOptions opts_;
+
+  mutable common::Mutex mu_;
+  common::CondVar work_cv_;  ///< wakes dispatchers (new work, stop)
+  common::CondVar done_cv_;  ///< wakes blocked clients (slots completed)
+  std::map<uint64_t, RouteQueue> queues_ QFCARD_GUARDED_BY(mu_);
+  size_t pending_total_ QFCARD_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ QFCARD_GUARDED_BY(mu_) = 0;
+  bool running_ QFCARD_GUARDED_BY(mu_) = false;
+  bool stop_ QFCARD_GUARDED_BY(mu_) = false;
+
+  /// Worker lifecycle, touched only under lifecycle_mu_ (which workers never
+  /// take, so Stop can join while holding it). Lock order: lifecycle_mu_
+  /// before mu_.
+  common::Mutex lifecycle_mu_;
+  std::vector<std::thread> workers_ QFCARD_GUARDED_BY(lifecycle_mu_);
+};
+
+}  // namespace qfcard::serve
+
+#endif  // QFCARD_SERVE_SERVER_H_

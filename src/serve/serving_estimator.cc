@@ -36,11 +36,65 @@ common::StatusOr<double> ServingEstimator::EstimateCard(
   return model->EstimateCard(q);
 }
 
-common::StatusOr<std::vector<double>> ServingEstimator::EstimateBatch(
-    const std::vector<query::Query>& queries) const {
+common::StatusOr<est::EstimateResponse> ServingEstimator::Estimate(
+    const est::EstimateRequest& request) const {
+  obs::ScopedTimer timer;
+  // Version label read before the model pin: after a concurrent Swap the
+  // response may pair the new model with the old label (harmless,
+  // observability-only) but never the reverse — mirroring the gauge's
+  // ordering contract (docs/serving.md).
+  const uint64_t version = version_.load(std::memory_order_relaxed);
   const std::shared_ptr<const est::CardinalityEstimator> model =
       active_.load(std::memory_order_acquire);
-  return model->EstimateBatch(queries);
+  est::EstimateResponse response;
+  QFCARD_ASSIGN_OR_RETURN(response.estimate, model->EstimateCard(request.query));
+  response.model_version = version;
+  response.latency_seconds = timer.Seconds();
+  return response;
+}
+
+common::StatusOr<std::vector<est::EstimateResponse>>
+ServingEstimator::EstimateRequests(
+    const std::vector<est::EstimateRequest>& requests) const {
+  obs::ScopedTimer timer;
+  const uint64_t version = version_.load(std::memory_order_relaxed);
+  // One acquire-load pins one fully-published model for the whole batch; a
+  // concurrent Swap can never tear the batch across two models.
+  const std::shared_ptr<const est::CardinalityEstimator> model =
+      active_.load(std::memory_order_acquire);
+  std::vector<query::Query> queries;
+  queries.reserve(requests.size());
+  for (const est::EstimateRequest& request : requests) {
+    queries.push_back(request.query);
+  }
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<double> estimates,
+                          model->EstimateBatch(queries));
+  const double elapsed = timer.Seconds();
+  std::vector<est::EstimateResponse> responses(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    responses[i].estimate = estimates[i];
+    responses[i].model_version = version;
+    responses[i].latency_seconds = elapsed;
+  }
+  return responses;
+}
+
+common::StatusOr<std::vector<double>> ServingEstimator::EstimateBatch(
+    const std::vector<query::Query>& queries) const {
+  // Legacy entry point: forwards through the request API so both speak one
+  // code path (docs/batch_api.md deprecation note).
+  std::vector<est::EstimateRequest> requests(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+  }
+  QFCARD_ASSIGN_OR_RETURN(const std::vector<est::EstimateResponse> responses,
+                          EstimateRequests(requests));
+  std::vector<double> out;
+  out.reserve(responses.size());
+  for (const est::EstimateResponse& response : responses) {
+    out.push_back(response.estimate);
+  }
+  return out;
 }
 
 common::Status ServingEstimator::Train(

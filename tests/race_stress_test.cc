@@ -12,6 +12,9 @@
 #include "featurize/extensions.h"
 #include "featurize/feature_schema.h"
 #include "query/query.h"
+#include "serve/fss.h"
+#include "serve/router.h"
+#include "serve/server.h"
 #include "serve/serving_estimator.h"
 #include "storage/catalog.h"
 #include "storage/column.h"
@@ -263,6 +266,90 @@ TEST_F(RaceStressTest, HotSwapUnderConcurrentEstimateBatch) {
   EXPECT_EQ(serving.EstimateBatch(queries).value(), ref_a);
   EXPECT_EQ(serving.ActiveVersion(), static_cast<uint64_t>(kSwaps + 1));
   EXPECT_EQ(serving.SwapCount(), static_cast<uint64_t>(kSwaps + 1));
+}
+
+TEST_F(RaceStressTest, ServerHotSwapUnderConcurrentClientTraffic) {
+  const storage::Catalog catalog = StressCatalog();
+  // One fixed shape, so every client hits the same route and every
+  // micro-batch coalesces requests from several threads. Conjunctive only:
+  // both reference models answer them deterministically.
+  const std::vector<query::Query> queries = [&] {
+    std::vector<query::Query> qs;
+    for (int i = 0; i < kBatch; ++i) {
+      query::Query q = testutil::SingleTableQuery("stress");
+      testutil::AddCompound(
+          q, 0,
+          {{{query::CmpOp::kGe, static_cast<double>(i % 40)},
+            {query::CmpOp::kLe, static_cast<double>(40 + i % 50)}}});
+      qs.push_back(std::move(q));
+    }
+    return qs;
+  }();
+
+  auto built_a = est::MakeEstimator("postgres", catalog);
+  auto built_b = est::MakeEstimator("true", catalog);
+  ASSERT_TRUE(built_a.ok() && built_b.ok());
+  std::shared_ptr<const est::CardinalityEstimator> model_a =
+      std::move(built_a).value();
+  std::shared_ptr<const est::CardinalityEstimator> model_b =
+      std::move(built_b).value();
+  const std::vector<double> ref_a = model_a->EstimateBatch(queries).value();
+  const std::vector<double> ref_b = model_b->EstimateBatch(queries).value();
+
+  serve::ModelRouterOptions ropts;
+  ropts.factory = [&model_a](uint64_t, const query::Query&)
+      -> common::StatusOr<std::shared_ptr<serve::ServingEstimator>> {
+    return std::make_shared<serve::ServingEstimator>(model_a, 1);
+  };
+  serve::ModelRouter router(std::move(ropts));
+  // Open the route before the traffic starts so the swapper has a target.
+  ASSERT_TRUE(router.Resolve(queries[0]).ok());
+  const std::shared_ptr<serve::ServingEstimator> route =
+      router.FindRoute(serve::FeatureSpaceHash(queries[0]));
+  ASSERT_NE(route, nullptr);
+
+  serve::EstimationServer server(&router);
+  server.Start();
+
+  std::vector<est::EstimateRequest> requests(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) requests[i].query = queries[i];
+
+  constexpr int kSwaps = 120;
+  std::atomic<bool> done{false};
+  // Thread 0 hammers Swap on the live route; every other thread streams
+  // request batches through the server. A response may be computed by
+  // either model (batches split across swaps), but each individual answer
+  // must equal one model's output exactly — anything else means a torn
+  // publication or a cross-request mixup in the batching queue.
+  RunConcurrently([&](int t) {
+    if (t == 0) {
+      for (int i = 0; i < kSwaps; ++i) {
+        route->Swap(i % 2 == 0 ? model_b : model_a,
+                    static_cast<uint64_t>(2 + i));
+      }
+      done.store(true, std::memory_order_release);
+      return;
+    }
+    int rounds = 0;
+    while (!done.load(std::memory_order_acquire) || rounds < 2) {
+      const auto responses = server.EstimateMany(requests);
+      for (size_t i = 0; i < responses.size(); ++i) {
+        ASSERT_TRUE(responses[i].ok())
+            << responses[i].status().ToString();
+        const double estimate = responses[i].value().estimate;
+        ASSERT_TRUE(estimate == ref_a[i] || estimate == ref_b[i])
+            << "thread " << t << " round " << rounds << " query " << i
+            << " answered by neither model";
+      }
+      ++rounds;
+    }
+  });
+  server.Stop();
+
+  // The last swap (i = kSwaps-1, odd) installed model_a; a drained server
+  // answers with it.
+  EXPECT_EQ(route->EstimateBatch(queries).value(), ref_a);
+  EXPECT_GE(server.BatchesFlushed(), 1u);
 }
 
 TEST_F(RaceStressTest, ParallelForExceptionSmallestIndexWinsUnderContention) {

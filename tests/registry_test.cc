@@ -68,6 +68,30 @@ TEST(RegistryTest, UnknownModelAndQftReturnErrors) {
       << bad_qft.status().ToString();
 }
 
+TEST(RegistryTest, TypoGetsDidYouMeanSuggestion) {
+  const storage::Catalog catalog = SmallCatalog();
+
+  // One edit away from a registered name: the error names the fix.
+  const auto typo = MakeEstimator("postgers", catalog);
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.status().message().find("did you mean \"postgres\"?"),
+            std::string::npos)
+      << typo.status().ToString();
+
+  const auto qft_typo = MakeEstimator("gb+conjuctive", catalog);
+  ASSERT_FALSE(qft_typo.ok());
+  EXPECT_NE(qft_typo.status().message().find("did you mean \"gb+conjunctive\"?"),
+            std::string::npos)
+      << qft_typo.status().ToString();
+
+  // Nothing close: no suggestion, just the name list.
+  const auto nonsense = MakeEstimator("zzzzzzzzzzzzzz", catalog);
+  ASSERT_FALSE(nonsense.ok());
+  EXPECT_EQ(nonsense.status().message().find("did you mean"),
+            std::string::npos)
+      << nonsense.status().ToString();
+}
+
 TEST(RegistryTest, QftAliasesAndCaseInsensitivity) {
   const storage::Catalog catalog = SmallCatalog();
   for (const char* name : {"gb+conj", "gb+conjunctive", "linear+comp",

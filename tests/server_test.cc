@@ -1,0 +1,427 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "estimators/registry.h"
+#include "estimators/request.h"
+#include "query/query.h"
+#include "serve/fss.h"
+#include "serve/router.h"
+#include "serve/serving_estimator.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+#include "workload/labeler.h"
+
+// Estimation-server tests (docs/serving.md): routing determinism, the three
+// admission policies, the request/response API contract, and the tentpole
+// guarantee — answers through the micro-batching server are byte-identical
+// to direct calls on the route's model, at 1, 2, and 8 client threads.
+
+namespace qfcard::serve {
+namespace {
+
+using query::CmpOp;
+
+storage::Table ServerTable() {
+  storage::Table t("srv");
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(i % 89);
+    b.push_back((i * 13) % 71);
+    c.push_back(i % 7);
+  }
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("a", a)));
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("b", b)));
+  QFCARD_CHECK_OK(t.AddColumn(testutil::IntColumn("c", c)));
+  return t;
+}
+
+storage::Catalog ServerCatalog() {
+  storage::Catalog cat;
+  QFCARD_CHECK_OK(cat.AddTable(ServerTable()));
+  return cat;
+}
+
+/// Shape A: a in [lo, lo+span] — all literals map to one feature space.
+query::Query ShapeA(double lo, double span = 10.0) {
+  query::Query q = testutil::SingleTableQuery("srv");
+  testutil::AddCompound(
+      q, 0, {{{CmpOp::kGe, lo}, {CmpOp::kLe, lo + span}}});
+  return q;
+}
+
+/// Shape B: b = v OR b = w — a different feature space from ShapeA.
+query::Query ShapeB(double v, double w) {
+  query::Query q = testutil::SingleTableQuery("srv");
+  testutil::AddCompound(q, 1, {{{CmpOp::kEq, v}}, {{CmpOp::kEq, w}}});
+  return q;
+}
+
+std::shared_ptr<ServingEstimator> WrapServing(
+    std::shared_ptr<const est::CardinalityEstimator> model, uint64_t version) {
+  return std::make_shared<ServingEstimator>(std::move(model), version);
+}
+
+/// Intelligent-mode options whose factory serves `model` on every route.
+ModelRouterOptions SharedModelOptions(
+    std::shared_ptr<const est::CardinalityEstimator> model,
+    uint64_t version = 1) {
+  ModelRouterOptions opts;
+  opts.factory = [model, version](uint64_t, const query::Query&)
+      -> common::StatusOr<std::shared_ptr<ServingEstimator>> {
+    return WrapServing(model, version);
+  };
+  return opts;
+}
+
+std::shared_ptr<const est::CardinalityEstimator> Postgres(
+    const storage::Catalog& catalog) {
+  return std::shared_ptr<const est::CardinalityEstimator>(
+      est::MakeEstimator("postgres", catalog).value());
+}
+
+// --- Routing ---------------------------------------------------------------
+
+TEST(ModelRouter, ResolutionIsDeterministicAcrossRoutersAndLiterals) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouter r1(SharedModelOptions(Postgres(catalog)));
+  ModelRouter r2(SharedModelOptions(Postgres(catalog)));
+
+  auto first = r1.Resolve(ShapeA(5.0));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->created);
+  EXPECT_EQ(first->route_id, first->fss);
+  EXPECT_EQ(first->fss, FeatureSpaceHash(ShapeA(5.0)));
+
+  // Same shape, different literals, different router instance: same id.
+  auto second = r1.Resolve(ShapeA(40.0, 3.0));
+  auto other = r2.Resolve(ShapeA(77.0));
+  ASSERT_TRUE(second.ok() && other.ok());
+  EXPECT_FALSE(second->created);
+  EXPECT_EQ(second->route_id, first->route_id);
+  EXPECT_EQ(other->route_id, first->route_id);
+  EXPECT_EQ(r1.NumRoutes(), 1u);
+
+  // A different shape opens a different route.
+  auto shape_b = r1.Resolve(ShapeB(1.0, 2.0));
+  ASSERT_TRUE(shape_b.ok());
+  EXPECT_TRUE(shape_b->created);
+  EXPECT_NE(shape_b->route_id, first->route_id);
+  EXPECT_EQ(r1.NumRoutes(), 2u);
+  EXPECT_EQ(r1.RouteLabel(first->route_id), FeatureSpaceSignature(ShapeA(5.0)));
+}
+
+TEST(ModelRouter, PerRequestCreationOptOut) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouter router(SharedModelOptions(Postgres(catalog)));
+  est::EstimateOptions no_create;
+  no_create.allow_route_creation = false;
+
+  auto rejected = router.Resolve(ShapeA(5.0), no_create);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(),
+            common::StatusCode::kFailedPrecondition);
+
+  // Once the route exists (a permissive request opened it), the opt-out
+  // request is served normally.
+  ASSERT_TRUE(router.Resolve(ShapeA(5.0)).ok());
+  EXPECT_TRUE(router.Resolve(ShapeA(9.0), no_create).ok());
+}
+
+TEST(ModelRouter, RouteLimitExhausts) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouterOptions opts = SharedModelOptions(Postgres(catalog));
+  opts.max_routes = 1;
+  ModelRouter router(std::move(opts));
+  ASSERT_TRUE(router.Resolve(ShapeA(5.0)).ok());
+  auto overflow = router.Resolve(ShapeB(1.0, 2.0));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(),
+            common::StatusCode::kResourceExhausted);
+  // Existing routes keep serving at the limit.
+  EXPECT_TRUE(router.Resolve(ShapeA(30.0)).ok());
+}
+
+TEST(ModelRouter, ForcedPolicyMapsUnknownShapesToTheDefaultRoute) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouterOptions opts;
+  opts.policy = RoutePolicy::kForced;
+  ModelRouter router(std::move(opts));
+
+  // No default installed yet: rejected, not crashed.
+  EXPECT_FALSE(router.Resolve(ShapeA(5.0)).ok());
+
+  const auto fallback = WrapServing(Postgres(catalog), 3);
+  router.SetDefaultRoute(fallback);
+  auto resolved = router.Resolve(ShapeA(5.0));
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->route_id, 0u);              // the common feature space
+  EXPECT_NE(resolved->fss, 0u);                   // the hash is still reported
+  EXPECT_EQ(resolved->serving.get(), fallback.get());
+  EXPECT_EQ(router.NumRoutes(), 0u);              // nothing was memorized
+  EXPECT_EQ(router.FindRoute(0).get(), fallback.get());
+}
+
+TEST(ModelRouter, ControlledPolicyServesOnlyPreRegisteredShapes) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouterOptions opts;
+  opts.policy = RoutePolicy::kControlled;
+  ModelRouter router(std::move(opts));
+
+  const uint64_t fss_a = FeatureSpaceHash(ShapeA(0.0));
+  QFCARD_CHECK_OK(router.AddRoute(fss_a, WrapServing(Postgres(catalog), 1),
+                                  "shape-a"));
+  EXPECT_FALSE(router.AddRoute(fss_a, WrapServing(Postgres(catalog), 2)).ok());
+  EXPECT_FALSE(router.AddRoute(0, WrapServing(Postgres(catalog), 2)).ok());
+
+  EXPECT_TRUE(router.Resolve(ShapeA(42.0)).ok());
+  auto rejected = router.Resolve(ShapeB(1.0, 2.0));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(),
+            common::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(router.RouteLabel(fss_a), "shape-a");
+}
+
+TEST(ModelRouter, RouteHintOverridesHashing) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouter router(SharedModelOptions(Postgres(catalog)));
+  const auto opened = router.Resolve(ShapeA(5.0));
+  ASSERT_TRUE(opened.ok());
+
+  // A ShapeB query pinned to ShapeA's route by hint lands there.
+  auto hinted = router.Resolve(ShapeB(1.0, 2.0), {}, opened->route_id);
+  ASSERT_TRUE(hinted.ok());
+  EXPECT_EQ(hinted->route_id, opened->route_id);
+  EXPECT_EQ(router.NumRoutes(), 1u);
+}
+
+// --- Request/response API --------------------------------------------------
+
+TEST(RequestApi, BaseEstimatorDefaultsMatchEstimateCard) {
+  const storage::Catalog catalog = ServerCatalog();
+  const auto model = Postgres(catalog);
+
+  est::EstimateRequest request;
+  request.query = ShapeA(5.0);
+  auto response = model->Estimate(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->estimate, model->EstimateCard(ShapeA(5.0)).value());
+  // A bare estimator has no route or published version to report.
+  EXPECT_EQ(response->route_id, 0u);
+  EXPECT_EQ(response->model_version, 0u);
+  EXPECT_GE(response->latency_seconds, 0.0);
+}
+
+TEST(RequestApi, ServingEstimatorStampsVersionAndForwardsLegacyBatch) {
+  const storage::Catalog catalog = ServerCatalog();
+  const ServingEstimator serving(Postgres(catalog), /*version=*/7);
+
+  std::vector<est::EstimateRequest> requests;
+  std::vector<query::Query> queries;
+  for (int i = 0; i < 6; ++i) {
+    est::EstimateRequest request;
+    request.query = ShapeA(3.0 * i);
+    queries.push_back(request.query);
+    requests.push_back(std::move(request));
+  }
+  auto responses = serving.EstimateRequests(requests);
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  // The deprecated bare overload forwards to the request API, so the two
+  // must agree exactly (docs/batch_api.md).
+  const std::vector<double> bare = serving.EstimateBatch(queries).value();
+  ASSERT_EQ(responses->size(), bare.size());
+  for (size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_EQ((*responses)[i].estimate, bare[i]);
+    EXPECT_EQ((*responses)[i].model_version, 7u);
+  }
+}
+
+// --- The server ------------------------------------------------------------
+
+TEST(EstimationServer, ServesAndReportsProvenance) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouter router(SharedModelOptions(Postgres(catalog), /*version=*/4));
+  EstimationServer server(&router);
+  server.Start();
+
+  est::EstimateRequest request;
+  request.query = ShapeA(12.0);
+  auto response = server.Estimate(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->route_id, FeatureSpaceHash(request.query));
+  EXPECT_EQ(response->model_version, 4u);
+  EXPECT_GE(response->latency_seconds, 0.0);
+  server.Stop();
+  EXPECT_GE(server.BatchesFlushed(), 1u);
+
+  // A stopped server rejects instead of hanging; a restarted one serves.
+  EXPECT_FALSE(server.Estimate(request).ok());
+  server.Start();
+  EXPECT_TRUE(server.Estimate(request).ok());
+  server.Stop();
+}
+
+TEST(EstimationServer, RoutingRejectionsPropagateToClients) {
+  ModelRouterOptions opts;
+  opts.policy = RoutePolicy::kControlled;  // empty route table: reject all
+  ModelRouter router(std::move(opts));
+  EstimationServer server(&router);
+  server.Start();
+  est::EstimateRequest request;
+  request.query = ShapeA(1.0);
+  auto response = server.Estimate(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(),
+            common::StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+// The tentpole guarantee: micro-batching is unobservable. Every response
+// from the server must be byte-identical to the direct answer of the
+// route's model, however requests interleave across client threads.
+void CheckServerMatchesDirect(
+    std::shared_ptr<const est::CardinalityEstimator> model,
+    int client_threads) {
+  ModelRouter router(SharedModelOptions(model));
+  EstimationServerOptions sopts;
+  sopts.max_batch = 8;  // small batches force multi-flush interleavings
+  EstimationServer server(&router, sopts);
+  server.Start();
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(static_cast<size_t>(client_threads));
+  for (int t = 0; t < client_threads; ++t) {
+    clients.emplace_back([&, t] {
+      // Each client alternates shapes so batches from different threads
+      // coalesce on shared routes.
+      std::vector<est::EstimateRequest> requests;
+      std::vector<query::Query> queries;
+      for (int i = 0; i < 24; ++i) {
+        est::EstimateRequest request;
+        request.query = i % 2 == 0 ? ShapeA(2.0 * i + t, 5.0 + t)
+                                   : ShapeB(i % 11, (i + t) % 13);
+        queries.push_back(request.query);
+        requests.push_back(std::move(request));
+      }
+      const std::vector<double> direct =
+          model->EstimateBatch(queries).value();
+      const auto via_server = server.EstimateMany(requests);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (!via_server[i].ok()) {
+          failures[static_cast<size_t>(t)] =
+              via_server[i].status().ToString();
+          return;
+        }
+        if (via_server[i].value().estimate != direct[i]) {
+          failures[static_cast<size_t>(t)] =
+              "estimate mismatch at query " + std::to_string(i);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+  for (const std::string& failure : failures) {
+    EXPECT_EQ(failure, "") << "with " << client_threads << " clients";
+  }
+}
+
+TEST(EstimationServer, BatchingMatchesDirectPostgres) {
+  const storage::Catalog catalog = ServerCatalog();
+  const auto model = Postgres(catalog);
+  for (const int clients : {1, 2, 8}) {
+    CheckServerMatchesDirect(model, clients);
+  }
+}
+
+TEST(EstimationServer, BatchingMatchesDirectTrainedGb) {
+  const storage::Catalog catalog = ServerCatalog();
+  // A small trained model: the batch path goes through featurization and
+  // model inference, not just statistics lookups.
+  std::vector<query::Query> train;
+  for (int i = 0; i < 120; ++i) {
+    train.push_back(i % 2 == 0 ? ShapeA(i % 80, 4.0 + i % 9)
+                               : ShapeB(i % 11, i % 13));
+  }
+  const auto labeled =
+      workload::LabelOnTable(catalog.table(0), train, /*drop_empty=*/false)
+          .value();
+  est::EstimatorOptions eopts;
+  eopts.gbm.num_trees = 12;
+  auto gb = est::MakeEstimator("gb+complex", catalog, eopts).value();
+  {
+    std::vector<query::Query> qs;
+    std::vector<double> cards;
+    for (const auto& lq : labeled) {
+      qs.push_back(lq.query);
+      cards.push_back(lq.card);
+    }
+    QFCARD_CHECK_OK(gb->Train(qs, cards, 0.1, 5));
+  }
+  const std::shared_ptr<const est::CardinalityEstimator> model =
+      std::move(gb);
+  for (const int clients : {1, 2, 8}) {
+    CheckServerMatchesDirect(model, clients);
+  }
+}
+
+TEST(EstimationServer, QueueFullRejectsAndStopDrains) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouter router(SharedModelOptions(Postgres(catalog)));
+  EstimationServerOptions sopts;
+  sopts.num_workers = 0;  // nothing flushes until Stop() drains
+  sopts.max_pending = 2;
+  EstimationServer server(&router, sopts);
+  server.Start();
+
+  std::vector<est::EstimateRequest> requests(3);
+  for (auto& request : requests) request.query = ShapeA(5.0);
+  std::vector<common::StatusOr<est::EstimateResponse>> results;
+  std::thread client(
+      [&] { results = server.EstimateMany(requests); });
+  // The first two admissions queue up; the third bounced immediately. The
+  // client is now blocked until the Stop() drain answers the queued two.
+  while (server.PendingRequests() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  client.join();
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  ASSERT_FALSE(results[2].ok());
+  EXPECT_EQ(results[2].status().code(),
+            common::StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.PendingRequests(), 0u);
+}
+
+TEST(EstimationServer, DeadlineFlushesPartialBatches) {
+  const storage::Catalog catalog = ServerCatalog();
+  ModelRouter router(SharedModelOptions(Postgres(catalog)));
+  EstimationServerOptions sopts;
+  sopts.max_batch = 1024;  // size alone would never flush a single request
+  sopts.flush_deadline_seconds = 0.002;
+  EstimationServer server(&router, sopts);
+  server.Start();
+  est::EstimateRequest request;
+  request.query = ShapeA(30.0);
+  // Completion of a lone request proves the deadline path fires.
+  EXPECT_TRUE(server.Estimate(request).ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace qfcard::serve

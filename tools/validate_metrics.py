@@ -172,6 +172,12 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--schema",
                         default=str(pathlib.Path(__file__).resolve().parent /
                                     "metrics_schema.json"))
+    parser.add_argument("--profile", default=None,
+                        help="validate the required series of "
+                             "schema['profiles'][PROFILE] instead of the "
+                             "top-level ones (structural checks always run); "
+                             "e.g. --profile=server for the qfcard_server "
+                             "smoke snapshot")
     args = parser.parse_args(argv)
 
     try:
@@ -186,6 +192,15 @@ def main(argv: list[str]) -> int:
         print(f"error: cannot parse schema {args.schema}: {e}",
               file=sys.stderr)
         return 1
+
+    if args.profile is not None:
+        profiles = schema.get("profiles", {})
+        if args.profile not in profiles:
+            known = ", ".join(k for k in sorted(profiles) if k != "_comment")
+            print(f"error: unknown profile '{args.profile}' "
+                  f"(schema defines: {known or 'none'})", file=sys.stderr)
+            return 1
+        schema = profiles[args.profile]
 
     chk = Checker()
     if chk.require(isinstance(snap, dict), "snapshot is not a JSON object"):
