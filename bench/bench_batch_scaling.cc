@@ -5,7 +5,9 @@
 // Speedup is ~1x on a single-core machine by construction.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 
 #include "bench_common.h"
@@ -67,7 +69,42 @@ void CheckIdentical(const std::vector<T>& serial, const std::vector<T>& parallel
   }
 }
 
-void Run() {
+// Writes the kind="batch_scaling" trajectory report (tools/bench_schema.json)
+// CI archives as BENCH_batch_scaling.json: per-stage serial/parallel seconds
+// plus the query count, as flat {name, unit, value} metric rows.
+bool WriteBenchmarkOut(const std::string& path, size_t queries, int threads,
+                       const StageTimes& serial, const StageTimes& parallel) {
+  std::ofstream out(path);
+  if (!out) return false;
+  std::string json = "{\"version\":1,\"kind\":\"batch_scaling\"";
+  json += ",\"name\":\"batch_scaling\"";
+  json += common::StrFormat(
+      ",\"context\":{\"scale\":\"%s\",\"threads\":%d}",
+      common::ScaleName(common::GetScale()), threads);
+  json += ",\"metrics\":[";
+  json += common::StrFormat(
+      "{\"name\":\"queries\",\"unit\":\"count\",\"value\":%zu}", queries);
+  const auto stage = [&json](const char* name, double s1, double sn) {
+    json += common::StrFormat(
+        ",{\"name\":\"%s_seconds_serial\",\"unit\":\"seconds\","
+        "\"value\":%.6g}", name, s1);
+    json += common::StrFormat(
+        ",{\"name\":\"%s_seconds_parallel\",\"unit\":\"seconds\","
+        "\"value\":%.6g}", name, sn);
+    json += common::StrFormat(
+        ",{\"name\":\"%s_speedup\",\"unit\":\"x\",\"value\":%.6g}", name,
+        sn > 0 ? s1 / sn : 0.0);
+  };
+  stage("label", serial.label_s, parallel.label_s);
+  stage("featurize", serial.featurize_s, parallel.featurize_s);
+  stage("gb_batch", serial.gb_batch_s, parallel.gb_batch_s);
+  stage("sampling_batch", serial.sampling_batch_s, parallel.sampling_batch_s);
+  json += "]}\n";
+  out << json;
+  return static_cast<bool>(out);
+}
+
+void Run(const std::string& benchmark_out) {
   int threads = common::ThreadPoolSizeFromEnv();
   if (threads <= 1) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -139,12 +176,34 @@ void Run() {
               queries.size());
   table.Print(std::cout);
   eval::PrintTelemetrySnapshot(std::cout);
+
+  if (!benchmark_out.empty()) {
+    if (!WriteBenchmarkOut(benchmark_out, queries.size(), threads, serial,
+                           parallel)) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", benchmark_out.c_str());
+      std::exit(1);
+    }
+    std::printf("Wrote %s\n", benchmark_out.c_str());
+  }
 }
 
 }  // namespace
 }  // namespace qfcard::bench
 
-int main() {
-  qfcard::bench::Run();
+int main(int argc, char** argv) {
+  std::string benchmark_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_out=", 0) == 0) {
+      benchmark_out = arg.substr(std::string("--benchmark_out=").size());
+    } else if (arg == "--help") {
+      std::printf("usage: bench_batch_scaling [--benchmark_out=PATH]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  qfcard::bench::Run(benchmark_out);
   return 0;
 }

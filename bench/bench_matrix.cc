@@ -1,0 +1,142 @@
+// Benchmark matrix: estimator x workload family sweep (eval::RunMatrix),
+// printing a per-cell q-error/latency table and optionally writing the
+// versioned JSON report (tools/bench_schema.json) that CI archives as
+// BENCH_matrix.json. With --deterministic the report zeroes every timing
+// field and is byte-identical across QFCARD_THREADS and re-runs — the
+// golden mode the mini-matrix smoke uses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/matrix.h"
+#include "obs/snapshot.h"
+#include "workload/families.h"
+
+namespace qfcard::bench {
+namespace {
+
+struct Flags {
+  std::vector<std::string> estimators;
+  std::vector<std::string> families;
+  bool deterministic = false;
+  std::string benchmark_out;
+  std::string metrics_out;
+  uint64_t seed = 20230707;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: bench_matrix [--estimators=a,b,...] [--families=a,b,...]\n"
+      "                    [--deterministic] [--seed=N]\n"
+      "                    [--benchmark_out=PATH] [--metrics-out=PATH]\n"
+      "defaults: estimators postgres,sampling,gb+complex,nn+complex,\n"
+      "          linear+complex over every registered family\n"
+      "families: %s\n",
+      common::Join(workload::FamilyNames(), ", ").c_str());
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--estimators=", 0) == 0) {
+      flags->estimators = common::Split(value("--estimators="), ',');
+    } else if (arg.rfind("--families=", 0) == 0) {
+      flags->families = common::Split(value("--families="), ',');
+    } else if (arg == "--deterministic") {
+      flags->deterministic = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags->seed = static_cast<uint64_t>(
+          std::strtoull(value("--seed=").c_str(), nullptr, 10));
+    } else if (arg.rfind("--benchmark_out=", 0) == 0) {
+      flags->benchmark_out = value("--benchmark_out=");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      flags->metrics_out = value("--metrics-out=");
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "bench_matrix: unknown flag '%s'\n", arg.c_str());
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const Flags& flags) {
+  eval::MatrixOptions options;
+  options.estimators = flags.estimators;
+  options.families = flags.families;
+  options.seed = flags.seed;
+  options.include_timings = !flags.deterministic;
+  options.estimator_options = DefaultEstimatorOptions();
+
+  auto report_or = eval::RunMatrix(options);
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "bench_matrix: %s\n",
+                 report_or.status().message().c_str());
+    return 1;
+  }
+  const eval::MatrixReport& report = *report_or;
+
+  eval::TablePrinter table({"family", "estimator", "status", "q-p50", "q-p95",
+                            "q-max", "usec/query"});
+  for (const std::string& family : report.families) {
+    for (const eval::MatrixCell& cell : report.cells) {
+      if (cell.family != family) continue;
+      if (cell.status == eval::CellStatus::kOk) {
+        table.AddRow({cell.family, cell.estimator,
+                      eval::CellStatusToString(cell.status),
+                      common::StrFormat("%.2f", cell.qerror_p50),
+                      common::StrFormat("%.2f", cell.qerror_p95),
+                      common::StrFormat("%.1f", cell.qerror_max),
+                      common::StrFormat("%.1f", cell.usec_per_query)});
+      } else {
+        table.AddRow({cell.family, cell.estimator,
+                      eval::CellStatusToString(cell.status), "-", "-", "-",
+                      "-"});
+      }
+    }
+  }
+  std::printf("Estimator x workload-family matrix (%s scale, seed %llu%s)\n",
+              report.scale.c_str(),
+              static_cast<unsigned long long>(report.seed),
+              report.deterministic ? ", deterministic" : "");
+  table.Print(std::cout);
+
+  if (!flags.benchmark_out.empty()) {
+    std::ofstream out(flags.benchmark_out);
+    if (!out) {
+      std::fprintf(stderr, "bench_matrix: cannot write %s\n",
+                   flags.benchmark_out.c_str());
+      return 1;
+    }
+    out << report.ToJson();
+    std::printf("wrote %s\n", flags.benchmark_out.c_str());
+  }
+  if (!flags.metrics_out.empty() &&
+      !obs::WriteSnapshotJson(flags.metrics_out)) {
+    std::fprintf(stderr, "bench_matrix: cannot write %s\n",
+                 flags.metrics_out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qfcard::bench
+
+int main(int argc, char** argv) {
+  qfcard::bench::Flags flags;
+  if (!qfcard::bench::ParseFlags(argc, argv, &flags)) return 2;
+  if (!flags.metrics_out.empty()) qfcard::obs::SetMetricsEnabled(true);
+  return qfcard::bench::Run(flags);
+}

@@ -15,6 +15,10 @@
 //                       the next version (ML estimators only)
 //   --load-model[=N]    skip training and serve version N (default: latest)
 //                       from --model-dir
+//   --workload=FAMILY   build the catalog and train/test workload from a
+//                       registered workload family (workload::FamilyNames())
+//                       instead of a CSV or the synthetic forest; unknown
+//                       names fail with a did-you-mean suggestion
 
 #ifndef QFCARD_EXAMPLES_COMMON_FLAGS_H_
 #define QFCARD_EXAMPLES_COMMON_FLAGS_H_
@@ -34,6 +38,8 @@ struct CommonFlags {
   bool save_model = false;
   bool load_model = false;
   uint64_t load_version = 0;  ///< 0 = latest
+  std::string workload;  ///< workload family name; resolved via
+                         ///< workload::FamilyNamed at startup
 };
 
 /// Consumes `arg` if it is one of the shared flags. Returns true when the
@@ -51,6 +57,15 @@ inline common::StatusOr<bool> TryParseCommonFlag(const std::string& arg,
   }
   if (arg.rfind("--model-dir=", 0) == 0) {
     flags->model_dir = arg.substr(12);
+    return true;
+  }
+  if (arg.rfind("--workload=", 0) == 0) {
+    flags->workload = arg.substr(11);
+    if (flags->workload.empty()) {
+      return common::Status::InvalidArgument(
+          "--workload= wants a family name; registered: " +
+          common::Join(workload::FamilyNames(), ", "));
+    }
     return true;
   }
   if (arg == "--save-model") {

@@ -13,6 +13,11 @@
 //   --model=NAME    estimator from est::MakeEstimator, e.g. gb+complex,
 //                   nn+complex, postgres, sampling ("gb"/"nn" are accepted
 //                   as shorthand for <model>+complex; default gb+complex)
+//   --workload=FAM  build catalog + train/test sets from a registered
+//                   workload family (e.g. strings, in_heavy, zipf_skew;
+//                   see docs/benchmarks.md) instead of a CSV / the forest;
+//                   join families answer truth checks via the catalog
+//                   labeler, so joined SQL works at the prompt too
 //
 // Telemetry and model-store flags (--metrics-out, --trace-out, --model-dir,
 // --save-model, --load-model[=N]) are shared across the example binaries;
@@ -34,6 +39,7 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common_flags.h"
@@ -76,10 +82,17 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (!opts.synthetic) {
+  if (!opts.common.workload.empty()) {
+    if (opts.synthetic || !positional.empty()) {
+      return common::Status::InvalidArgument(
+          "--workload= already provides the data; drop --synthetic and the "
+          "CSV argument");
+    }
+  } else if (!opts.synthetic) {
     if (positional.empty()) {
       return common::Status::InvalidArgument(
-          "usage: qfcard_cli <csv> [table-name] | qfcard_cli --synthetic");
+          "usage: qfcard_cli <csv> [table-name] | qfcard_cli --synthetic | "
+          "qfcard_cli --workload=FAMILY");
     }
     opts.csv_path = positional[0];
     if (positional.size() > 1) opts.table_name = positional[1];
@@ -102,7 +115,36 @@ int main(int argc, char** argv) {
   obs::TraceSpan cli_span("cli.main");
 
   storage::Catalog catalog;
-  if (opts.synthetic) {
+  // Family mode: the instance supplies catalog, schema graph, and the
+  // labeled train/test split; kept alive for the graph (table addresses are
+  // stable across the catalog move).
+  std::optional<workload::FamilyInstance> family_inst;
+  const workload::WorkloadFamily* family = nullptr;
+  std::string primary_table = opts.table_name;
+  if (!opts.common.workload.empty()) {
+    // FamilyNamed fails unknown names with a did-you-mean suggestion.
+    auto family_or = workload::FamilyNamed(opts.common.workload);
+    if (!family_or.ok()) {
+      std::fprintf(stderr, "%s\n", family_or.status().ToString().c_str());
+      return 1;
+    }
+    family = family_or.value();
+    auto inst_or = family->build(workload::ScaledFamilySizes(), /*seed=*/2);
+    if (!inst_or.ok()) {
+      std::fprintf(stderr, "building family '%s': %s\n", family->name.c_str(),
+                   inst_or.status().ToString().c_str());
+      return 1;
+    }
+    family_inst = std::move(inst_or).value();
+    primary_table = family_inst->primary_table;
+    catalog = std::move(family_inst->catalog);
+    std::fprintf(stderr,
+                 "workload family '%s': %s (%d table(s), %zu train / %zu "
+                 "test queries)\n",
+                 family->name.c_str(), family->description.c_str(),
+                 catalog.num_tables(), family_inst->train.size(),
+                 family_inst->test.size());
+  } else if (opts.synthetic) {
     workload::ForestOptions fopts;
     fopts.num_rows = static_cast<int>(common::ScalePick(4000, 30000, 580000));
     fopts.num_attributes =
@@ -117,7 +159,10 @@ int main(int argc, char** argv) {
     }
     QFCARD_CHECK_OK(catalog.AddTable(std::move(table_or).value()));
   }
-  const storage::Table& table = catalog.table(0);
+  const storage::Table& table =
+      family_inst ? *catalog.GetTable(primary_table).value()
+                  : catalog.table(0);
+  primary_table = table.name();
   std::fprintf(stderr, "table '%s': %lld rows x %d columns\n",
                table.name().c_str(), static_cast<long long>(table.num_rows()),
                table.num_columns());
@@ -165,8 +210,34 @@ int main(int argc, char** argv) {
     // mixed workload (statistics-based estimators ignore Train).
     std::fprintf(stderr, "building '%s' on auto-generated workload...\n",
                  opts.model.c_str());
+    if (family != nullptr) {
+      // Fail fast on capability mismatches (same gate the benchmark matrix
+      // applies) instead of erroring deep inside Train/EstimateBatch.
+      const auto info_or = est::EstimatorInfoFor(opts.model);
+      if (info_or.ok()) {
+        const est::EstimatorInfo& info = *info_or.value();
+        if (family->joins && !info.supports_joins) {
+          std::fprintf(stderr,
+                       "'%s' does not support join queries; family '%s' "
+                       "needs one of: postgres, true, mscn*\n",
+                       opts.model.c_str(), family->name.c_str());
+          return 1;
+        }
+        if (family->disjunctions && !info.supports_disjunctions) {
+          std::fprintf(stderr,
+                       "'%s' does not support disjunctions; family '%s' "
+                       "needs a +complex variant, postgres, or sampling\n",
+                       opts.model.c_str(), family->name.c_str());
+          return 1;
+        }
+      }
+    }
     est::EstimatorOptions eopts;
     eopts.conj.max_partitions = 64;
+    eopts.table = primary_table;
+    if (family != nullptr && family->joins) {
+      eopts.schema_graph = &family_inst->graph;
+    }
     auto estimator_or = est::MakeEstimator(opts.model, catalog, eopts);
     if (!estimator_or.ok()) {
       std::fprintf(stderr, "%s\n", estimator_or.status().ToString().c_str());
@@ -174,19 +245,28 @@ int main(int argc, char** argv) {
     }
     estimator = std::move(estimator_or).value();
 
-    common::Rng rng(1);
-    const int num_workload =
-        static_cast<int>(common::ScalePick(800, 4000, 60000));
-    const std::vector<query::Query> queries =
-        workload::GeneratePredicateWorkload(
-            table, num_workload,
-            workload::MixedWorkloadOptions(std::min(table.num_columns(), 6)),
-            rng);
-    const std::vector<workload::LabeledQuery> labeled =
-        workload::LabelOnTable(table, queries, true).value();
-    // Hold out a tail slice for the post-training accuracy report below.
-    const size_t num_held_out = labeled.size() / 10;
-    num_train = labeled.size() - num_held_out;
+    std::vector<workload::LabeledQuery> labeled;
+    if (family_inst) {
+      // The family supplies its own train/test split; train on the head,
+      // report held-out accuracy on the family's test slice.
+      labeled = family_inst->train;
+      labeled.insert(labeled.end(), family_inst->test.begin(),
+                     family_inst->test.end());
+      num_train = family_inst->train.size();
+    } else {
+      common::Rng rng(1);
+      const int num_workload =
+          static_cast<int>(common::ScalePick(800, 4000, 60000));
+      const std::vector<query::Query> queries =
+          workload::GeneratePredicateWorkload(
+              table, num_workload,
+              workload::MixedWorkloadOptions(std::min(table.num_columns(), 6)),
+              rng);
+      labeled = workload::LabelOnTable(table, queries, true).value();
+      // Hold out a tail slice for the post-training accuracy report below.
+      num_train = labeled.size() - labeled.size() / 10;
+    }
+    const size_t num_held_out = labeled.size() - num_train;
     {
       std::vector<query::Query> qs;
       std::vector<double> cards;
@@ -290,9 +370,22 @@ int main(int argc, char** argv) {
     }
     const est::EstimateResponse& resp = resp_or.value();
     if (opts.truth) {
-      const auto truth_or = query::Executor::Count(table, q_or.value());
+      // Family mode labels through the catalog so truth checks also cover
+      // joined SQL; the classic paths stay on the single-table executor.
+      const auto truth_or = [&]() -> common::StatusOr<double> {
+        if (family_inst) {
+          QFCARD_ASSIGN_OR_RETURN(
+              const std::vector<workload::LabeledQuery> one,
+              workload::LabelOnCatalog(catalog, {q_or.value()},
+                                       /*drop_empty=*/false));
+          return one.empty() ? 0.0 : one[0].card;
+        }
+        QFCARD_ASSIGN_OR_RETURN(const int64_t count,
+                                query::Executor::Count(table, q_or.value()));
+        return static_cast<double>(count);
+      }();
       if (truth_or.ok()) {
-        const double truth = static_cast<double>(truth_or.value());
+        const double truth = truth_or.value();
         const double qerr = ml::QError(truth, resp.estimate);
         std::printf("estimate=%.0f  true=%.0f  q-error=%.2f  [v%llu]\n",
                     resp.estimate, truth, qerr,

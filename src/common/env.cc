@@ -26,6 +26,18 @@ Scale GetScale() {
   return Scale::kDefault;
 }
 
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kFull:
+      return "full";
+    case Scale::kDefault:
+      break;
+  }
+  return "default";
+}
+
 int64_t ScalePick(int64_t smoke, int64_t def, int64_t full) {
   switch (GetScale()) {
     case Scale::kSmoke:

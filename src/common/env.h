@@ -21,6 +21,10 @@ enum class Scale { kSmoke, kDefault, kFull };
 /// ("smoke" / "default" / "full"); defaults to kDefault.
 Scale GetScale();
 
+/// The QFCARD_SCALE spelling of `scale` ("smoke" / "default" / "full"),
+/// for report context blocks.
+const char* ScaleName(Scale scale);
+
 /// Picks one of three values based on GetScale().
 int64_t ScalePick(int64_t smoke, int64_t def, int64_t full);
 

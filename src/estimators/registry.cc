@@ -165,4 +165,73 @@ std::vector<std::string> RegisteredEstimators() {
   return names;
 }
 
+const std::vector<EstimatorInfo>& RegisteredEstimatorInfos() {
+  static const std::vector<EstimatorInfo>* const kInfos = [] {
+    auto* infos = new std::vector<EstimatorInfo>;
+    for (const std::string& name : RegisteredEstimators()) {
+      EstimatorInfo info;
+      info.name = name;
+      if (name == "postgres") {
+        // Synopses with join-selectivity and NDV-product GROUP BY handling.
+        info.kind = "stats";
+        info.supports_joins = true;
+        info.supports_disjunctions = true;
+        info.group_aware = true;
+      } else if (name == "sampling") {
+        // Per-query Bernoulli scan: single-table only, counts filtered rows.
+        info.kind = "sampling";
+        info.supports_disjunctions = true;
+      } else if (name == "true") {
+        info.kind = "oracle";
+        info.supports_joins = true;
+        info.supports_disjunctions = true;
+        info.group_aware = true;
+      } else if (name.rfind("mscn", 0) == 0) {
+        // Joins enter through the schema-graph set encoding; only the
+        // per-attribute QFT mode (mscn+conj) encodes disjunctions.
+        info.kind = "mscn";
+        info.needs_training = true;
+        info.supports_joins = true;
+        info.supports_disjunctions = (name == "mscn+conj");
+      } else {
+        // <model>+<qft>: single-table QFTs; GROUP BY only enters through
+        // the GroupByAppendFeaturizer decorator, which the registry does
+        // not apply. Only the complex QFT (Limited Disjunction Encoding)
+        // featurizes mixed queries.
+        info.kind = "ml";
+        info.needs_training = true;
+        info.supports_disjunctions =
+            name.size() > 8 &&
+            name.compare(name.size() - 8, 8, "+complex") == 0;
+      }
+      infos->push_back(std::move(info));
+    }
+    return infos;
+  }();
+  return *kInfos;
+}
+
+common::StatusOr<const EstimatorInfo*> EstimatorInfoFor(
+    const std::string& name) {
+  std::string key = Lowered(name);
+  // Normalize the QFT aliases MakeEstimator accepts to the canonical names
+  // RegisteredEstimators() lists.
+  const size_t plus = key.find('+');
+  if (plus != std::string::npos) {
+    const std::string qft = key.substr(plus + 1);
+    if (qft == "conj" && key.rfind("mscn", 0) != 0) {
+      key = key.substr(0, plus + 1) + "conjunctive";
+    } else if (qft == "comp") {
+      key = key.substr(0, plus + 1) + "complex";
+    }
+  }
+  for (const EstimatorInfo& info : RegisteredEstimatorInfos()) {
+    if (info.name == key) return &info;
+  }
+  obs::IncrementCounter("registry.errors", "kind=unknown-estimator");
+  return common::Status::NotFound(
+      "registry: unknown estimator \"" + name + "\"" + DidYouMean(name) +
+      "; registered names: " + common::Join(RegisteredEstimators(), ", "));
+}
+
 }  // namespace qfcard::est

@@ -62,6 +62,35 @@ common::StatusOr<std::unique_ptr<CardinalityEstimator>> MakeEstimator(
 /// Names MakeEstimator recognizes, for help text and exhaustive sweeps.
 std::vector<std::string> RegisteredEstimators();
 
+/// Capability metadata for one registry entry, used by sweep drivers
+/// (eval::MatrixRunner) to pair estimators with the workload families they
+/// can actually serve instead of erroring mid-sweep.
+struct EstimatorInfo {
+  std::string name;  ///< canonical registry key ("gb+conjunctive")
+  /// Coarse implementation class: "stats", "sampling", "oracle", "mscn",
+  /// or "ml" (single-table QFT x model).
+  std::string kind;
+  bool needs_training = false;  ///< Train() required before estimating
+  bool supports_joins = false;  ///< accepts multi-table join queries
+  /// Accepts compound predicates with more than one disjunct (mixed
+  /// queries, Definition 3.3). False for the simple/range/conjunctive QFTs
+  /// and the original/range MSCN modes, which error on OR.
+  bool supports_disjunctions = false;
+  /// True when GROUP BY changes the estimate (the estimator predicts group
+  /// counts); single-table QFTs and sampling ignore the clause and predict
+  /// filtered row counts instead.
+  bool group_aware = false;
+};
+
+/// Metadata for every RegisteredEstimators() entry, in the same order.
+const std::vector<EstimatorInfo>& RegisteredEstimatorInfos();
+
+/// Looks up metadata by (case-insensitive) name, accepting the same QFT
+/// aliases MakeEstimator does ("conj" = "conjunctive", "comp" = "complex").
+/// Unknown names get the registry's did-you-mean error.
+common::StatusOr<const EstimatorInfo*> EstimatorInfoFor(
+    const std::string& name);
+
 }  // namespace qfcard::est
 
 #endif  // QFCARD_ESTIMATORS_REGISTRY_H_

@@ -54,6 +54,7 @@
 #include "estimators/sampling.h"
 #include "estimators/true_card.h"
 #include "eval/harness.h"
+#include "eval/matrix.h"
 #include "eval/report.h"
 #include "eval/summary.h"
 #include "featurize/conjunction.h"
@@ -100,9 +101,11 @@
 #include "storage/column.h"
 #include "storage/csv.h"
 #include "storage/table.h"
+#include "workload/families.h"
 #include "workload/forest.h"
 #include "workload/imdb.h"
 #include "workload/labeler.h"
 #include "workload/query_gen.h"
+#include "workload/strings.h"
 
 #endif  // QFCARD_QFCARD_H_

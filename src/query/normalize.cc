@@ -159,25 +159,12 @@ struct Binder {
           SimplePredicate{ref, CmpOp::kGe, 0.0});
       return clause;
     }
-    const int64_t lo = dict.LowerBoundCode(prefix);
-    // Smallest string greater than every prefix extension: increment the
-    // last incrementable byte and truncate.
-    std::string succ = prefix;
-    int i = static_cast<int>(succ.size()) - 1;
-    for (; i >= 0; --i) {
-      if (static_cast<unsigned char>(succ[static_cast<size_t>(i)]) < 0xFF) {
-        succ[static_cast<size_t>(i)] =
-            static_cast<char>(succ[static_cast<size_t>(i)] + 1);
-        succ.resize(static_cast<size_t>(i) + 1);
-        break;
-      }
-    }
+    const storage::PrefixRange range = dict.PrefixCodeRange(prefix);
     clause.preds.push_back(
-        SimplePredicate{ref, CmpOp::kGe, static_cast<double>(lo)});
-    if (i >= 0) {
-      const int64_t hi = dict.LowerBoundCode(succ);
+        SimplePredicate{ref, CmpOp::kGe, static_cast<double>(range.lo)});
+    if (range.bounded) {
       clause.preds.push_back(
-          SimplePredicate{ref, CmpOp::kLt, static_cast<double>(hi)});
+          SimplePredicate{ref, CmpOp::kLt, static_cast<double>(range.hi)});
     }
     return clause;
   }

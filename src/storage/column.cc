@@ -48,6 +48,28 @@ int64_t Dictionary::LowerBoundCode(const std::string& value) const {
   return static_cast<int64_t>(it - sorted_values_.begin());
 }
 
+PrefixRange Dictionary::PrefixCodeRange(const std::string& prefix) const {
+  PrefixRange range;
+  range.lo = LowerBoundCode(prefix);
+  // Smallest string greater than every prefix extension: increment the last
+  // incrementable byte and truncate.
+  std::string succ = prefix;
+  int i = static_cast<int>(succ.size()) - 1;
+  for (; i >= 0; --i) {
+    if (static_cast<unsigned char>(succ[static_cast<size_t>(i)]) < 0xFF) {
+      succ[static_cast<size_t>(i)] =
+          static_cast<char>(succ[static_cast<size_t>(i)] + 1);
+      succ.resize(static_cast<size_t>(i) + 1);
+      break;
+    }
+  }
+  if (i >= 0) {
+    range.bounded = true;
+    range.hi = LowerBoundCode(succ);
+  }
+  return range;
+}
+
 const std::string& Dictionary::Value(int64_t code) const {
   return sorted_values_[static_cast<size_t>(code)];
 }

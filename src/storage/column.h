@@ -25,6 +25,15 @@ enum class ColumnType {
 
 const char* ColumnTypeToString(ColumnType type);
 
+/// The dense code interval [lo, hi) matching a string prefix. When
+/// `bounded` is false the prefix has no lexicographic successor (empty, or
+/// every byte is 0xFF) and the interval is [lo, size).
+struct PrefixRange {
+  int64_t lo = 0;
+  int64_t hi = 0;  ///< meaningful only when `bounded`
+  bool bounded = false;
+};
+
 /// Sorted string dictionary. Codes are dense [0, size) and respect
 /// lexicographic order, so range predicates on codes correspond to
 /// lexicographic ranges on the strings (required by the Section 6 extension).
@@ -39,6 +48,14 @@ class Dictionary {
   /// Returns the code whose entry is the smallest value >= `value`
   /// (i.e. lower bound); returns size() if all entries are smaller.
   int64_t LowerBoundCode(const std::string& value) const;
+
+  /// Returns the code interval of strings starting with `prefix`: lo is
+  /// LowerBoundCode(prefix) and, when the prefix has a lexicographic
+  /// successor (last incrementable byte bumped, then truncated), hi is
+  /// LowerBoundCode(successor). Prefix LIKE binding (query/normalize) and
+  /// the string workload generator share this so `name LIKE 'ab%'` and a
+  /// generated prefix clause mean the same code range.
+  PrefixRange PrefixCodeRange(const std::string& prefix) const;
 
   /// Returns the string for `code`; code must be in [0, size).
   const std::string& Value(int64_t code) const;

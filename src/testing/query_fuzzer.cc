@@ -25,6 +25,7 @@
 #include "testing/metamorphic.h"
 #include "testing/reference_eval.h"
 #include "testing/shrink.h"
+#include "workload/families.h"
 #include "workload/forest.h"
 #include "workload/imdb.h"
 #include "workload/query_gen.h"
@@ -54,10 +55,15 @@ class Fuzzer {
       const bool loader_round =
           opts_.loader_round_every > 0 &&
           (r + 1) % opts_.loader_round_every == 0;
+      const bool family_round =
+          opts_.family_round_every > 0 &&
+          (r + 1) % opts_.family_round_every == 0;
       if (join_round) {
         ImdbRound(r);
       } else if (loader_round) {
         LoaderRound(r);
+      } else if (family_round) {
+        FamilyRound(r);
       } else {
         ForestRound(r);
       }
@@ -566,6 +572,80 @@ class Fuzzer {
           (void)survivor.value()->EstimateBatch(probe);
         }
       }
+    }
+  }
+
+  // Family rounds cross-check the registered workload families — the same
+  // generators the benchmark matrix (eval/matrix.h) sweeps. Each round
+  // builds one family at tiny sizes and runs every labeled query through
+  // the executor-vs-reference differential, the parser round trip, and a
+  // label-consistency check (the stored cardinality must equal a fresh
+  // engine count — a regression here means parallel labeling drifted).
+  void FamilyRound(int round) {
+    common::Rng rng(common::MixSeed(opts_.seed, static_cast<uint64_t>(round)));
+    const std::vector<workload::WorkloadFamily>& families =
+        workload::RegisteredFamilies();
+    const workload::WorkloadFamily& family =
+        families[static_cast<size_t>(round) % families.size()];
+
+    // Sized to match a forest round's query budget (queries_per_round) so
+    // swapping round types keeps the smoke test's total-coverage floor.
+    workload::FamilySizes sizes;
+    sizes.rows = rng.UniformInt(200, opts_.max_rows);
+    sizes.train = (opts_.queries_per_round * 5) / 8;
+    sizes.test = (opts_.queries_per_round * 3) / 8;
+    auto inst_or = family.build(sizes, rng.Next());
+    if (!inst_or.ok()) {
+      RecordPlainFailure("family-build:" + family.name,
+                         inst_or.status().ToString(), round);
+      return;
+    }
+    const workload::FamilyInstance inst = std::move(inst_or).value();
+    const storage::Table& table =
+        *inst.catalog.GetTable(inst.primary_table).value();
+
+    const CountFn engine = [&](const query::Query& cand) {
+      if (cand.tables.size() > 1) {
+        return query::JoinExecutor::Count(inst.catalog, cand);
+      }
+      return query::Executor::Count(table, cand);
+    };
+    const CountFn reference = [&](const query::Query& cand) {
+      if (cand.tables.size() > 1) {
+        return ReferenceJoinCount(inst.catalog, cand);
+      }
+      return ReferenceCount(table, cand);
+    };
+
+    // The naive reference join enumerates nested loops, so join queries are
+    // budgeted like ImdbRound: at most join_queries_per_round, joins kept
+    // narrow.
+    int join_budget = opts_.join_queries_per_round;
+    std::vector<workload::LabeledQuery> labeled = inst.train;
+    labeled.insert(labeled.end(), inst.test.begin(), inst.test.end());
+    for (const workload::LabeledQuery& lq : labeled) {
+      if (Full()) return;
+      const query::Query& q = lq.query;
+      if (q.tables.size() > 3) continue;
+      const bool is_join = q.tables.size() > 1;
+      if (is_join && join_budget-- <= 0) break;
+      ++report_.queries;
+      if (opts_.check_executor) {
+        CheckExecutorDifferential(q, inst.catalog, round, engine, reference);
+        ++report_.checks;
+        const common::StatusOr<int64_t> fresh = engine(q);
+        if (!fresh.ok() ||
+            static_cast<double>(fresh.value()) != lq.card) {
+          RecordPlainFailure(
+              "family-label-consistency:" + family.name,
+              common::StrFormat(
+                  "stored card %.0f vs fresh engine count %s", lq.card,
+                  fresh.ok() ? std::to_string(fresh.value()).c_str()
+                             : fresh.status().ToString().c_str()),
+              round);
+        }
+      }
+      if (opts_.check_parser) CheckParserRoundTrip(q, inst.catalog, round);
     }
   }
 

@@ -54,6 +54,14 @@ struct FuzzOptions {
   /// checksum, and damaged payloads fed straight to the parsers must come
   /// back as clean Status errors, never crashes.
   int loader_round_every = 9;
+  /// Every family_round_every-th round (join/loader rounds take precedence)
+  /// builds a registered workload family (workload/families.h) at tiny sizes
+  /// — the generator paths behind the benchmark matrix (prefix-LIKE ranges,
+  /// IN-heavy, Zipf skew, GROUP BY, correlated joins, drift splits) — and
+  /// feeds every train/test query through the executor-vs-reference
+  /// differential and the parser round trip. Families rotate by round index,
+  /// so a default-length run covers all of them.
+  int family_round_every = 7;
   int64_t max_rows = 600;  ///< rows per generated table
   bool check_parser = true;
   bool check_executor = true;

@@ -1,0 +1,253 @@
+#include "workload/families.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/str_util.h"
+#include "storage/column.h"
+#include "storage/table.h"
+#include "workload/forest.h"
+#include "workload/imdb.h"
+#include "workload/query_gen.h"
+#include "workload/strings.h"
+
+namespace qfcard::workload {
+
+namespace {
+
+// Tail split mirroring bench_common's MakeForestBundle: the labeled set's
+// tail becomes the held-out test set (capped at a quarter of what labeling
+// kept), the head the training set.
+void SplitLabeled(std::vector<LabeledQuery> labeled, const FamilySizes& sizes,
+                  int train_target, int test_target, FamilyInstance* out) {
+  const int n = static_cast<int>(labeled.size());
+  const int n_test = std::min(test_target, n / 4);
+  const int n_train = std::min(train_target, n - n_test);
+  out->train.assign(labeled.begin(), labeled.begin() + n_train);
+  out->test.assign(labeled.end() - n_test, labeled.end());
+  (void)sizes;
+}
+
+common::StatusOr<FamilyInstance> BuildSingleTable(
+    storage::Table table, const PredicateGenOptions& opts,
+    const FamilySizes& sizes, uint64_t seed) {
+  FamilyInstance inst;
+  inst.primary_table = table.name();
+  QFCARD_RETURN_IF_ERROR(inst.catalog.AddTable(std::move(table)));
+  common::Rng rng(common::MixSeed(seed, 2));
+  const std::vector<query::Query> queries = GeneratePredicateWorkload(
+      inst.catalog.table(0), 2 * (sizes.train + sizes.test), opts, rng);
+  QFCARD_ASSIGN_OR_RETURN(
+      std::vector<LabeledQuery> labeled,
+      LabelOnTable(inst.catalog.table(0), queries, /*drop_empty=*/true));
+  SplitLabeled(std::move(labeled), sizes, sizes.train, sizes.test, &inst);
+  return inst;
+}
+
+storage::Table MakeZipfTable(int64_t rows, uint64_t seed) {
+  common::Rng rng(seed);
+  storage::Table table("zipf");
+  const int64_t domain = std::max<int64_t>(32, rows / 16);
+  // One column per exponent: a skew sweep inside a single family, from
+  // near-uniform (0.4) to head-dominated (1.9).
+  const double exponents[] = {0.4, 0.8, 1.3, 1.9};
+  int zi = 0;
+  for (const double s : exponents) {
+    storage::Column col(common::StrFormat("Z%d", ++zi),
+                        storage::ColumnType::kInt64);
+    col.Reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      col.Append(static_cast<double>(rng.Zipf(domain, s)));
+    }
+    (void)table.AddColumn(std::move(col));
+  }
+  storage::Column uniform("U", storage::ColumnType::kInt64);
+  uniform.Reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    uniform.Append(static_cast<double>(rng.UniformInt(1, domain)));
+  }
+  (void)table.AddColumn(std::move(uniform));
+  return table;
+}
+
+common::StatusOr<FamilyInstance> BuildConjunctive(const FamilySizes& sizes,
+                                                  uint64_t seed) {
+  ForestOptions fo;
+  fo.num_rows = sizes.rows;
+  fo.seed = common::MixSeed(seed, 1);
+  return BuildSingleTable(MakeForestTable(fo), ConjunctiveWorkloadOptions(6),
+                          sizes, seed);
+}
+
+common::StatusOr<FamilyInstance> BuildMixed(const FamilySizes& sizes,
+                                            uint64_t seed) {
+  ForestOptions fo;
+  fo.num_rows = sizes.rows;
+  fo.seed = common::MixSeed(seed, 1);
+  return BuildSingleTable(MakeForestTable(fo), MixedWorkloadOptions(6), sizes,
+                          seed);
+}
+
+common::StatusOr<FamilyInstance> BuildStrings(const FamilySizes& sizes,
+                                              uint64_t seed) {
+  StringsOptions so;
+  so.num_rows = sizes.rows;
+  so.seed = common::MixSeed(seed, 1);
+  PredicateGenOptions opts = MixedWorkloadOptions(3);
+  opts.max_disjuncts = 2;
+  opts.like_prob = 0.65;
+  opts.max_not_equals = 2;
+  return BuildSingleTable(MakeStringsTable(so), opts, sizes, seed);
+}
+
+common::StatusOr<FamilyInstance> BuildInHeavy(const FamilySizes& sizes,
+                                              uint64_t seed) {
+  ForestOptions fo;
+  fo.num_rows = sizes.rows;
+  fo.seed = common::MixSeed(seed, 1);
+  PredicateGenOptions opts = MixedWorkloadOptions(5);
+  opts.in_list_prob = 0.85;
+  opts.max_in_list = 8;
+  return BuildSingleTable(MakeForestTable(fo), opts, sizes, seed);
+}
+
+common::StatusOr<FamilyInstance> BuildGroupBy(const FamilySizes& sizes,
+                                              uint64_t seed) {
+  ForestOptions fo;
+  fo.num_rows = sizes.rows;
+  fo.seed = common::MixSeed(seed, 1);
+  PredicateGenOptions opts = ConjunctiveWorkloadOptions(4);
+  opts.max_group_by_attrs = 3;
+  return BuildSingleTable(MakeForestTable(fo), opts, sizes, seed);
+}
+
+common::StatusOr<FamilyInstance> BuildZipfSkew(const FamilySizes& sizes,
+                                               uint64_t seed) {
+  return BuildSingleTable(MakeZipfTable(sizes.rows, common::MixSeed(seed, 1)),
+                          MixedWorkloadOptions(3), sizes, seed);
+}
+
+common::StatusOr<FamilyInstance> BuildCorrelatedJoin(const FamilySizes& sizes,
+                                                     uint64_t seed) {
+  // Join labeling is the expensive step (exact multi-way counts), so the
+  // join family runs a reduced query budget relative to single-table ones.
+  const int train_target = std::max(24, sizes.train / 4);
+  const int test_target = std::max(16, sizes.test / 2);
+  ImdbOptions io;
+  io.num_titles = std::max<int64_t>(300, sizes.rows / 3);
+  io.seed = common::MixSeed(seed, 1);
+  ImdbDatabase db = MakeImdbDatabase(io);
+  common::Rng rng(common::MixSeed(seed, 2));
+  JobLightOptions jopts;
+  jopts.count = 2 * (train_target + test_target);
+  const std::vector<query::Query> queries =
+      MakeJobLightWorkload(db, jopts, rng);
+  QFCARD_ASSIGN_OR_RETURN(
+      std::vector<LabeledQuery> labeled,
+      LabelOnCatalog(db.catalog, queries, /*drop_empty=*/true));
+  FamilyInstance inst;
+  inst.catalog = std::move(db.catalog);
+  inst.graph = std::move(db.graph);
+  inst.primary_table = db.table_names.front();
+  SplitLabeled(std::move(labeled), sizes, train_target, test_target, &inst);
+  return inst;
+}
+
+common::StatusOr<FamilyInstance> BuildDrift(const FamilySizes& sizes,
+                                            uint64_t seed) {
+  ForestOptions fo;
+  fo.num_rows = sizes.rows;
+  fo.seed = common::MixSeed(seed, 1);
+  FamilyInstance inst;
+  storage::Table table = MakeForestTable(fo);
+  inst.primary_table = table.name();
+  QFCARD_RETURN_IF_ERROR(inst.catalog.AddTable(std::move(table)));
+  common::Rng rng(common::MixSeed(seed, 2));
+  // Over-generate: the Section 5.5.1 drift split trains on low-dimensional
+  // queries and tests on high-dimensional ones, so both halves must be fed
+  // from the same stream.
+  const std::vector<query::Query> queries = GeneratePredicateWorkload(
+      inst.catalog.table(0), 3 * (sizes.train + sizes.test),
+      MixedWorkloadOptions(8), rng);
+  QFCARD_ASSIGN_OR_RETURN(
+      std::vector<LabeledQuery> labeled,
+      LabelOnTable(inst.catalog.table(0), queries, /*drop_empty=*/true));
+  DriftSplit split = SplitByNumAttributes(std::move(labeled), 3);
+  if (split.low.size() > static_cast<size_t>(sizes.train)) {
+    split.low.resize(static_cast<size_t>(sizes.train));
+  }
+  if (split.high.size() > static_cast<size_t>(sizes.test)) {
+    split.high.resize(static_cast<size_t>(sizes.test));
+  }
+  inst.train = std::move(split.low);
+  inst.test = std::move(split.high);
+  return inst;
+}
+
+std::string DidYouMeanFamily(const std::string& name) {
+  const std::string suggestion = common::ClosestMatch(name, FamilyNames());
+  if (suggestion.empty()) return "";
+  return "; did you mean \"" + suggestion + "\"?";
+}
+
+}  // namespace
+
+FamilySizes ScaledFamilySizes() {
+  FamilySizes sizes;
+  sizes.rows = common::ScalePick(1200, 20000, 200000);
+  sizes.train = static_cast<int>(common::ScalePick(120, 800, 8000));
+  sizes.test = static_cast<int>(common::ScalePick(60, 300, 2000));
+  return sizes;
+}
+
+const std::vector<WorkloadFamily>& RegisteredFamilies() {
+  static const std::vector<WorkloadFamily>* const kFamilies =
+      new std::vector<WorkloadFamily>{
+          {"conjunctive",
+           "forest table, pure conjunctive range+NEQ predicates (Sec. 5)",
+           false, false, false, false, false, &BuildConjunctive},
+          {"mixed",
+           "forest table, mixed OR-of-conjunction predicates (Def. 3.3)",
+           false, true, false, false, false, &BuildMixed},
+          {"strings",
+           "dict-encoded items table, prefix-LIKE + range predicates",
+           false, true, false, true, false, &BuildStrings},
+          {"in_heavy",
+           "forest table, IN-list dominated disjunct mixes",
+           false, true, false, false, false, &BuildInHeavy},
+          {"group_by",
+           "forest table, conjunctive filters + GROUP BY cardinality",
+           false, false, true, false, false, &BuildGroupBy},
+          {"zipf_skew",
+           "Zipf-skew sweep table (exponents 0.4..1.9), mixed predicates",
+           false, true, false, false, false, &BuildZipfSkew},
+          {"correlated_join",
+           "IMDb-like snowflake, JOB-light-style correlated joins",
+           true, false, false, false, false, &BuildCorrelatedJoin},
+          {"drift",
+           "forest table, train on <=3-attribute queries, test on >3",
+           false, true, false, false, true, &BuildDrift},
+      };
+  return *kFamilies;
+}
+
+std::vector<std::string> FamilyNames() {
+  std::vector<std::string> names;
+  names.reserve(RegisteredFamilies().size());
+  for (const WorkloadFamily& f : RegisteredFamilies()) names.push_back(f.name);
+  return names;
+}
+
+common::StatusOr<const WorkloadFamily*> FamilyNamed(const std::string& name) {
+  const std::string key = common::ToLower(name);
+  for (const WorkloadFamily& f : RegisteredFamilies()) {
+    if (f.name == key) return &f;
+  }
+  return common::Status::NotFound(
+      "unknown workload family \"" + name + "\"" + DidYouMeanFamily(name) +
+      "; registered families: " + common::Join(FamilyNames(), ", "));
+}
+
+}  // namespace qfcard::workload

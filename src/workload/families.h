@@ -1,0 +1,69 @@
+#ifndef QFCARD_WORKLOAD_FAMILIES_H_
+#define QFCARD_WORKLOAD_FAMILIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/schema_graph.h"
+#include "storage/catalog.h"
+#include "workload/labeler.h"
+
+namespace qfcard::workload {
+
+/// Scale knobs every family builder receives. Builders treat these as
+/// budgets, not exact counts: labeled sets can come back smaller when
+/// empty-result queries are dropped or a drift split is uneven.
+struct FamilySizes {
+  int64_t rows = 5000;  ///< primary-table rows (fact-table rows for joins)
+  int train = 400;      ///< target labeled training queries
+  int test = 150;       ///< target labeled held-out queries
+};
+
+/// The QFCARD_SCALE-driven default sizes (smoke/default/full).
+FamilySizes ScaledFamilySizes();
+
+/// A materialized workload family: data plus labeled train/test query sets.
+/// The catalog owns the tables; `graph` carries the key/foreign-key edges
+/// for join families (empty otherwise) and must be handed to estimators
+/// via EstimatorOptions::schema_graph.
+struct FamilyInstance {
+  storage::Catalog catalog;
+  std::string primary_table;
+  query::SchemaGraph graph;
+  std::vector<LabeledQuery> train;
+  std::vector<LabeledQuery> test;
+};
+
+/// Descriptor of one workload family (the benchmark matrix's row axis).
+/// The capability flags tell the matrix runner which estimator features a
+/// family exercises, so unsupported estimator x family cells are skipped
+/// deterministically instead of erroring mid-sweep.
+struct WorkloadFamily {
+  std::string name;         ///< stable key used in reports and CLI flags
+  std::string description;  ///< one-line axis description for docs/help
+  bool joins = false;         ///< queries join multiple tables
+  bool disjunctions = false;  ///< queries carry OR / IN-list predicates
+  bool group_by = false;      ///< queries carry GROUP BY attributes
+  bool strings = false;       ///< queries hit dictionary-encoded columns
+  bool drift = false;         ///< train/test drawn from different regimes
+  common::StatusOr<FamilyInstance> (*build)(const FamilySizes& sizes,
+                                            uint64_t seed);
+};
+
+/// All registered families, in stable report order:
+/// conjunctive, mixed, strings, in_heavy, group_by, zipf_skew,
+/// correlated_join, drift.
+const std::vector<WorkloadFamily>& RegisteredFamilies();
+
+/// Family names in registration order, for help text and sweeps.
+std::vector<std::string> FamilyNames();
+
+/// Looks up a family by (case-insensitive) name; unknown names get a
+/// did-you-mean NotFound error.
+common::StatusOr<const WorkloadFamily*> FamilyNamed(const std::string& name);
+
+}  // namespace qfcard::workload
+
+#endif  // QFCARD_WORKLOAD_FAMILIES_H_

@@ -62,6 +62,35 @@ std::vector<query::Query> GeneratePredicateWorkload(
         q.predicates.push_back(std::move(cp));
         continue;
       }
+      // Guarded like in_list_prob; the extra has_dictionary() test runs
+      // before any draw so non-string columns cost nothing.
+      if (options.like_prob > 0 && col.has_dictionary() &&
+          rng.Bernoulli(options.like_prob)) {
+        const storage::Dictionary& dict = col.dictionary();
+        const int64_t code = static_cast<int64_t>(
+            col.Get(rng.UniformInt(0, col.size() - 1)));
+        const std::string& value = dict.Value(code);
+        const int64_t max_len = std::min<int64_t>(
+            static_cast<int64_t>(value.size()),
+            std::max(1, options.max_like_prefix));
+        const std::string prefix = value.substr(
+            0, static_cast<size_t>(rng.UniformInt(1, std::max<int64_t>(
+                                                         1, max_len))));
+        const storage::PrefixRange range = dict.PrefixCodeRange(prefix);
+        query::ConjunctiveClause clause;
+        clause.preds.push_back(query::SimplePredicate{
+            cp.col, query::CmpOp::kGe, static_cast<double>(range.lo)});
+        // Only emit the upper bound when it names an in-dictionary code:
+        // QueryToSql prints dict codes as their string values, so an
+        // out-of-range hi would not round-trip through the parser.
+        if (range.bounded && range.hi < dict.size()) {
+          clause.preds.push_back(query::SimplePredicate{
+              cp.col, query::CmpOp::kLt, static_cast<double>(range.hi)});
+        }
+        cp.disjuncts.push_back(std::move(clause));
+        q.predicates.push_back(std::move(cp));
+        continue;
+      }
       const int m = static_cast<int>(
           rng.UniformInt(options.min_disjuncts, options.max_disjuncts));
       for (int d = 0; d < m; ++d) {

@@ -29,6 +29,14 @@ struct PredicateGenOptions {
   /// the equality-disjunction corner of Definition 3.3.
   double in_list_prob = 0.0;
   int max_in_list = 8;
+  /// Probability that a dictionary-encoded string attribute's predicate is
+  /// generated as a prefix-LIKE clause: a sampled value's prefix is turned
+  /// into the code interval [lo, hi) via Dictionary::PrefixCodeRange — the
+  /// exact clause the parser produces for `col LIKE 'prefix%'`. 0 (the
+  /// default) leaves the random stream of existing seeds untouched.
+  /// Non-string columns ignore this and fall through to range generation.
+  double like_prob = 0.0;
+  int max_like_prefix = 4;  ///< longest generated prefix, in bytes
   /// Attribute (column) indices eligible for predicates; empty = all.
   std::vector<int> allowed_attrs;
   /// When > 0, each query additionally groups by 0..max_group_by_attrs

@@ -1,0 +1,109 @@
+#include "workload/strings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/str_util.h"
+
+namespace qfcard::workload {
+
+namespace {
+
+// Deterministic syllable pool; stems drawn from it share first syllables, so
+// short prefixes ("co", "del") span several stems while longer ones isolate
+// one stem family — the interesting regime for prefix-LIKE selectivity.
+const char* const kSyllables[] = {
+    "al", "ber", "cor", "del", "est", "fen", "gor", "hal", "ivo",
+    "jun", "kel", "lor", "mar", "nor", "oby", "pel", "qui", "ros",
+    "sol", "tur", "ulm", "ver", "wil", "xan", "yor", "zel"};
+constexpr int kNumSyllables =
+    static_cast<int>(sizeof(kSyllables) / sizeof(kSyllables[0]));
+
+std::vector<std::string> MakeStems(int n) {
+  std::vector<std::string> stems;
+  stems.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int a = i % kNumSyllables;
+    const int b = (i * 7 + i / kNumSyllables + 3) % kNumSyllables;
+    stems.push_back(std::string(kSyllables[a]) + kSyllables[b]);
+  }
+  return stems;
+}
+
+}  // namespace
+
+storage::Table MakeStringsTable(const StringsOptions& options) {
+  common::Rng rng(options.seed);
+  const int64_t n = options.num_rows;
+  const std::vector<std::string> stems = MakeStems(options.num_stems);
+
+  std::vector<std::string> suffixes;
+  suffixes.reserve(static_cast<size_t>(options.num_suffixes));
+  for (int j = 0; j < options.num_suffixes; ++j) {
+    suffixes.push_back(common::StrFormat(
+        "%s%02d", kSyllables[(j * 3 + 1) % kNumSyllables], j));
+  }
+
+  std::vector<std::string> names;
+  std::vector<std::string> categories;
+  std::vector<double> prices;
+  std::vector<double> stocks;
+  names.reserve(static_cast<size_t>(n));
+  categories.reserve(static_cast<size_t>(n));
+  prices.reserve(static_cast<size_t>(n));
+  stocks.reserve(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t s = rng.Zipf(static_cast<int64_t>(stems.size()),
+                               options.stem_skew) - 1;
+    const int64_t suf = rng.UniformInt(
+        0, static_cast<int64_t>(suffixes.size()) - 1);
+    names.push_back(stems[static_cast<size_t>(s)] + "_" +
+                    suffixes[static_cast<size_t>(suf)]);
+    categories.push_back(common::StrFormat(
+        "cat_%02d",
+        static_cast<int>(rng.Zipf(options.num_categories, 0.8) - 1)));
+    // Price tracks the stem, so string and numeric predicates correlate.
+    prices.push_back(static_cast<double>((s + 1) * 50 +
+                                         rng.UniformInt(0, 49)));
+    stocks.push_back(std::min(std::round(rng.Exponential(1.0 / 40.0)),
+                              2000.0));
+  }
+
+  storage::Table table("items");
+  {
+    storage::Column col("name", storage::ColumnType::kDictString);
+    storage::Dictionary dict = storage::Dictionary::FromValues(names);
+    col.Reserve(static_cast<size_t>(n));
+    for (const std::string& v : names) {
+      col.Append(static_cast<double>(*dict.Code(v)));
+    }
+    col.SetDictionary(std::move(dict));
+    (void)table.AddColumn(std::move(col));
+  }
+  {
+    storage::Column col("category", storage::ColumnType::kDictString);
+    storage::Dictionary dict = storage::Dictionary::FromValues(categories);
+    col.Reserve(static_cast<size_t>(n));
+    for (const std::string& v : categories) {
+      col.Append(static_cast<double>(*dict.Code(v)));
+    }
+    col.SetDictionary(std::move(dict));
+    (void)table.AddColumn(std::move(col));
+  }
+  {
+    storage::Column col("price", storage::ColumnType::kInt64);
+    col.AppendBatch(prices);
+    (void)table.AddColumn(std::move(col));
+  }
+  {
+    storage::Column col("stock", storage::ColumnType::kInt64);
+    col.AppendBatch(stocks);
+    (void)table.AddColumn(std::move(col));
+  }
+  return table;
+}
+
+}  // namespace qfcard::workload

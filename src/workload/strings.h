@@ -1,0 +1,35 @@
+#ifndef QFCARD_WORKLOAD_STRINGS_H_
+#define QFCARD_WORKLOAD_STRINGS_H_
+
+#include <cstdint>
+
+#include "storage/table.h"
+
+namespace qfcard::workload {
+
+/// Parameters for the synthetic string-predicate table (Section 6's
+/// dictionary-encoding discussion). The generator produces dictionary-
+/// encoded string columns whose values share prefixes — built as
+/// stem+suffix compounds with Zipf-selected stems — so prefix-LIKE
+/// predicates select meaningful, skewed code ranges instead of single
+/// values, plus integer columns correlated with the stems (breaking the
+/// attribute-independence assumption, as the forest generator does).
+struct StringsOptions {
+  int64_t num_rows = 20000;
+  int num_stems = 40;      ///< distinct name stems (prefix families)
+  int num_suffixes = 30;   ///< suffixes compounded onto each stem
+  int num_categories = 24; ///< domain of the low-cardinality string column
+  double stem_skew = 1.1;  ///< Zipf exponent of stem popularity
+  uint64_t seed = 20230601;
+};
+
+/// Builds the "items" table:
+///   name     DICT_STRING  stem+suffix compounds, Zipf-skewed stems
+///   category DICT_STRING  small skewed domain
+///   price    INT64        correlated with the name's stem
+///   stock    INT64        right-skewed, independent
+storage::Table MakeStringsTable(const StringsOptions& options);
+
+}  // namespace qfcard::workload
+
+#endif  // QFCARD_WORKLOAD_STRINGS_H_

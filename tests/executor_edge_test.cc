@@ -2,9 +2,14 @@
 // evaluators in src/testing/reference_eval.h (satellite of the differential
 // testing subsystem; the fuzzer covers the same pairs on random inputs).
 
+#include <iterator>
+#include <string>
+
 #include "gtest/gtest.h"
 #include "query/executor.h"
 #include "query/join_executor.h"
+#include "query/normalize.h"
+#include "storage/column.h"
 #include "test_util.h"
 #include "testing/reference_eval.h"
 
@@ -154,6 +159,106 @@ TEST(ExecutorEdgeTest, JoinWithSelectiveAndEmptyPredicates) {
     EXPECT_EQ(engine.value(), 0);
     EXPECT_EQ(ref.value(), 0);
   }
+}
+
+// ---- LIKE metamorphic invariants -----------------------------------------
+// Prefix LIKE desugars to dictionary-code ranges (query/normalize +
+// Dictionary::PrefixCodeRange). These invariants hold for ANY data, so they
+// catch desugaring bugs without golden counts; every count is additionally
+// cross-checked against the naive reference evaluator.
+
+storage::Catalog LikeCatalog() {
+  storage::Catalog catalog;
+  storage::Table t("fruits");
+  storage::Dictionary dict = storage::Dictionary::FromValues(
+      {"apple", "applet", "apricot", "banana", "band", "bandana", "cherry"});
+  storage::Column nm("nm", storage::ColumnType::kDictString);
+  for (const char* v : {"apple", "applet", "applet", "apricot", "banana",
+                        "band", "band", "bandana", "cherry", "apple"}) {
+    nm.Append(static_cast<double>(dict.Code(v).value()));
+  }
+  nm.SetDictionary(std::move(dict));
+  QFCARD_CHECK_OK(t.AddColumn(std::move(nm)));
+  QFCARD_CHECK_OK(
+      t.AddColumn(IntColumn("n", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10})));
+  QFCARD_CHECK_OK(catalog.AddTable(std::move(t)));
+  return catalog;
+}
+
+int64_t LikeCount(const storage::Catalog& catalog, const std::string& sql) {
+  const auto q = ParseQuery(sql, catalog);
+  EXPECT_TRUE(q.ok()) << sql << ": " << q.status().ToString();
+  if (!q.ok()) return -1;
+  return AgreedCount(catalog.table(0), q.value());
+}
+
+TEST(LikeMetamorphicTest, LongerPrefixNeverMatchesMore) {
+  const storage::Catalog catalog = LikeCatalog();
+  // Each extension of the prefix can only shrink the match set.
+  const char* chain[] = {
+      "SELECT count(*) FROM fruits WHERE nm LIKE '%';",
+      "SELECT count(*) FROM fruits WHERE nm LIKE 'a%';",
+      "SELECT count(*) FROM fruits WHERE nm LIKE 'ap%';",
+      "SELECT count(*) FROM fruits WHERE nm LIKE 'app%';",
+      "SELECT count(*) FROM fruits WHERE nm LIKE 'apple%';",
+      "SELECT count(*) FROM fruits WHERE nm LIKE 'applet%';",
+  };
+  int64_t prev = LikeCount(catalog, chain[0]);
+  EXPECT_EQ(prev, 10);  // LIKE '%' matches every row
+  for (size_t i = 1; i < std::size(chain); ++i) {
+    const int64_t count = LikeCount(catalog, chain[i]);
+    EXPECT_LE(count, prev) << chain[i];
+    prev = count;
+  }
+  EXPECT_EQ(prev, 2);  // "applet" rows
+}
+
+TEST(LikeMetamorphicTest, PrefixCountIsSumOfDisjointRefinements) {
+  const storage::Catalog catalog = LikeCatalog();
+  // "ban%" splits exactly into banana-rows plus band-rows (band, bandana
+  // both extend "band"; banana does not).
+  const int64_t ban =
+      LikeCount(catalog, "SELECT count(*) FROM fruits WHERE nm LIKE 'ban%';");
+  const int64_t banana = LikeCount(
+      catalog, "SELECT count(*) FROM fruits WHERE nm LIKE 'banana%';");
+  const int64_t band =
+      LikeCount(catalog, "SELECT count(*) FROM fruits WHERE nm LIKE 'band%';");
+  EXPECT_EQ(ban, banana + band);
+}
+
+TEST(LikeMetamorphicTest, NoWildcardEqualsEquality) {
+  const storage::Catalog catalog = LikeCatalog();
+  for (const char* value : {"apple", "band", "cherry"}) {
+    const int64_t via_like = LikeCount(
+        catalog, std::string("SELECT count(*) FROM fruits WHERE nm LIKE '") +
+                     value + "';");
+    const int64_t via_eq = LikeCount(
+        catalog, std::string("SELECT count(*) FROM fruits WHERE nm = '") +
+                     value + "';");
+    EXPECT_EQ(via_like, via_eq) << value;
+  }
+}
+
+TEST(LikeMetamorphicTest, UnmatchedPrefixMatchesNothing) {
+  const storage::Catalog catalog = LikeCatalog();
+  EXPECT_EQ(
+      LikeCount(catalog, "SELECT count(*) FROM fruits WHERE nm LIKE 'zz%';"),
+      0);
+  // A prefix lexicographically below every value is also empty.
+  EXPECT_EQ(
+      LikeCount(catalog, "SELECT count(*) FROM fruits WHERE nm LIKE 'aa%';"),
+      0);
+}
+
+TEST(LikeMetamorphicTest, LikeComposesWithConjunctsMonotonically) {
+  const storage::Catalog catalog = LikeCatalog();
+  const int64_t alone =
+      LikeCount(catalog, "SELECT count(*) FROM fruits WHERE nm LIKE 'ap%';");
+  const int64_t conjoined = LikeCount(
+      catalog,
+      "SELECT count(*) FROM fruits WHERE nm LIKE 'ap%' AND n <= 3;");
+  EXPECT_LE(conjoined, alone);
+  EXPECT_EQ(conjoined, 3);  // rows 1..3 all carry ap-prefixed names
 }
 
 }  // namespace

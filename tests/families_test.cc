@@ -1,0 +1,181 @@
+// Tests for the workload-family registry (src/workload/families.h): every
+// registered family must build a usable instance at tiny sizes, builds must
+// be deterministic in the seed, the capability flags must match what the
+// generators actually emit (the matrix runner trusts them for its
+// unsupported-cell gates), and name resolution must fail with a
+// did-you-mean suggestion.
+
+#include "workload/families.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "query/normalize.h"
+#include "storage/column.h"
+#include "workload/strings.h"
+
+namespace qfcard::workload {
+namespace {
+
+FamilySizes TinySizes() {
+  FamilySizes sizes;
+  sizes.rows = 500;
+  sizes.train = 24;
+  sizes.test = 16;
+  return sizes;
+}
+
+// Renders an instance's workload as SQL for structural comparison.
+std::vector<std::string> WorkloadSql(const FamilyInstance& inst) {
+  std::vector<std::string> sql;
+  for (const auto* split : {&inst.train, &inst.test}) {
+    for (const LabeledQuery& lq : *split) {
+      sql.push_back(query::QueryToSql(lq.query, inst.catalog).value() + "\t" +
+                    std::to_string(lq.card));
+    }
+  }
+  return sql;
+}
+
+TEST(FamiliesTest, EveryFamilyBuildsANonEmptyLabeledInstance) {
+  for (const WorkloadFamily& family : RegisteredFamilies()) {
+    SCOPED_TRACE(family.name);
+    const auto inst_or = family.build(TinySizes(), 7);
+    ASSERT_TRUE(inst_or.ok()) << inst_or.status().ToString();
+    const FamilyInstance& inst = inst_or.value();
+    EXPECT_FALSE(inst.train.empty());
+    EXPECT_FALSE(inst.test.empty());
+    EXPECT_GT(inst.catalog.num_tables(), 0);
+    EXPECT_TRUE(inst.catalog.GetTable(inst.primary_table).ok());
+    // Labeling drops empty results, so every stored card is positive.
+    for (const auto* split : {&inst.train, &inst.test}) {
+      for (const LabeledQuery& lq : *split) EXPECT_GT(lq.card, 0.0);
+    }
+  }
+}
+
+TEST(FamiliesTest, BuildsAreDeterministicInTheSeed) {
+  for (const WorkloadFamily& family : RegisteredFamilies()) {
+    SCOPED_TRACE(family.name);
+    const auto a = family.build(TinySizes(), 11);
+    const auto b = family.build(TinySizes(), 11);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(WorkloadSql(a.value()), WorkloadSql(b.value()));
+    const auto c = family.build(TinySizes(), 12);
+    ASSERT_TRUE(c.ok());
+    EXPECT_NE(WorkloadSql(a.value()), WorkloadSql(c.value()))
+        << "different seeds should give different workloads";
+  }
+}
+
+TEST(FamiliesTest, CapabilityFlagsMatchGeneratedQueries) {
+  for (const WorkloadFamily& family : RegisteredFamilies()) {
+    SCOPED_TRACE(family.name);
+    const auto inst_or = family.build(TinySizes(), 3);
+    ASSERT_TRUE(inst_or.ok()) << inst_or.status().ToString();
+    const FamilyInstance& inst = inst_or.value();
+    bool any_join = false;
+    bool any_disjunction = false;
+    bool any_group_by = false;
+    for (const auto* split : {&inst.train, &inst.test}) {
+      for (const LabeledQuery& lq : *split) {
+        any_join |= lq.query.tables.size() > 1;
+        any_group_by |= !lq.query.group_by.empty();
+        for (const auto& cp : lq.query.predicates) {
+          any_disjunction |= cp.disjuncts.size() > 1 ||
+                             (cp.disjuncts.size() == 1 &&
+                              cp.disjuncts[0].preds.empty());
+        }
+      }
+    }
+    EXPECT_EQ(any_join, family.joins);
+    EXPECT_EQ(any_group_by, family.group_by);
+    if (!family.disjunctions) {
+      EXPECT_FALSE(any_disjunction)
+          << "family does not declare disjunctions but generated one";
+    }
+  }
+}
+
+TEST(FamiliesTest, StringsFamilyEmitsDictionaryPrefixRanges) {
+  const WorkloadFamily* family = FamilyNamed("strings").value();
+  ASSERT_TRUE(family->strings);
+  const auto inst_or = family->build(TinySizes(), 5);
+  ASSERT_TRUE(inst_or.ok()) << inst_or.status().ToString();
+  const FamilyInstance& inst = inst_or.value();
+  const storage::Table& table =
+      *inst.catalog.GetTable(inst.primary_table).value();
+
+  // The items table must carry dictionary-encoded string columns...
+  int dict_columns = 0;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).has_dictionary()) ++dict_columns;
+  }
+  EXPECT_GE(dict_columns, 2) << "strings family should dict-encode columns";
+
+  // ...and the workload must hit them with two-sided ranges — the
+  // desugared form of prefix LIKE (Dictionary::PrefixCodeRange).
+  int dict_range_predicates = 0;
+  for (const auto* split : {&inst.train, &inst.test}) {
+    for (const LabeledQuery& lq : *split) {
+      for (const auto& cp : lq.query.predicates) {
+        if (!table.column(cp.col.column).has_dictionary()) continue;
+        for (const auto& clause : cp.disjuncts) {
+          bool has_ge = false;
+          bool has_lt = false;
+          for (const auto& p : clause.preds) {
+            has_ge |= p.op == query::CmpOp::kGe;
+            has_lt |= p.op == query::CmpOp::kLt;
+          }
+          if (has_ge && has_lt) ++dict_range_predicates;
+        }
+      }
+    }
+  }
+  EXPECT_GT(dict_range_predicates, 0)
+      << "strings family generated no prefix-style ranges on dict columns";
+}
+
+TEST(FamiliesTest, FamilyNamedResolvesCaseInsensitivelyWithDidYouMean) {
+  EXPECT_TRUE(FamilyNamed("ZIPF_SKEW").ok());
+  const auto missing = FamilyNamed("zipf_skw");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("did you mean"),
+            std::string::npos);
+  EXPECT_NE(missing.status().ToString().find("zipf_skew"),
+            std::string::npos);
+}
+
+TEST(FamiliesTest, FamilyNamesMatchesRegistryOrder) {
+  const std::vector<std::string> names = FamilyNames();
+  ASSERT_EQ(names.size(), RegisteredFamilies().size());
+  EXPECT_NE(std::find(names.begin(), names.end(), "conjunctive"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "drift"), names.end());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], RegisteredFamilies()[i].name);
+  }
+}
+
+TEST(StringsTableTest, StemSkewConcentratesNames) {
+  StringsOptions options;
+  options.num_rows = 2000;
+  const storage::Table table = MakeStringsTable(options);
+  ASSERT_EQ(table.num_rows(), 2000);
+  const storage::Column& name =
+      table.column(table.ColumnIndex("name").value());
+  ASSERT_TRUE(name.has_dictionary());
+  // Zipf-skewed stems: the most common name code must cover well over the
+  // uniform share of rows.
+  std::vector<int64_t> counts(name.dictionary().size(), 0);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    ++counts[static_cast<size_t>(name.Get(r))];
+  }
+  const int64_t top = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(top, table.num_rows() / static_cast<int64_t>(counts.size()) * 4);
+}
+
+}  // namespace
+}  // namespace qfcard::workload

@@ -48,7 +48,7 @@ storage::Catalog TrickyCatalog() {
   return catalog;
 }
 
-// The 50 tricky inputs. Each must parse; the round-trip property is then
+// The 55 tricky inputs. Each must parse; the round-trip property is then
 // asserted on the parsed (normalized) form.
 const std::vector<std::string>& TrickyQueries() {
   static const std::vector<std::string>* queries = new std::vector<std::string>{
@@ -101,6 +101,14 @@ const std::vector<std::string>& TrickyQueries() {
       "SELECT count(*) FROM t WHERE s LIKE 'alp%';",
       "SELECT count(*) FROM t WHERE s LIKE '%';",
       "SELECT count(*) FROM t WHERE s LIKE 'gamma';",
+      // Prefix ranges whose bounds land on interior dictionary codes
+      // (Dictionary::PrefixCodeRange): single-char, multi-char, and a
+      // full-value prefix, plus LIKE under conjunction and casing.
+      "SELECT count(*) FROM t WHERE s LIKE 'b%';",
+      "SELECT count(*) FROM t WHERE s LIKE 'de%';",
+      "SELECT count(*) FROM t WHERE s LIKE 'beta%';",
+      "SELECT count(*) FROM t WHERE s like 'b%' AND a >= 2;",
+      "SELECT count(*) FROM t WHERE a <= 4 AND s LIKE 'del%';",
       // GROUP BY.
       "SELECT count(*) FROM t GROUP BY a;",
       "SELECT count(*) FROM t GROUP BY a, b;",
@@ -118,10 +126,10 @@ const std::vector<std::string>& TrickyQueries() {
   return *queries;
 }
 
-TEST(ParserRoundTripTest, FiftyTrickyQueries) {
+TEST(ParserRoundTripTest, TrickyQueryCorpus) {
   const storage::Catalog catalog = TrickyCatalog();
   const std::vector<std::string>& queries = TrickyQueries();
-  ASSERT_EQ(queries.size(), 50u);
+  ASSERT_EQ(queries.size(), 55u);
   for (const std::string& sql : queries) {
     SCOPED_TRACE(sql);
     const auto q1 = ParseQuery(sql, catalog);

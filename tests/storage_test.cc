@@ -40,6 +40,53 @@ TEST(DictionaryTest, LowerBoundCode) {
   EXPECT_EQ(dict.LowerBoundCode("z"), 3);
 }
 
+TEST(DictionaryTest, PrefixCodeRangeCoversExactlyThePrefixedValues) {
+  Dictionary dict = Dictionary::FromValues(
+      {"alpha", "alpine", "alto", "beta", "betray", "gamma"});
+  // "al" covers alpha/alpine/alto: [0, 3).
+  PrefixRange al = dict.PrefixCodeRange("al");
+  EXPECT_EQ(al.lo, 0);
+  ASSERT_TRUE(al.bounded);
+  EXPECT_EQ(al.hi, 3);
+  // "bet" covers beta/betray: [3, 5).
+  PrefixRange bet = dict.PrefixCodeRange("bet");
+  EXPECT_EQ(bet.lo, 3);
+  ASSERT_TRUE(bet.bounded);
+  EXPECT_EQ(bet.hi, 5);
+  // A full value is its own prefix: [5, 6).
+  PrefixRange gamma = dict.PrefixCodeRange("gamma");
+  EXPECT_EQ(gamma.lo, 5);
+  ASSERT_TRUE(gamma.bounded);
+  EXPECT_EQ(gamma.hi, 6);
+  // No value starts with "z": an empty interval past the end.
+  PrefixRange z = dict.PrefixCodeRange("z");
+  EXPECT_EQ(z.lo, 6);
+  ASSERT_TRUE(z.bounded);
+  EXPECT_EQ(z.hi, 6);
+}
+
+TEST(DictionaryTest, PrefixCodeRangeEmptyPrefixMatchesEverything) {
+  Dictionary dict = Dictionary::FromValues({"a", "b", "c"});
+  const PrefixRange all = dict.PrefixCodeRange("");
+  EXPECT_EQ(all.lo, 0);
+  // "" has no lexicographic successor, so the range is unbounded above.
+  EXPECT_FALSE(all.bounded);
+}
+
+TEST(DictionaryTest, PrefixCodeRangeSkipsUnincrementableBytes) {
+  // A prefix ending in 0xFF has no same-length successor; the successor is
+  // computed by incrementing the last incrementable byte ("a\xff" -> "b").
+  Dictionary dict = Dictionary::FromValues({"a", "a\xff z", "b", "c"});
+  const PrefixRange range = dict.PrefixCodeRange("a\xff");
+  EXPECT_EQ(range.lo, 1);
+  ASSERT_TRUE(range.bounded);
+  EXPECT_EQ(range.hi, 2);  // successor "b"
+  // An all-0xFF prefix cannot be incremented at all: unbounded.
+  const PrefixRange top = dict.PrefixCodeRange("\xff\xff");
+  EXPECT_FALSE(top.bounded);
+  EXPECT_EQ(top.lo, 4);
+}
+
 TEST(ColumnTest, StatsComputedAndCached) {
   Column col = MakeIntColumn("a", {5, 1, 9, 5, 3});
   const ColumnStats& stats = col.GetStats();

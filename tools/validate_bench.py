@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json trajectory report against tools/bench_schema.json.
+
+The report is the JSON written by `bench_matrix --benchmark_out=PATH`
+(kind "matrix", from eval::MatrixRunner) or `bench_batch_scaling
+--benchmark_out=PATH` (kind "batch_scaling"). CI runs both on every thread
+leg and feeds the files here before archiving them as artifacts; a pass
+means the perf trajectory stays machine-comparable across commits.
+
+Checks, in order:
+  1. structural — version, kind, name, the kind's required context keys,
+     and the flat metrics rows ({name, unit, value});
+  2. kind "matrix" — non-empty estimator/family axes, every cell carries
+     estimator/family/a valid status, ok cells carry the q-error quantile
+     block (mean/p50/p90/p95/p99/max, finite, >= 0) plus usec_per_query and
+     train_seconds; deterministic reports must record threads=0 and zeroed
+     timings (the byte-identity contract across QFCARD_THREADS);
+  3. coverage — with --min-estimators/--min-families, enough distinct
+     estimators and families have at least one ok cell, so a sweep that
+     silently degrades to errors fails CI instead of shipping a hollow
+     report.
+
+Stdlib only (json/argparse) — no third-party packages.
+
+Exit status: 0 valid, 1 with one "error: ..." line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+NUMERIC = (int, float)
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+
+    def error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+    def require(self, cond: bool, msg: str) -> bool:
+        if not cond:
+            self.error(msg)
+        return cond
+
+
+def is_num(v) -> bool:
+    return isinstance(v, NUMERIC) and not isinstance(v, bool) and \
+        math.isfinite(v)
+
+
+def check_structure(report: dict, schema: dict, chk: Checker) -> dict | None:
+    for key in ("version", "kind", "name", "context", "metrics"):
+        if not chk.require(key in report, f"missing top-level key '{key}'"):
+            return None
+    chk.require(report["version"] == schema.get("version", 1),
+                f"unsupported report version {report['version']!r}")
+    kinds = schema.get("kinds", {})
+    kind = report["kind"]
+    if not chk.require(kind in kinds,
+                       f"unknown report kind {kind!r} (schema defines: "
+                       f"{', '.join(sorted(kinds))})"):
+        return None
+    kschema = kinds[kind]
+    context = report["context"]
+    if chk.require(isinstance(context, dict), "'context' is not an object"):
+        for key in kschema.get("required_context", []):
+            chk.require(key in context, f"context missing '{key}'")
+    metrics = report["metrics"]
+    if chk.require(isinstance(metrics, list), "'metrics' is not an array"):
+        names = set()
+        for i, row in enumerate(metrics):
+            where = f"metrics[{i}]"
+            if not chk.require(isinstance(row, dict), f"{where} not an object"):
+                continue
+            for field in schema.get("metric_required", []):
+                chk.require(field in row, f"{where} missing '{field}'")
+            if isinstance(row.get("name"), str):
+                names.add(row["name"])
+            chk.require(is_num(row.get("value")),
+                        f"{where} 'value' is not a finite number")
+        for name in kschema.get("required_metrics", []):
+            chk.require(name in names, f"required metric '{name}' missing")
+    return kschema
+
+
+def check_matrix(report: dict, kschema: dict, chk: Checker) -> None:
+    for key in kschema.get("required_lists", []):
+        items = report.get(key)
+        chk.require(isinstance(items, list) and items and
+                    all(isinstance(s, str) for s in items),
+                    f"'{key}' is not a non-empty string array")
+    cells = report.get("cells")
+    if not chk.require(isinstance(cells, list) and cells,
+                       "'cells' is not a non-empty array"):
+        return
+    deterministic = bool(report.get("context", {}).get("deterministic"))
+    if deterministic:
+        chk.require(report.get("context", {}).get("threads") == 0,
+                    "deterministic report must record context.threads = 0")
+    statuses = set(kschema.get("cell_statuses", []))
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not chk.require(isinstance(cell, dict), f"{where} not an object"):
+            continue
+        for field in kschema.get("cell_required", []):
+            chk.require(field in cell, f"{where} missing '{field}'")
+        status = cell.get("status")
+        if not chk.require(status in statuses,
+                           f"{where} status {status!r} not in "
+                           f"{sorted(statuses)}"):
+            continue
+        if status != "ok":
+            continue
+        for field in kschema.get("cell_ok_required", []):
+            chk.require(field in cell, f"{where} (ok) missing '{field}'")
+        qerror = cell.get("qerror")
+        if chk.require(isinstance(qerror, dict),
+                       f"{where} 'qerror' is not an object"):
+            for field in kschema.get("qerror_required", []):
+                v = qerror.get(field)
+                chk.require(is_num(v) and v >= 0,
+                            f"{where} qerror.{field} is not a finite "
+                            "non-negative number")
+        for field in ("train_seconds", "usec_per_query"):
+            v = cell.get(field)
+            if not chk.require(is_num(v) and v >= 0,
+                               f"{where} {field} is not a finite "
+                               "non-negative number"):
+                continue
+            if deterministic:
+                chk.require(v == 0,
+                            f"{where} {field} = {v} but deterministic "
+                            "reports must zero all timings")
+
+
+def check_coverage(report: dict, min_estimators: int, min_families: int,
+                   chk: Checker) -> None:
+    ok_estimators = set()
+    ok_families = set()
+    for cell in report.get("cells", []):
+        if isinstance(cell, dict) and cell.get("status") == "ok":
+            ok_estimators.add(cell.get("estimator"))
+            ok_families.add(cell.get("family"))
+    chk.require(len(ok_estimators) >= min_estimators,
+                f"only {len(ok_estimators)} estimator(s) have ok cells, "
+                f"expected >= {min_estimators}")
+    chk.require(len(ok_families) >= min_families,
+                f"only {len(ok_families)} family(ies) have ok cells, "
+                f"expected >= {min_families}")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="JSON file from --benchmark_out")
+    parser.add_argument("--schema",
+                        default=str(pathlib.Path(__file__).resolve().parent /
+                                    "bench_schema.json"))
+    parser.add_argument("--min-estimators", type=int, default=0,
+                        help="matrix reports: minimum distinct estimators "
+                             "with at least one ok cell")
+    parser.add_argument("--min-families", type=int, default=0,
+                        help="matrix reports: minimum distinct families "
+                             "with at least one ok cell")
+    args = parser.parse_args(argv)
+
+    try:
+        report = json.loads(pathlib.Path(args.report).read_text("utf-8"))
+    except (OSError, ValueError) as e:
+        print(f"error: cannot parse report {args.report}: {e}",
+              file=sys.stderr)
+        return 1
+    try:
+        schema = json.loads(pathlib.Path(args.schema).read_text("utf-8"))
+    except (OSError, ValueError) as e:
+        print(f"error: cannot parse schema {args.schema}: {e}",
+              file=sys.stderr)
+        return 1
+
+    chk = Checker()
+    if chk.require(isinstance(report, dict), "report is not a JSON object"):
+        kschema = check_structure(report, schema, chk)
+        if kschema is not None and report.get("kind") == "matrix":
+            check_matrix(report, kschema, chk)
+            check_coverage(report, args.min_estimators, args.min_families,
+                           chk)
+        elif args.min_estimators or args.min_families:
+            chk.require(report.get("kind") == "matrix",
+                        "--min-estimators/--min-families only apply to "
+                        "matrix reports")
+
+    for msg in chk.errors:
+        print(f"error: {msg}")
+    if chk.errors:
+        print(f"validate_bench: {len(chk.errors)} violation(s) in "
+              f"{args.report}", file=sys.stderr)
+        return 1
+    n_cells = len(report.get("cells", [])) if isinstance(report, dict) else 0
+    print(f"validate_bench: OK ({args.report}: kind={report.get('kind')}, "
+          f"{n_cells} cells, {len(report.get('metrics', []))} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
