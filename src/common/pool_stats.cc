@@ -1,0 +1,23 @@
+#include "common/pool_stats.h"
+
+#include <atomic>
+
+namespace qfcard::common {
+
+namespace {
+
+// Constant-initialized, so reads are valid even from static initializers in
+// other translation units that run before this one's dynamic init.
+std::atomic<PoolStatsSink*> g_pool_stats_sink{nullptr};
+
+}  // namespace
+
+void SetPoolStatsSink(PoolStatsSink* sink) {
+  g_pool_stats_sink.store(sink, std::memory_order_release);
+}
+
+PoolStatsSink* GetPoolStatsSink() {
+  return g_pool_stats_sink.load(std::memory_order_acquire);
+}
+
+}  // namespace qfcard::common

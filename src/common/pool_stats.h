@@ -1,0 +1,56 @@
+#ifndef QFCARD_COMMON_POOL_STATS_H_
+#define QFCARD_COMMON_POOL_STATS_H_
+
+#include <cstdint>
+
+namespace qfcard::common {
+
+/// Telemetry callback interface for ThreadPool. common/ sits at the bottom
+/// of the layer stack (tools/layers.json) and must not include obs/, so the
+/// pool reports its stats through this sink instead of touching
+/// obs::MetricsRegistry directly; obs/metrics.cc installs the one real
+/// implementation at static-initialization time and forwards into the
+/// threadpool.* series (docs/observability.md). Binaries that never link
+/// obs/ simply run with no sink and the pool skips all bookkeeping.
+///
+/// Implementations must be safe to call concurrently from every pool worker
+/// and must not call back into ThreadPool (the pool may hold its own lock
+/// around NowSeconds when timing a job publish).
+class PoolStatsSink {
+ public:
+  virtual ~PoolStatsSink() = default;
+
+  /// Cheap dynamic toggle, checked once per ParallelFor / worker wake. When
+  /// false the pool skips the remaining callbacks (and their clock reads).
+  virtual bool Enabled() const = 0;
+
+  /// Monotonic seconds from an arbitrary fixed epoch; only differences are
+  /// meaningful. Used to time job publish -> worker wake and task runs.
+  virtual double NowSeconds() const = 0;
+
+  /// One ParallelFor call dispatching `indices` indices on a pool of
+  /// `pool_size` threads.
+  virtual void OnParallelFor(int64_t indices, int pool_size) = 0;
+
+  /// A ParallelFor that ran inline on the caller (serial pool, trivial
+  /// loop, or nested call while a job was in flight).
+  virtual void OnInlineRun() = 0;
+
+  /// One thread finished its claim loop for a job: `chunks` index chunks
+  /// claimed over `run_seconds` of wall time inside the loop.
+  virtual void OnJobRun(uint64_t chunks, double run_seconds) = 0;
+
+  /// Queue wait measured by a worker: job publish to condvar wake.
+  virtual void OnQueueWait(double wait_seconds) = 0;
+};
+
+/// Installs the process-wide sink (not owned; pass nullptr to uninstall).
+/// The sink must outlive every ThreadPool call made after installation.
+void SetPoolStatsSink(PoolStatsSink* sink);
+
+/// The installed sink, or nullptr. Lock-free (one relaxed atomic load).
+PoolStatsSink* GetPoolStatsSink();
+
+}  // namespace qfcard::common
+
+#endif  // QFCARD_COMMON_POOL_STATS_H_

@@ -1,0 +1,26 @@
+#ifndef QFCARD_COMMON_STATS_H_
+#define QFCARD_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qfcard::common {
+
+/// Linear-interpolated quantile of a sorted sample, q in [0, 1]. Lives in
+/// common/ because both obs/ (the q-error drift monitor) and ml/ (q-error
+/// summaries) need it, and obs/ sits below ml/ in the layer order
+/// (tools/layers.json); ml::QuantileSorted forwards here.
+inline double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace qfcard::common
+
+#endif  // QFCARD_COMMON_STATS_H_

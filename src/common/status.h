@@ -28,7 +28,9 @@ const char* StatusCodeToString(StatusCode code);
 
 /// Lightweight error-or-success result. qfcard does not use C++ exceptions;
 /// every fallible operation returns a Status (or StatusOr<T>).
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures — callers must
+/// test it, propagate it, or cast to (void) with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -87,7 +89,7 @@ void CheckOk(const Status& status, const char* file, int line);
 /// an errored StatusOr aborts, so callers must test ok() first (or use
 /// QFCARD_ASSIGN_OR_RETURN).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
   StatusOr(T value) : status_(), value_(std::move(value)) {}

@@ -5,8 +5,7 @@
 #include <utility>
 
 #include "common/env.h"
-#include "obs/clock.h"
-#include "obs/metrics.h"
+#include "common/pool_stats.h"
 
 namespace qfcard::common {
 
@@ -21,37 +20,13 @@ int64_t ChunkSize(int64_t n, int num_threads) {
   return std::clamp<int64_t>(target, 1, 256);
 }
 
-// Pool telemetry, resolved once from the registry so the hot path updates
-// metrics lock-free. Eagerly creates every threadpool.* series on first use —
-// including queue_wait_seconds, which a 1-thread pool never observes — so
-// snapshots have the same shape at every thread count (the CI schema check
-// runs at QFCARD_THREADS=1 and 4).
-struct PoolMetrics {
-  obs::Counter* calls;
-  obs::Counter* inline_calls;
-  obs::Counter* indices;
-  obs::Counter* chunks;
-  obs::Histogram* queue_wait;
-  obs::Histogram* task_run;
-  obs::Gauge* size;
-};
-
-PoolMetrics& GetPoolMetrics() {
-  static PoolMetrics* metrics = [] {
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-    auto* m = new PoolMetrics;  // leaked: outlives static dtors
-    m->calls = reg.CounterNamed("threadpool.parallel_for_calls");
-    m->inline_calls = reg.CounterNamed("threadpool.inline_calls");
-    m->indices = reg.CounterNamed("threadpool.indices");
-    m->chunks = reg.CounterNamed("threadpool.chunks");
-    m->queue_wait =
-        reg.HistogramNamed("threadpool.queue_wait_seconds", obs::LatencyBounds());
-    m->task_run =
-        reg.HistogramNamed("threadpool.task_run_seconds", obs::LatencyBounds());
-    m->size = reg.GaugeNamed("threadpool.size");
-    return m;
-  }();
-  return *metrics;
+// The telemetry sink, if any. obs/metrics.cc installs one that forwards
+// into the threadpool.* series; common/ itself never sees obs/ (layering,
+// tools/layers.json). Returns nullptr when disabled so call sites pay one
+// relaxed load + one virtual call per ParallelFor when metrics are off.
+PoolStatsSink* ActiveSink() {
+  PoolStatsSink* sink = GetPoolStatsSink();
+  return (sink != nullptr && sink->Enabled()) ? sink : nullptr;
 }
 
 }  // namespace
@@ -82,9 +57,8 @@ void ThreadPool::RunJob() {
     n = job_n_;
   }
   if (!fn) return;
-  const bool metrics = obs::MetricsEnabled();
-  const obs::Clock::time_point run_start =
-      metrics ? obs::Now() : obs::Clock::time_point();
+  PoolStatsSink* sink = ActiveSink();
+  const double run_start = sink != nullptr ? sink->NowSeconds() : 0.0;
   uint64_t claimed_chunks = 0;
   const int64_t chunk = ChunkSize(n, num_threads_);
   for (;;) {
@@ -107,17 +81,15 @@ void ThreadPool::RunJob() {
       }
     }
   }
-  if (metrics) {
-    PoolMetrics& m = GetPoolMetrics();
-    m.chunks->Add(claimed_chunks);
-    m.task_run->Observe(obs::SecondsBetween(run_start, obs::Now()));
+  if (sink != nullptr) {
+    sink->OnJobRun(claimed_chunks, sink->NowSeconds() - run_start);
   }
 }
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen_job = 0;
   for (;;) {
-    std::chrono::steady_clock::time_point publish;
+    double publish = 0.0;
     {
       MutexLock lock(&mu_);
       while (!shutdown_ && job_id_ == seen_job) work_cv_.Wait(&mu_);
@@ -125,11 +97,12 @@ void ThreadPool::WorkerLoop() {
       seen_job = job_id_;
       publish = job_publish_;
     }
-    if (obs::MetricsEnabled()) {
+    if (publish != 0.0) {
       // Queue wait: ParallelFor publishing the job to this worker picking
-      // it up (condvar wake + scheduling latency).
-      GetPoolMetrics().queue_wait->Observe(
-          obs::SecondsBetween(publish, obs::Now()));
+      // it up (condvar wake + scheduling latency). publish is 0 when the
+      // sink was off at publish time.
+      PoolStatsSink* sink = ActiveSink();
+      if (sink != nullptr) sink->OnQueueWait(sink->NowSeconds() - publish);
     }
     RunJob();
     {
@@ -141,19 +114,14 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(int64_t n, FunctionRef<void(int64_t)> fn) {
   if (n <= 0) return;
-  const bool metrics = obs::MetricsEnabled();
-  if (metrics) {
-    PoolMetrics& m = GetPoolMetrics();
-    m.calls->Add();
-    m.indices->Add(static_cast<uint64_t>(n));
-    m.size->Set(num_threads_);
-  }
+  PoolStatsSink* sink = ActiveSink();
+  if (sink != nullptr) sink->OnParallelFor(n, num_threads_);
   bool expected = false;
   const bool parallel =
       num_threads_ > 1 && n > 1 &&
       busy_.compare_exchange_strong(expected, true);
   if (!parallel) {
-    if (metrics) GetPoolMetrics().inline_calls->Add();
+    if (sink != nullptr) sink->OnInlineRun();
     // Serial pool, trivial loop, or a job already in flight (nested call):
     // run inline on the calling thread. Every index runs even after a
     // throw, matching the parallel path, and the smallest failing index's
@@ -173,7 +141,7 @@ void ThreadPool::ParallelFor(int64_t n, FunctionRef<void(int64_t)> fn) {
     MutexLock lock(&mu_);
     job_fn_ = fn;
     job_n_ = n;
-    job_publish_ = obs::Now();
+    job_publish_ = sink != nullptr ? sink->NowSeconds() : 0.0;
     next_index_.store(0, std::memory_order_relaxed);
     {
       MutexLock err_lock(&err_mu_);

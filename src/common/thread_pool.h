@@ -2,7 +2,6 @@
 #define QFCARD_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -124,6 +123,10 @@ class ThreadPool {
   void RunJob() QFCARD_EXCLUDES(mu_, err_mu_);
 
   const int num_threads_;
+  // Written only by the constructor (before any worker can observe it) and
+  // joined by the destructor after shutdown_ is set; no lock is ever held
+  // around it.
+  // qfcard-lint: ok(guarded-by): immutable between ctor and dtor; workers never touch it
   std::vector<std::thread> workers_;
 
   Mutex mu_;
@@ -134,11 +137,10 @@ class ThreadPool {
   uint64_t job_id_ QFCARD_GUARDED_BY(mu_) = 0;
   int64_t job_n_ QFCARD_GUARDED_BY(mu_) = 0;
   FunctionRef<void(int64_t)> job_fn_ QFCARD_GUARDED_BY(mu_);
-  // When the current job was published; workers subtract this from their
-  // wake time to measure queue wait. Read via obs::Now() in the .cc — this
-  // header only names the time_point type (see tools/qfcard_lint.py
-  // raw-steady-clock).
-  std::chrono::steady_clock::time_point job_publish_ QFCARD_GUARDED_BY(mu_);
+  // When the current job was published, in PoolStatsSink::NowSeconds()
+  // time; workers subtract this from their wake time to measure queue
+  // wait. 0.0 when no sink was active at publish time.
+  double job_publish_ QFCARD_GUARDED_BY(mu_) = 0.0;
   // Workers still inside the current job.
   int workers_active_ QFCARD_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_index_{0};

@@ -13,16 +13,6 @@ double QError(double truth, double estimate) {
   return std::max(x / e, e / x);
 }
 
-double QuantileSorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  if (sorted.size() == 1) return sorted[0];
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(std::floor(pos));
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
 QErrorSummary QErrorSummary::FromErrors(std::vector<double> errors) {
   QErrorSummary s;
   s.count = errors.size();

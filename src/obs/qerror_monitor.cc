@@ -4,8 +4,8 @@
 #include <sstream>
 
 #include "common/env.h"
+#include "common/stats.h"
 #include "common/str_util.h"
-#include "ml/metrics.h"
 #include "obs/metrics.h"
 
 namespace qfcard::obs {
@@ -103,8 +103,8 @@ void QErrorDriftMonitor::RecomputeLocked() {
   // and Observe runs on labeled feedback, not the estimation hot path.
   std::vector<double> sorted = window_;
   std::sort(sorted.begin(), sorted.end());
-  p50_ = ml::QuantileSorted(sorted, 0.50);
-  p95_ = ml::QuantileSorted(sorted, 0.95);
+  p50_ = common::QuantileSorted(sorted, 0.50);
+  p95_ = common::QuantileSorted(sorted, 0.95);
 }
 
 QErrorDriftMonitor::State QErrorDriftMonitor::GetState() const {

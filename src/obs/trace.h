@@ -65,8 +65,11 @@ class TraceBuffer {
   /// Next span id (also bumps the sequence).
   uint64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Seconds since the buffer epoch.
+  /// Seconds since the buffer epoch. Takes the buffer lock: Reset()
+  /// re-anchors the epoch, and a span closing concurrently with a reset
+  /// must not read a torn time_point.
   double SinceEpoch(Clock::time_point t) const {
+    common::MutexLock lock(&mu_);
     return SecondsBetween(epoch_, t);
   }
 
@@ -100,7 +103,7 @@ class TraceBuffer {
   size_t next_slot_ QFCARD_GUARDED_BY(mu_) = 0;
   uint64_t recorded_ QFCARD_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> next_id_{1};
-  Clock::time_point epoch_;
+  Clock::time_point epoch_ QFCARD_GUARDED_BY(mu_);
 };
 
 /// RAII trace span: records one SpanRecord into TraceBuffer::Global() on

@@ -1,0 +1,16 @@
+#ifndef QFCARD_SERVE_BUNDLE_FUZZ_H_
+#define QFCARD_SERVE_BUNDLE_FUZZ_H_
+
+namespace qfcard::serve {
+
+/// Installs the serve/ model-loader fuzz round into the differential fuzzer
+/// (testing::SetLoaderRound). testing/ sits below serve/ in the layer order
+/// (tools/layers.json), so the fuzzer cannot include serve/ itself; entry
+/// points that want loader coverage (qfcard_fuzz, fuzz_smoke_test) call
+/// this before testing::RunFuzzer. Idempotent; not thread-safe against a
+/// concurrently running fuzzer.
+void RegisterLoaderFuzzRound();
+
+}  // namespace qfcard::serve
+
+#endif  // QFCARD_SERVE_BUNDLE_FUZZ_H_

@@ -152,11 +152,16 @@ class Column {
   const ColumnStats& GetStats() const QFCARD_EXCLUDES(stats_mu_);
 
  private:
-  std::string name_;
-  ColumnType type_;
-  std::vector<double> data_;
-  Dictionary dict_;
-  bool has_dict_ = false;
+  // Plain data, deliberately outside stats_mu_: a Column is built by one
+  // thread (AddTable / CSV load) and is read-only once shared with the
+  // batch pool; only the stats cache below mutates after that point.
+  // clang-format off
+  std::string name_;          // qfcard-lint: ok(guarded-by): set before sharing
+  ColumnType type_;           // qfcard-lint: ok(guarded-by): set before sharing
+  std::vector<double> data_;  // qfcard-lint: ok(guarded-by): set before sharing
+  Dictionary dict_;           // qfcard-lint: ok(guarded-by): set before sharing
+  bool has_dict_ = false;     // qfcard-lint: ok(guarded-by): set before sharing
+  // clang-format on
 
   // Lazily recomputed stats cache, shared across the batch API's pool
   // threads. One process-wide mutex (not per-column) keeps Column cheap to

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <string>
 
+#include "serve/bundle_fuzz.h"
 #include "testing/query_fuzzer.h"
 
 namespace {
@@ -29,6 +30,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  qfcard::serve::RegisterLoaderFuzzRound();
   qfcard::testing::FuzzOptions options;
   std::string artifact;
   if (const char* env = std::getenv("QFCARD_FUZZ_ARTIFACT")) artifact = env;

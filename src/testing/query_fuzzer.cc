@@ -19,7 +19,6 @@
 #include "query/executor.h"
 #include "query/join_executor.h"
 #include "query/normalize.h"
-#include "serve/bundle.h"
 #include "storage/catalog.h"
 #include "workload/labeler.h"
 #include "testing/metamorphic.h"
@@ -420,159 +419,28 @@ class Fuzzer {
     }
   }
 
-  // Loader fuzzing (docs/serving.md): train every saveable model family on a
-  // tiny workload, round-trip each through the serve bundle container, and
-  // then feed the loaders systematically damaged bytes. The container layer
-  // must reject every mutation of the encoded bundle (the CRC sees all of
-  // them), and the payload parsers — reached directly, as if a store payload
-  // rotted after its manifest check — must come back with a clean Status or
-  // a still-working estimator, never a crash (the sanitizer jobs turn memory
-  // errors here into failures).
+  // Loader fuzzing lives in serve/bundle_fuzz.cc: serve/ is above testing/
+  // in the layer order (tools/layers.json), so the fuzzer cannot include it
+  // — the round registers itself through SetLoaderRound instead. When no
+  // loader round is registered (a binary that links the fuzzer but not
+  // serve/), the round falls back to the forest differential so round
+  // numbering — and every later round's RNG stream — is unchanged.
   void LoaderRound(int round) {
-    common::Rng rng(common::MixSeed(opts_.seed, static_cast<uint64_t>(round)));
-
-    workload::ForestOptions fo;
-    fo.num_rows = rng.UniformInt(150, 400);
-    fo.num_attributes = static_cast<int>(rng.UniformInt(2, 5));
-    fo.seed = rng.Next();
-    storage::Catalog catalog;
-    QFCARD_CHECK_OK(catalog.AddTable(workload::MakeForestTable(fo)));
-    const storage::Table& table = catalog.table(0);
-
-    workload::PredicateGenOptions go;
-    go.max_attrs = fo.num_attributes;
-    go.max_not_equals = 2;
-    const std::vector<query::Query> raw = workload::GeneratePredicateWorkload(
-        table, 48, go, rng);
-    const common::StatusOr<std::vector<workload::LabeledQuery>> labeled =
-        workload::LabelOnTable(table, raw, /*drop_empty=*/true);
-    if (!labeled.ok()) {
-      RecordPlainFailure("loader-label", labeled.status().ToString(), round);
+    const FuzzRoundFn& fn = GetLoaderRound();
+    if (!fn) {
+      ForestRound(round);
       return;
     }
-    if (labeled.value().size() < 12) return;  // too sparse to train on
-    std::vector<query::Query> queries;
-    std::vector<double> cards;
-    for (const auto& lq : labeled.value()) {
-      queries.push_back(lq.query);
-      cards.push_back(lq.card);
-    }
-    const std::vector<query::Query> probe(queries.begin(),
-                                          queries.begin() + 8);
-
-    est::EstimatorOptions eo;
-    eo.gbm.num_trees = 6;
-    eo.gbm.max_depth = 3;
-    eo.nn.hidden = {6};
-    eo.nn.max_epochs = 3;
-    eo.nn.max_steps = 60;
-    eo.mscn.hidden = 6;
-    eo.mscn.max_epochs = 3;
-    eo.mscn.max_steps = 60;
-    eo.conj.max_partitions = static_cast<int>(rng.UniformInt(4, 16));
-
-    for (const char* const name :
-         {"linear+simple", "gb+conj", "nn+range", "mscn+conj"}) {
-      if (Full()) return;
-      auto built = est::MakeEstimator(name, catalog, eo);
-      if (!built.ok()) {
-        RecordPlainFailure("loader-make", built.status().ToString(), round);
-        continue;
-      }
-      std::unique_ptr<CardinalityEstimator> estimator =
-          std::move(built).value();
-      const common::Status trained =
-          estimator->Train(queries, cards, 0.2, rng.Next());
-      if (!trained.ok()) {
-        RecordPlainFailure("loader-train:" + std::string(name),
-                           trained.ToString(), round);
-        continue;
-      }
-
-      // Clean round trip: encode -> decode -> load -> identical predictions.
-      ++report_.checks;
-      auto bundle = serve::BundleFromEstimator(*estimator, name);
-      if (!bundle.ok()) {
-        RecordPlainFailure("loader-bundle:" + std::string(name),
-                           bundle.status().ToString(), round);
-        continue;
-      }
-      std::vector<uint8_t> bytes;
-      serve::EncodeBundle(*bundle, &bytes);
-      auto decoded = serve::DecodeBundle(bytes);
-      auto loaded = decoded.ok()
-                        ? serve::EstimatorFromBundle(*decoded, catalog)
-                        : decoded.status();
-      if (!loaded.ok()) {
-        RecordPlainFailure("loader-load:" + std::string(name),
-                           loaded.status().ToString(), round);
-        continue;
-      }
-      const auto before = estimator->EstimateBatch(probe);
-      const auto after = loaded.value()->EstimateBatch(probe);
-      if (!before.ok() || !after.ok() || before.value() != after.value()) {
-        RecordPlainFailure(
-            "loader-roundtrip:" + std::string(name),
-            "predictions changed across save/load", round);
-        continue;
-      }
-
-      // Container mutations: bit flips and truncations must all be rejected.
-      for (int m = 0; m < 12; ++m) {
-        if (Full()) return;
-        ++report_.checks;
-        std::vector<uint8_t> corrupt = bytes;
-        const size_t pos = static_cast<size_t>(rng.UniformInt(
-            0, static_cast<int64_t>(corrupt.size()) - 1));
-        corrupt[pos] =
-            static_cast<uint8_t>(corrupt[pos] ^ (1u << rng.UniformInt(0, 7)));
-        if (serve::DecodeBundle(corrupt).ok()) {
-          RecordPlainFailure(
-              "loader-bitflip:" + std::string(name),
-              common::StrFormat("bit flip at byte %llu went undetected",
-                                static_cast<unsigned long long>(pos)),
-              round);
-        }
-        ++report_.checks;
-        const size_t cut = static_cast<size_t>(rng.UniformInt(
-            0, static_cast<int64_t>(bytes.size()) - 1));
-        const std::vector<uint8_t> prefix(bytes.begin(),
-                                          bytes.begin() +
-                                              static_cast<long>(cut));
-        if (serve::DecodeBundle(prefix).ok()) {
-          RecordPlainFailure(
-              "loader-truncate:" + std::string(name),
-              common::StrFormat("truncation to %llu bytes went undetected",
-                                static_cast<unsigned long long>(cut)),
-              round);
-        }
-      }
-
-      // Payload mutations past the checksum: whatever the parsers return,
-      // it must be a Status or a usable estimator (ASan/UBSan arbitrate).
-      for (int m = 0; m < 8; ++m) {
-        if (Full()) return;
-        ++report_.checks;
-        serve::ModelBundle mutated = *decoded;
-        std::vector<uint8_t>& target =
-            m % 2 == 0 ? mutated.model : mutated.featurizer;
-        if (target.empty()) continue;
-        if (rng.Bernoulli(0.3)) {
-          target.resize(static_cast<size_t>(rng.UniformInt(
-              0, static_cast<int64_t>(target.size()) - 1)));
-        } else {
-          const size_t pos = static_cast<size_t>(rng.UniformInt(
-              0, static_cast<int64_t>(target.size()) - 1));
-          target[pos] = static_cast<uint8_t>(rng.UniformInt(0, 255));
-        }
-        auto survivor = serve::EstimatorFromBundle(mutated, catalog);
-        if (survivor.ok()) {
-          // Parsed despite the damage (e.g. a flipped weight bit): it must
-          // still estimate without tripping the sanitizers.
-          (void)survivor.value()->EstimateBatch(probe);
-        }
-      }
-    }
+    FuzzRoundContext ctx;
+    ctx.options = &opts_;
+    ctx.round = round;
+    ctx.record_failure = [this, round](const std::string& check,
+                                       const std::string& detail) {
+      RecordPlainFailure(check, detail, round);
+    };
+    ctx.count_check = [this] { ++report_.checks; };
+    ctx.full = [this] { return Full(); };
+    fn(ctx);
   }
 
   // Family rounds cross-check the registered workload families — the same
@@ -720,6 +588,19 @@ class Fuzzer {
 };
 
 }  // namespace
+
+namespace {
+
+FuzzRoundFn& LoaderRoundSlot() {
+  static FuzzRoundFn* slot = new FuzzRoundFn();  // leaked: outlives static dtors
+  return *slot;
+}
+
+}  // namespace
+
+void SetLoaderRound(FuzzRoundFn fn) { LoaderRoundSlot() = std::move(fn); }
+
+const FuzzRoundFn& GetLoaderRound() { return LoaderRoundSlot(); }
 
 std::string FuzzReport::Summary() const {
   std::ostringstream out;

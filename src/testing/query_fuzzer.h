@@ -2,6 +2,7 @@
 #define QFCARD_TESTING_QUERY_FUZZER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,37 @@ struct FuzzReport {
 };
 
 FuzzReport RunFuzzer(const FuzzOptions& options);
+
+/// Extension hook for rounds implemented above testing/ in the layer order
+/// (tools/layers.json): the serve/ loader round lives in
+/// serve/bundle_fuzz.cc and registers itself here instead of the fuzzer
+/// including serve/ headers (which would be an upward edge). The callback
+/// runs one full round, reporting through this context; the fuzzer owns
+/// all bookkeeping so registered rounds shrink/replay like built-in ones.
+struct FuzzRoundContext {
+  const FuzzOptions* options = nullptr;
+  int round = 0;
+  /// Records one failure with the standard replay line for `round`.
+  std::function<void(const std::string& check, const std::string& detail)>
+      record_failure;
+  /// Counts one comparison toward FuzzReport::checks.
+  std::function<void()> count_check;
+  /// True when the failure budget is exhausted; rounds should return early.
+  std::function<bool()> full;
+};
+
+using FuzzRoundFn = std::function<void(const FuzzRoundContext&)>;
+
+/// Installs (or, with an empty function, removes) the loader-round
+/// implementation. When none is registered, loader rounds run the forest
+/// differential round instead so round numbering — and therefore every
+/// other round's RNG stream — is unchanged. Entry points that want loader
+/// coverage call serve::RegisterLoaderFuzzRound() before RunFuzzer; see
+/// src/serve/bundle_fuzz.h. Not thread-safe against a concurrent RunFuzzer.
+void SetLoaderRound(FuzzRoundFn fn);
+
+/// The currently registered loader round (empty when none).
+const FuzzRoundFn& GetLoaderRound();
 
 }  // namespace qfcard::testing
 

@@ -15,12 +15,22 @@
 #include "estimators/registry.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
+#include "serve/bundle_fuzz.h"
 #include "storage/catalog.h"
 #include "test_util.h"
 #include "testing/shrink.h"
 
 namespace qfcard::testing {
 namespace {
+
+// The loader round lives above testing/ in the layer order, so fuzz
+// binaries opt in explicitly (serve/bundle_fuzz.h). Without this the
+// fuzzer would silently substitute forest rounds and the loader checks
+// would never run.
+const bool kLoaderRoundInstalled = [] {
+  serve::RegisterLoaderFuzzRound();
+  return true;
+}();
 
 void WriteArtifactOnFailure(const FuzzReport& report) {
   if (report.ok()) return;

@@ -1,0 +1,84 @@
+"""Self-test for tools/qfcard_lint.py against the tools/testdata/lint/
+fixtures (docs/static_analysis.md).
+
+Expectations are embedded in the fixtures: a line ending in
+`// expect: <rule> [<rule> ...]` must produce exactly those findings, and
+every finding must land on a marked line. good.cc carries no markers and
+must lint clean — its justified suppressions prove each suppression
+silences exactly its own rule.
+
+Run directly (python3 tests/lint_test.py) or through ctest (lint_selftest).
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+import unittest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINT = ROOT / "tools" / "qfcard_lint.py"
+FIXTURES = ROOT / "tools" / "testdata" / "lint"
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*(?P<rules>[\w-]+(?:\s+[\w-]+)*)")
+FINDING_RE = re.compile(r"^(?P<file>.+?):(?P<line>\d+): \[(?P<rule>[\w-]+)\]")
+
+
+def expected_findings(path: pathlib.Path) -> set:
+    out = set()
+    for idx, line in enumerate(path.read_text().splitlines(), start=1):
+        m = EXPECT_RE.search(line)
+        if m:
+            for rule in m.group("rules").split():
+                out.add((idx, rule))
+    return out
+
+
+def run_lint(*paths: pathlib.Path):
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--root", str(ROOT)] +
+        [str(p) for p in paths],
+        capture_output=True, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.add((int(m.group("line")), m.group("rule")))
+    return proc, findings
+
+
+class LintSelfTest(unittest.TestCase):
+    def test_bad_fixture_matches_markers_exactly(self):
+        bad = FIXTURES / "bad.cc"
+        proc, findings = run_lint(bad)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertEqual(findings, expected_findings(bad),
+                         "lint findings diverge from // expect markers:\n"
+                         + proc.stdout)
+
+    def test_bad_fixture_covers_regressed_rules(self):
+        # The multimap and alias cases were historical false negatives; pin
+        # that the fixture actually exercises them so a rule regression
+        # cannot hide behind a stale fixture.
+        text = (FIXTURES / "bad.cc").read_text()
+        self.assertIn("unordered_multimap", text)
+        self.assertRegex(text, r"using\s+\w+\s*=\s*std::unordered_")
+
+    def test_good_fixture_is_clean(self):
+        proc, findings = run_lint(FIXTURES / "good.cc")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertEqual(findings, set())
+
+    def test_reasonless_suppression_message(self):
+        proc, _ = run_lint(FIXTURES / "bad.cc")
+        self.assertIn("suppression has no reason", proc.stdout)
+
+    def test_repo_sources_are_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(ROOT)],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

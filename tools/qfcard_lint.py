@@ -16,16 +16,18 @@ wall-clock         system_clock / time(...) / gettimeofday / localtime /
                    Durations use steady_clock; wall-clock reads make runs
                    unreproducible and leak into reports.
 unordered-iter     Range-for (or .begin() traversal) over a variable declared
-                   std::unordered_map / std::unordered_set in the same file.
-                   Hash iteration order is implementation-defined, so feeding
-                   it into ordered output silently diverges across stdlibs —
-                   the exact bug class behind the GROUP BY hash-collision
+                   in the same file as any std::unordered_* container
+                   (map/set/multimap/multiset), directly or through a
+                   `using X = std::unordered_...` alias. Hash iteration
+                   order is implementation-defined, so feeding it into
+                   ordered output silently diverges across stdlibs — the
+                   exact bug class behind the GROUP BY hash-collision
                    undercount fixed in src/query/executor.cc (PR 2).
-unordered-container  Any std::unordered_map / std::unordered_set use must
-                   carry a justification comment explaining why its order
-                   cannot reach output (lookup-only, commutative reduction,
-                   ...). This makes the safe uses auditable and new unsafe
-                   ones a conscious, reviewed act.
+unordered-container  Any std::unordered_* use (including declarations
+                   through a local alias) must carry a justification comment
+                   explaining why its order cannot reach output (lookup-only,
+                   commutative reduction, ...). This makes the safe uses
+                   auditable and new unsafe ones a conscious, reviewed act.
 raw-steady-clock   steady_clock::now() in src/ outside src/obs/. All timing
                    flows through obs::Now() / obs::ScopedTimer / obs::TraceSpan
                    so there is exactly one clock path and every measurement can
@@ -61,12 +63,21 @@ WALL_CLOCK_RE = re.compile(
     r"\bsystem_clock\b|\bgettimeofday\s*\(|\blocaltime(_r)?\s*\(|\bgmtime(_r)?\s*\("
     r"|\bstrftime\s*\(|\bCLOCK_REALTIME\b|(?<![:\w])time\s*\(\s*(NULL|nullptr|0)?\s*\)"
 )
-UNORDERED_USE_RE = re.compile(r"\bstd::unordered_(map|set)\s*<")
+UNORDERED_USE_RE = re.compile(
+    r"\bstd::unordered_(map|set|multimap|multiset)\s*<")
 # Variable declared as an unordered container: "std::unordered_map<...> name"
 # (the template argument list may contain nested <>, so match lazily to the
 # last "> name" on the line).
 UNORDERED_DECL_RE = re.compile(
-    r"\bstd::unordered_(?:map|set)\s*<.*>\s+(?P<name>\w+)\s*[;({=]"
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<.*>"
+    r"\s+(?P<name>\w+)\s*[;({=]"
+)
+# Type alias hiding an unordered container: "using Index = std::unordered_...".
+# Variables declared with the alias are unordered too — without this, the
+# alias laundered the container past both unordered rules.
+UNORDERED_ALIAS_RE = re.compile(
+    r"\busing\s+(?P<name>\w+)\s*=\s*"
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<"
 )
 COMMENT_RE = re.compile(r"//.*$")
 
@@ -118,12 +129,29 @@ def lint_file(path: pathlib.Path, rel: str) -> list[tuple[str, int, str, str]]:
             return
         findings.append((rel, idx + 1, rule, msg))
 
+    unordered_aliases: set[str] = set()
+    for line in lines:
+        m = UNORDERED_ALIAS_RE.search(strip_comment(line))
+        if m:
+            unordered_aliases.add(m.group("name"))
+
+    # Declarations through an alias: "Index idx;" / "Index<K> idx = ...".
+    alias_decl_res = [
+        re.compile(r"\b" + re.escape(a) +
+                   r"(?:\s*<.*>)?\s+(?P<name>\w+)\s*[;({=]")
+        for a in sorted(unordered_aliases)
+    ]
+
     unordered_vars: set[str] = set()
     for line in lines:
         code = strip_comment(line)
         m = UNORDERED_DECL_RE.search(code)
         if m:
             unordered_vars.add(m.group("name"))
+        for rx in alias_decl_res:
+            am = rx.search(code)
+            if am:
+                unordered_vars.add(am.group("name"))
 
     iter_res = [
         re.compile(r"for\s*\([^;)]*:\s*" + re.escape(v) + r"\s*\)")
@@ -160,7 +188,8 @@ def lint_file(path: pathlib.Path, rel: str) -> list[tuple[str, int, str, str]]:
                        "implementation-defined and must not feed ordered "
                        "output — use std::map/sorted vector, or justify")
                 break
-        if UNORDERED_USE_RE.search(code):
+        if UNORDERED_USE_RE.search(code) or any(
+                rx.search(code) for rx in alias_decl_res):
             report(idx, "unordered-container",
                    "unordered container without a justification; explain why "
                    "its order cannot reach output, e.g. "

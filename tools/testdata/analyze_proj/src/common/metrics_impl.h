@@ -1,0 +1,20 @@
+// Fixture telemetry implementation layer: listed under telemetry.impl in
+// the fixture layers.json, so registrations here (and the non-literal
+// prototypes) are exempt from the catalog cross-check.
+#ifndef FIXTURE_COMMON_METRICS_IMPL_H_
+#define FIXTURE_COMMON_METRICS_IMPL_H_
+
+namespace common {
+
+void IncrementCounter(const char* name);
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+};
+
+inline void WarmImpl() { IncrementCounter("impl.internal"); }
+
+}  // namespace common
+
+#endif  // FIXTURE_COMMON_METRICS_IMPL_H_

@@ -1,0 +1,25 @@
+// Fixture mutex shims: the analyzer matches these names structurally, the
+// fixture tree is never compiled.
+#ifndef FIXTURE_COMMON_MUTEX_H_
+#define FIXTURE_COMMON_MUTEX_H_
+
+#define QFCARD_GUARDED_BY(x)
+#define QFCARD_PT_GUARDED_BY(x)
+#define QFCARD_REQUIRES(...)
+
+namespace common {
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+}  // namespace common
+
+#endif  // FIXTURE_COMMON_MUTEX_H_

@@ -1,0 +1,17 @@
+// Fixture: the one allowlisted abort path (layers.json error_policy.allow).
+#include "common/status.h"
+
+#include <cstdlib>
+
+namespace common {
+
+bool Status::ok() const { return true; }
+
+void CheckOk(const Status& s) {
+  if (!s.ok()) std::abort();
+}
+
+Status DoThing() { return Status(); }
+Status OtherThing() { return Status(); }
+
+}  // namespace common

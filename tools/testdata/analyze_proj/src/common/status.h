@@ -1,0 +1,24 @@
+// Fixture status types: [[nodiscard]] present, so the error-policy pass
+// stays quiet here; DoThing/OtherThing feed the discarded-status check.
+#ifndef FIXTURE_COMMON_STATUS_H_
+#define FIXTURE_COMMON_STATUS_H_
+
+namespace common {
+
+class [[nodiscard]] Status {
+ public:
+  bool ok() const;
+};
+
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  bool ok() const;
+};
+
+Status DoThing();
+Status OtherThing();
+
+}  // namespace common
+
+#endif  // FIXTURE_COMMON_STATUS_H_

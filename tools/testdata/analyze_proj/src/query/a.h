@@ -1,0 +1,13 @@
+// expect: include-cycle
+// Fixture: a.h <-> b.h form the seeded include cycle; the finding anchors
+// at line 1 of the lexically-first file on the cycle (this one).
+#ifndef FIXTURE_QUERY_A_H_
+#define FIXTURE_QUERY_A_H_
+
+#include "query/b.h"
+
+namespace query {
+struct A {};
+}  // namespace query
+
+#endif  // FIXTURE_QUERY_A_H_

@@ -1,0 +1,11 @@
+// Fixture: second half of the seeded a.h <-> b.h include cycle.
+#ifndef FIXTURE_QUERY_B_H_
+#define FIXTURE_QUERY_B_H_
+
+#include "query/a.h"
+
+namespace query {
+struct B {};
+}  // namespace query
+
+#endif  // FIXTURE_QUERY_B_H_

@@ -1,0 +1,23 @@
+// Fixture exercising the layering, error-policy, discarded-status, and
+// telemetry passes in one translation unit.
+#include "common/metrics_impl.h"
+#include "common/status.h"
+#include "query/a.h"
+#include "serve/api.h"  // expect: layer
+// qfcard-lint: ok(layer): fixture: justified upward include stays silent
+#include "serve/api2.h"
+
+namespace query {
+
+void Run() {
+  common::TraceSpan span("good.span");
+  common::IncrementCounter("good.counter");
+  common::IncrementCounter("unregistered.counter");  // expect: telemetry
+  // qfcard-lint: ok(telemetry): fixture: justified off-catalog series
+  common::IncrementCounter("justified.counter");
+  common::DoThing();  // expect: discarded-status
+  common::Status s = common::OtherThing();
+  if (!s.ok()) throw 1;  // expect: error-policy
+}
+
+}  // namespace query

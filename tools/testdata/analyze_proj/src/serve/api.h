@@ -1,0 +1,9 @@
+// Fixture: a serve-layer header; query/ including it is an upward edge.
+#ifndef FIXTURE_SERVE_API_H_
+#define FIXTURE_SERVE_API_H_
+
+namespace serve {
+struct Api {};
+}  // namespace serve
+
+#endif  // FIXTURE_SERVE_API_H_

@@ -1,0 +1,10 @@
+// Fixture: serve-layer header whose upward include in query/engine.cc is
+// suppressed with a reason — the layering finding must stay silent.
+#ifndef FIXTURE_SERVE_API2_H_
+#define FIXTURE_SERVE_API2_H_
+
+namespace serve {
+struct Api2 {};
+}  // namespace serve
+
+#endif  // FIXTURE_SERVE_API2_H_

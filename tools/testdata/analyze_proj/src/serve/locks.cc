@@ -1,0 +1,44 @@
+// Fixture for the lock-order pass: Pair's two methods acquire a_/b_ in
+// opposite orders (the seeded cycle); Quiet nests an acquisition under a
+// justified lock-order suppression, which drops that edge into the JSON
+// report's suppressed_edges instead of the graph.
+#include "common/mutex.h"
+
+namespace serve {
+
+class Pair {
+ public:
+  void First();
+  void Second();
+
+ private:
+  common::Mutex a_;
+  common::Mutex b_;
+};
+
+void Pair::First() {
+  common::MutexLock hold_a(&a_);
+  common::MutexLock hold_b(&b_);  // expect: lock-order
+}
+
+void Pair::Second() {
+  common::MutexLock hold_b(&b_);
+  common::MutexLock hold_a(&a_);
+}
+
+class Quiet {
+ public:
+  void Both();
+
+ private:
+  common::Mutex c_;
+  common::Mutex d_;
+};
+
+void Quiet::Both() {
+  common::MutexLock hold_c(&c_);
+  // qfcard-lint: ok(lock-order): fixture: edge recorded as suppressed
+  common::MutexLock hold_d(&d_);
+}
+
+}  // namespace serve

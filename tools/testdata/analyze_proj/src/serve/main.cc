@@ -1,0 +1,10 @@
+// Fixture entry point (layers.json entry_points): composes layers freely
+// and may exit — both exemptions must hold, so no findings here.
+#include <cstdlib>
+
+#include "query/a.h"
+#include "serve/api.h"
+
+int main() {
+  std::exit(0);
+}

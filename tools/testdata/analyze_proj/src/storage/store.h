@@ -1,0 +1,30 @@
+// Fixture for the guarded-by pass: one annotated member, one bare member
+// (finding), one justified suppression (silenced), one reasonless
+// suppression (itself a finding), and one suppression naming the wrong
+// rule (must not silence — suppressions are rule-exact).
+#ifndef FIXTURE_STORAGE_STORE_H_
+#define FIXTURE_STORAGE_STORE_H_
+
+#include "common/mutex.h"
+
+namespace storage {
+
+class Store {
+ public:
+  void Put(int v);
+
+ private:
+  common::Mutex mu_;
+  int annotated_ QFCARD_GUARDED_BY(mu_);
+  int bad_count_;  // expect: guarded-by
+  // qfcard-lint: ok(guarded-by): fixture: written once before threads start
+  int noted_;
+  // qfcard-lint: ok(guarded-by)
+  int lazy_;  // expect: guarded-by
+  // qfcard-lint: ok(lock-order): wrong rule on purpose; must not silence
+  int mismatched_;  // expect: guarded-by
+};
+
+}  // namespace storage
+
+#endif  // FIXTURE_STORAGE_STORE_H_

@@ -1,0 +1,17 @@
+// Clean lint fixture: every unordered container carries a justification
+// (including the alias and its declarations), and lookups never iterate.
+// tests/lint_test.py expects zero findings here.
+#include <unordered_map>
+#include <unordered_set>
+
+// qfcard-lint: ok(unordered-container): lookup-only membership probe
+using SeenSet = std::unordered_set<int>;
+
+int Lookup(int key) {
+  // qfcard-lint: ok(unordered-container): lookup-only, order never observed
+  std::unordered_map<int, int> cache;
+  // qfcard-lint: ok(unordered-container): lookup-only membership probe
+  SeenSet seen;
+  auto it = cache.find(key);
+  return it == cache.end() ? static_cast<int>(seen.count(key)) : it->second;
+}
