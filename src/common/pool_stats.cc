@@ -9,6 +9,7 @@ namespace {
 // Constant-initialized, so reads are valid even from static initializers in
 // other translation units that run before this one's dynamic init.
 std::atomic<PoolStatsSink*> g_pool_stats_sink{nullptr};
+std::atomic<PoolTraceBridge*> g_pool_trace_bridge{nullptr};
 
 }  // namespace
 
@@ -18,6 +19,14 @@ void SetPoolStatsSink(PoolStatsSink* sink) {
 
 PoolStatsSink* GetPoolStatsSink() {
   return g_pool_stats_sink.load(std::memory_order_acquire);
+}
+
+void SetPoolTraceBridge(PoolTraceBridge* bridge) {
+  g_pool_trace_bridge.store(bridge, std::memory_order_release);
+}
+
+PoolTraceBridge* GetPoolTraceBridge() {
+  return g_pool_trace_bridge.load(std::memory_order_acquire);
 }
 
 }  // namespace qfcard::common

@@ -51,6 +51,50 @@ void SetPoolStatsSink(PoolStatsSink* sink);
 /// The installed sink, or nullptr. Lock-free (one relaxed atomic load).
 PoolStatsSink* GetPoolStatsSink();
 
+/// Opaque trace identity a ThreadPool job carries from the submitting
+/// thread to the workers that run it. common/ cannot see obs::TraceContext
+/// (layering, tools/layers.json), so the pool treats the pair as two plain
+/// integers; obs/trace.cc gives them meaning.
+struct PoolTraceToken {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// Trace-context handoff interface for ThreadPool, the same dependency
+/// inversion as PoolStatsSink above: obs/trace.cc installs the one real
+/// implementation at static-initialization time. The pool captures the
+/// caller's token once per ParallelFor and brackets every per-thread claim
+/// loop with Adopt/Release, so spans a task opens on a worker parent under
+/// the submitting span — and a task that leaks an unclosed span cannot
+/// corrupt attribution for later tasks, because Release restores the
+/// worker's pre-task chain unconditionally.
+///
+/// Adopt/Release are strictly nested per thread (a nested ParallelFor runs
+/// inline on the worker and brackets again). Implementations must be safe
+/// to call concurrently from every pool worker.
+class PoolTraceBridge {
+ public:
+  virtual ~PoolTraceBridge() = default;
+
+  /// Cheap dynamic toggle; when false the pool skips Capture/Adopt/Release.
+  virtual bool Enabled() const = 0;
+
+  /// The calling thread's current trace context.
+  virtual PoolTraceToken Capture() const = 0;
+
+  /// Saves this thread's context and installs `token`.
+  virtual void Adopt(const PoolTraceToken& token) = 0;
+
+  /// Restores the context saved by the matching Adopt.
+  virtual void Release() = 0;
+};
+
+/// Installs the process-wide bridge (not owned; pass nullptr to uninstall).
+void SetPoolTraceBridge(PoolTraceBridge* bridge);
+
+/// The installed bridge, or nullptr. Lock-free (one acquire atomic load).
+PoolTraceBridge* GetPoolTraceBridge();
+
 }  // namespace qfcard::common
 
 #endif  // QFCARD_COMMON_POOL_STATS_H_

@@ -29,6 +29,15 @@ PoolStatsSink* ActiveSink() {
   return (sink != nullptr && sink->Enabled()) ? sink : nullptr;
 }
 
+// The trace-context bridge, if any. obs/trace.cc installs one so spans
+// opened inside pool tasks join the submitting thread's trace; same
+// layering inversion as the stats sink. Returns nullptr when tracing is
+// off so the handoff costs one relaxed load + one virtual call.
+PoolTraceBridge* ActiveBridge() {
+  PoolTraceBridge* bridge = GetPoolTraceBridge();
+  return (bridge != nullptr && bridge->Enabled()) ? bridge : nullptr;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
@@ -51,12 +60,19 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::RunJob() {
   FunctionRef<void(int64_t)> fn;
   int64_t n = 0;
+  PoolTraceToken trace_token;
   {
     MutexLock lock(&mu_);
     fn = job_fn_;
     n = job_n_;
+    trace_token = job_trace_;
   }
   if (!fn) return;
+  // Task boundary: install the submitter's trace context for the duration
+  // of this thread's claim loop, restoring the prior chain afterwards (the
+  // Release half is what keeps a leaked span from poisoning later tasks).
+  PoolTraceBridge* bridge = ActiveBridge();
+  if (bridge != nullptr) bridge->Adopt(trace_token);
   PoolStatsSink* sink = ActiveSink();
   const double run_start = sink != nullptr ? sink->NowSeconds() : 0.0;
   uint64_t claimed_chunks = 0;
@@ -81,6 +97,7 @@ void ThreadPool::RunJob() {
       }
     }
   }
+  if (bridge != nullptr) bridge->Release();
   if (sink != nullptr) {
     sink->OnJobRun(claimed_chunks, sink->NowSeconds() - run_start);
   }
@@ -142,6 +159,10 @@ void ThreadPool::ParallelFor(int64_t n, FunctionRef<void(int64_t)> fn) {
     job_fn_ = fn;
     job_n_ = n;
     job_publish_ = sink != nullptr ? sink->NowSeconds() : 0.0;
+    {
+      PoolTraceBridge* bridge = ActiveBridge();
+      job_trace_ = bridge != nullptr ? bridge->Capture() : PoolTraceToken{};
+    }
     next_index_.store(0, std::memory_order_relaxed);
     {
       MutexLock err_lock(&err_mu_);

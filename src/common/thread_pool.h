@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/pool_stats.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 
@@ -90,6 +91,14 @@ class FunctionRef<R(Args...)> {
 /// and histograms (queue_wait_seconds: publish-to-worker-wake latency;
 /// task_run_seconds: per-thread time inside the claim loop). When metrics
 /// are off the added cost is one relaxed atomic load per call.
+///
+/// Tracing (docs/observability.md): when QFCARD_TRACE is on, ParallelFor
+/// captures the caller's trace context (PoolTraceBridge) into the job and
+/// every thread running the job adopts it around its claim loop, so spans a
+/// task opens on a worker parent under the submitting span instead of
+/// starting stray per-worker roots. Release at the task boundary restores
+/// the worker's prior chain unconditionally — a task that leaks an unclosed
+/// span cannot corrupt attribution for later tasks on that worker.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads`-way parallelism (clamped to >= 1).
@@ -141,6 +150,9 @@ class ThreadPool {
   // time; workers subtract this from their wake time to measure queue
   // wait. 0.0 when no sink was active at publish time.
   double job_publish_ QFCARD_GUARDED_BY(mu_) = 0.0;
+  // Trace context of the thread that published the current job; adopted by
+  // every thread running it. Zero when no bridge was active at publish.
+  PoolTraceToken job_trace_ QFCARD_GUARDED_BY(mu_);
   // Workers still inside the current job.
   int workers_active_ QFCARD_GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> next_index_{0};

@@ -48,17 +48,21 @@ common::StatusOr<std::vector<double>> MlEstimator::EstimateBatch(
   ml::Matrix x(static_cast<int>(queries.size()), featurizer_->dim());
   {
     // Sub-stage: featurize (FeaturizeBatch opens its own featurize.batch
-    // span, nested under estimate.batch here).
+    // span, nested under estimate.featurize here).
+    obs::TraceSpan featurize_span("estimate.featurize");
     obs::ScopedTimer featurize_timer("estimate.featurize_seconds",
                                      backend_label);
     QFCARD_RETURN_IF_ERROR(featurizer_->FeaturizeBatch(
         {queries.data(), queries.size()}, x.data().data()));
+    obs::StageCapture::Report(obs::Stage::kFeaturize,
+                              featurize_timer.Seconds());
   }
   obs::TraceSpan predict_span("estimate.predict");
   obs::ScopedTimer predict_timer("estimate.predict_seconds", backend_label);
   const std::vector<float> preds = model_->PredictBatch(x);
   std::vector<double> out(queries.size());
   for (size_t i = 0; i < out.size(); ++i) out[i] = ml::LabelToCard(preds[i]);
+  obs::StageCapture::Report(obs::Stage::kPredict, predict_timer.Seconds());
   return out;
 }
 
@@ -125,10 +129,12 @@ common::StatusOr<std::vector<double>> MscnEstimator::EstimateBatch(
                         static_cast<uint64_t>(queries.size()));
   std::vector<featurize::MscnSample> samples;
   {
-    obs::TraceSpan featurize_span("featurize.batch");
+    obs::TraceSpan featurize_span("estimate.featurize");
     obs::ScopedTimer featurize_timer("estimate.featurize_seconds",
                                      backend_label);
     QFCARD_RETURN_IF_ERROR(FeaturizeMscnBatch(featurizer_, queries, &samples));
+    obs::StageCapture::Report(obs::Stage::kFeaturize,
+                              featurize_timer.Seconds());
   }
   obs::TraceSpan predict_span("estimate.predict");
   obs::ScopedTimer predict_timer("estimate.predict_seconds", backend_label);
@@ -138,6 +144,7 @@ common::StatusOr<std::vector<double>> MscnEstimator::EstimateBatch(
         const size_t idx = static_cast<size_t>(i);
         out[idx] = ml::LabelToCard(model_.Predict(samples[idx]));
       });
+  obs::StageCapture::Report(obs::Stage::kPredict, predict_timer.Seconds());
   return out;
 }
 

@@ -33,6 +33,23 @@ struct EstimateRequest {
   uint64_t route_hint = 0;
 };
 
+/// Where one request's latency went, in seconds (docs/serving.md). Filled
+/// by the estimation server from its span tree and stage capture; all zero
+/// for direct estimator calls (no queue, no batch). The split is also
+/// exported as the serve.request.stage_seconds{stage=...} histograms.
+struct StageBreakdown {
+  /// Admission to micro-batch execution start (time spent queued).
+  double queue_wait_seconds = 0.0;
+  /// Wall time of the micro-batch execution that served this request
+  /// (shared by every member of the batch).
+  double batch_exec_seconds = 0.0;
+  /// Featurization portion of the batch execution, when the serving
+  /// backend reports stages (ML backends do; stats backends leave it 0).
+  double featurize_seconds = 0.0;
+  /// Model-inference portion of the batch execution, ditto.
+  double predict_seconds = 0.0;
+};
+
 /// The answer to one EstimateRequest. Alongside the estimate it carries the
 /// provenance a production client needs for debugging and SLO accounting:
 /// which feature-space route served it, which model version was active, and
@@ -50,6 +67,13 @@ struct EstimateResponse {
   /// estimator calls this is the featurize+predict time; through the
   /// estimation server it additionally includes micro-batching queue wait.
   double latency_seconds = 0.0;
+  /// Root span id of this request's trace when QFCARD_TRACE is on and the
+  /// request went through the estimation server; 0 otherwise. Matches the
+  /// "trace" field in trace dumps, so a slow response can be looked up in
+  /// the tail-sampled span tree (docs/observability.md).
+  uint64_t trace_id = 0;
+  /// Per-stage latency attribution (server-filled; zeros elsewhere).
+  StageBreakdown stages;
 };
 
 }  // namespace qfcard::est

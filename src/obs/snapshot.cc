@@ -17,7 +17,10 @@ std::string SnapshotJson() {
       << MetricsRegistry::Global().ToJson() << ",\"drift_monitor\":"
       << QErrorDriftMonitor::Global().ToJson() << ",\"trace\":{\"capacity\":"
       << trace.capacity() << ",\"recorded\":" << trace.Recorded()
-      << ",\"dropped\":" << trace.Dropped() << "}}";
+      << ",\"dropped\":" << trace.Dropped()
+      << ",\"retained\":" << trace.RetainedSpans()
+      << ",\"tail_sampled\":" << trace.TailSampledTraces()
+      << ",\"tail_dropped\":" << trace.TailDroppedSpans() << "}}";
   return out.str();
 }
 

@@ -1,10 +1,12 @@
 #include "obs/trace.h"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <utility>
 
 #include "common/env.h"
+#include "common/pool_stats.h"
 #include "common/str_util.h"
 #include "obs/metrics.h"
 
@@ -29,6 +31,36 @@ void SetTraceEnabled(bool enabled) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-thread state
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Innermost open span on this thread and the trace it belongs to; new spans
+// parent under the pair. Spans are strictly scope-nested per thread (RAII),
+// so plain per-thread variables suffice — no synchronization needed. A
+// cross-thread re-attach (TraceSpan(name, ctx), PoolTraceBridge::Adopt)
+// saves and restores both.
+thread_local uint64_t tls_current_span = 0;
+thread_local uint64_t tls_current_trace = 0;
+
+std::atomic<uint32_t> g_next_thread_index{0};
+thread_local uint32_t tls_thread_index = ~0u;
+
+}  // namespace
+
+uint32_t CurrentThreadIndex() {
+  if (tls_thread_index == ~0u) {
+    tls_thread_index = g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_index;
+}
+
+TraceContext CurrentTraceContext() {
+  return TraceContext{tls_current_trace, tls_current_span};
+}
+
+// ---------------------------------------------------------------------------
 // TraceBuffer
 // ---------------------------------------------------------------------------
 
@@ -43,32 +75,73 @@ TraceBuffer::TraceBuffer(size_t capacity)
   ring_.reserve(capacity_);
 }
 
+bool TraceBuffer::IsKept(uint64_t trace_id) const {
+  return kept_traces_.count(trace_id) != 0;
+}
+
+void TraceBuffer::KeepTrace(uint64_t trace_id) {
+  if (kept_traces_.count(trace_id) != 0) return;
+  kept_traces_.insert(trace_id);
+  kept_order_.push_back(trace_id);
+  ++tail_sampled_;
+  // Bounded memory of kept traces: forget the oldest. Its spans already in
+  // the side store stay there; it just loses future eviction protection.
+  while (kept_traces_.size() > tail_.max_kept_traces && !kept_order_.empty()) {
+    kept_traces_.erase(kept_order_.front());
+    kept_order_.pop_front();
+  }
+}
+
 void TraceBuffer::Record(SpanRecord span) {
   common::MutexLock lock(&mu_);
   ++recorded_;
+  // Keep-decision at trace-root close (the root is recorded last, after its
+  // children): a slow or errored request marks its whole trace kept, so the
+  // eviction path below rescues the trace's spans from the ring.
+  if (tail_.enabled && span.trace_id != 0 && span.id == span.trace_id) {
+    const bool slow = span.duration_s >= tail_.latency_threshold_seconds;
+    const bool errored = tail_.keep_errors && span.error;
+    if (slow || errored) KeepTrace(span.trace_id);
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(span));
     return;
   }
-  // Full: overwrite the oldest slot (next_slot_ walks the ring).
+  // Full: overwrite the oldest slot (next_slot_ walks the ring), rescuing
+  // victims that belong to a tail-sampled trace into the bounded side store.
+  SpanRecord& victim = ring_[next_slot_];
+  if (tail_.enabled && victim.trace_id != 0 && IsKept(victim.trace_id)) {
+    if (retained_.size() < tail_.retained_capacity) {
+      retained_.push_back(std::move(victim));
+    } else {
+      ++tail_dropped_;
+    }
+  }
   ring_[next_slot_] = std::move(span);
   next_slot_ = (next_slot_ + 1) % capacity_;
 }
 
-std::vector<SpanRecord> TraceBuffer::Snapshot() const {
-  common::MutexLock lock(&mu_);
+std::vector<SpanRecord> TraceBuffer::SnapshotLocked() const {
   std::vector<SpanRecord> out;
-  out.reserve(ring_.size());
-  // Oldest first: from next_slot_ (the overwrite cursor) around the ring.
+  out.reserve(retained_.size() + ring_.size());
+  // Retainees were evicted from the ring, so they predate everything in it.
+  out.insert(out.end(), retained_.begin(), retained_.end());
+  // Ring oldest first: from next_slot_ (the overwrite cursor) around.
   for (size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
   }
   return out;
 }
 
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  common::MutexLock lock(&mu_);
+  return SnapshotLocked();
+}
+
 uint64_t TraceBuffer::Dropped() const {
   common::MutexLock lock(&mu_);
-  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  const uint64_t held = ring_.size() + retained_.size();
+  return recorded_ > held ? recorded_ - held : 0;
 }
 
 uint64_t TraceBuffer::Recorded() const {
@@ -81,6 +154,32 @@ size_t TraceBuffer::capacity() const {
   return capacity_;
 }
 
+void TraceBuffer::SetTailSampling(const TailSamplingOptions& options) {
+  common::MutexLock lock(&mu_);
+  tail_ = options;
+  if (tail_.max_kept_traces == 0) tail_.max_kept_traces = 1;
+}
+
+TailSamplingOptions TraceBuffer::tail_sampling() const {
+  common::MutexLock lock(&mu_);
+  return tail_;
+}
+
+uint64_t TraceBuffer::TailSampledTraces() const {
+  common::MutexLock lock(&mu_);
+  return tail_sampled_;
+}
+
+uint64_t TraceBuffer::TailDroppedSpans() const {
+  common::MutexLock lock(&mu_);
+  return tail_dropped_;
+}
+
+size_t TraceBuffer::RetainedSpans() const {
+  common::MutexLock lock(&mu_);
+  return retained_.size();
+}
+
 void TraceBuffer::Reset() {
   common::MutexLock lock(&mu_);
   ring_.clear();
@@ -88,40 +187,69 @@ void TraceBuffer::Reset() {
   recorded_ = 0;
   next_id_.store(1, std::memory_order_relaxed);
   epoch_ = Now();
+  retained_.clear();
+  kept_traces_.clear();
+  kept_order_.clear();
+  tail_sampled_ = 0;
+  tail_dropped_ = 0;
 }
 
 void TraceBuffer::ResetWithCapacity(size_t capacity) {
+  Reset();
   common::MutexLock lock(&mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
-  ring_.clear();
   ring_.reserve(capacity_);
-  next_slot_ = 0;
-  recorded_ = 0;
-  next_id_.store(1, std::memory_order_relaxed);
-  epoch_ = Now();
 }
+
+namespace {
+
+void AppendSpanJson(std::ostringstream& out, const SpanRecord& s) {
+  out << "{\"id\":" << s.id << ",\"parent\":" << s.parent_id
+      << ",\"trace\":" << s.trace_id << ",\"route\":" << s.route
+      << ",\"tid\":" << s.thread_index
+      << ",\"error\":" << (s.error ? "true" : "false") << ",\"name\":\""
+      << internal::JsonEscape(s.name) << "\",\"start_s\":"
+      << common::StrFormat("%.9f", s.start_s) << ",\"duration_s\":"
+      << common::StrFormat("%.9f", s.duration_s);
+  if (!s.links.empty()) {
+    out << ",\"links\":[";
+    for (size_t i = 0; i < s.links.size(); ++i) {
+      if (i > 0) out << ",";
+      out << s.links[i];
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
+}  // namespace
 
 std::string TraceBuffer::ToJson() const {
   std::ostringstream out;
-  const std::vector<SpanRecord> spans = Snapshot();
+  std::vector<SpanRecord> spans;
   uint64_t recorded = 0;
   size_t capacity = 0;
+  size_t retained = 0;
+  uint64_t tail_sampled = 0;
+  uint64_t tail_dropped = 0;
   {
     common::MutexLock lock(&mu_);
+    spans = SnapshotLocked();
     recorded = recorded_;
     capacity = capacity_;
+    retained = retained_.size();
+    tail_sampled = tail_sampled_;
+    tail_dropped = tail_dropped_;
   }
   const uint64_t dropped =
       recorded > spans.size() ? recorded - spans.size() : 0;
   out << "{\"capacity\":" << capacity << ",\"recorded\":" << recorded
-      << ",\"dropped\":" << dropped << ",\"spans\":[";
+      << ",\"dropped\":" << dropped << ",\"retained\":" << retained
+      << ",\"tail_sampled\":" << tail_sampled
+      << ",\"tail_dropped\":" << tail_dropped << ",\"spans\":[";
   for (size_t i = 0; i < spans.size(); ++i) {
     if (i > 0) out << ",";
-    const SpanRecord& s = spans[i];
-    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent_id
-        << ",\"name\":\"" << internal::JsonEscape(s.name) << "\",\"start_s\":"
-        << common::StrFormat("%.9f", s.start_s) << ",\"duration_s\":"
-        << common::StrFormat("%.9f", s.duration_s) << "}";
+    AppendSpanJson(out, spans[i]);
   }
   out << "]}";
   return out.str();
@@ -131,45 +259,292 @@ std::string TraceBuffer::ToJson() const {
 // TraceSpan
 // ---------------------------------------------------------------------------
 
-namespace {
-
-// Innermost open span on this thread; new spans parent under it. Spans are
-// strictly scope-nested per thread (RAII), so a plain stack variable per
-// thread suffices — no synchronization needed.
-thread_local uint64_t tls_current_span = 0;
-
-}  // namespace
-
-TraceSpan::TraceSpan(const char* name) : name_(name) {
-  if (!TraceEnabled()) return;
+void TraceSpan::Open(const char* name, uint64_t parent, uint64_t trace) {
+  name_ = name;
   TraceBuffer& buffer = TraceBuffer::Global();
   id_ = buffer.NextId();
-  parent_id_ = tls_current_span;
+  parent_id_ = parent;
+  // A span opening with no surrounding trace starts one: the trace id IS
+  // the root span's id, so links to a trace resolve to a concrete span.
+  trace_id_ = trace == 0 ? id_ : trace;
+  prev_span_ = tls_current_span;
+  prev_trace_ = tls_current_trace;
   tls_current_span = id_;
+  tls_current_trace = trace_id_;
+  owner_thread_ = CurrentThreadIndex();
   start_ = Now();
   active_ = true;
 }
 
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!TraceEnabled()) return;
+  Open(name, tls_current_span, tls_current_trace);
+}
+
+TraceSpan::TraceSpan(const char* name, const TraceContext& ctx) : name_(name) {
+  if (!TraceEnabled()) return;
+  if (ctx.valid()) {
+    Open(name, ctx.parent_span_id, ctx.trace_id);
+  } else {
+    Open(name, tls_current_span, tls_current_trace);
+  }
+}
+
 TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::AddLink(uint64_t trace_id) {
+  if (!active_ || trace_id == 0 || trace_id == trace_id_) return;
+  links_.push_back(trace_id);
+}
+
+void TraceSpan::MarkError() {
+  if (active_) error_ = true;
+}
+
+void TraceSpan::SetRoute(uint64_t route) {
+  if (active_) route_ = route;
+}
 
 void TraceSpan::End() {
   if (!active_) return;
   active_ = false;
-  tls_current_span = parent_id_;
+  // Restore the chain only on the thread that opened the span: if the span
+  // object migrated (e.g. destroyed by whoever joined a worker), writing the
+  // saved values into the destroyer's thread-locals would corrupt ITS chain.
+  if (CurrentThreadIndex() == owner_thread_) {
+    tls_current_span = prev_span_;
+    tls_current_trace = prev_trace_;
+  }
   TraceBuffer& buffer = TraceBuffer::Global();
   SpanRecord span;
   span.id = id_;
   span.parent_id = parent_id_;
+  span.trace_id = trace_id_;
+  span.route = route_;
+  span.thread_index = owner_thread_;
+  span.error = error_;
   span.name = name_;
   span.start_s = buffer.SinceEpoch(start_);
   span.duration_s = SecondsBetween(start_, Now());
+  span.links = std::move(links_);
   buffer.Record(std::move(span));
 }
+
+uint64_t RecordSpan(const char* name, const TraceContext& ctx,
+                    Clock::time_point start, Clock::time_point end,
+                    uint64_t route) {
+  if (!TraceEnabled()) return 0;
+  TraceBuffer& buffer = TraceBuffer::Global();
+  SpanRecord span;
+  span.id = buffer.NextId();
+  span.parent_id = ctx.parent_span_id;
+  span.trace_id = ctx.trace_id;
+  span.route = route;
+  span.thread_index = CurrentThreadIndex();
+  span.name = name;
+  span.start_s = buffer.SinceEpoch(start);
+  span.duration_s = SecondsBetween(start, end);
+  buffer.Record(std::move(span));
+  return span.id;
+}
+
+void RecordTraceRoot(const char* name, uint64_t trace_id,
+                     Clock::time_point start, Clock::time_point end,
+                     uint64_t route, bool error) {
+  if (!TraceEnabled() || trace_id == 0) return;
+  TraceBuffer& buffer = TraceBuffer::Global();
+  SpanRecord span;
+  span.id = trace_id;
+  span.parent_id = 0;
+  span.trace_id = trace_id;
+  span.route = route;
+  span.thread_index = CurrentThreadIndex();
+  span.error = error;
+  span.name = name;
+  span.start_s = buffer.SinceEpoch(start);
+  span.duration_s = SecondsBetween(start, end);
+  buffer.Record(std::move(span));
+}
+
+uint64_t MintTraceId() {
+  if (!TraceEnabled()) return 0;
+  return TraceBuffer::Global().NextId();
+}
+
+// ---------------------------------------------------------------------------
+// StageCapture
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local StageCapture* tls_stage_capture = nullptr;
+}  // namespace
+
+StageCapture::StageCapture() : prev_(tls_stage_capture) {
+  tls_stage_capture = this;
+}
+
+StageCapture::~StageCapture() { tls_stage_capture = prev_; }
+
+void StageCapture::Report(Stage stage, double seconds) {
+  StageCapture* capture = tls_stage_capture;
+  if (capture == nullptr) return;
+  capture->seconds_[static_cast<int>(stage)] += seconds;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool context handoff (common::PoolTraceBridge)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Saved (trace, span) pairs for nested Adopt/Release on this thread.
+thread_local std::vector<std::pair<uint64_t, uint64_t>> tls_adopt_stack;
+
+// The one real bridge: lets common::ThreadPool capture the submitting
+// thread's context and re-install it on workers without common/ including
+// obs/ (same inversion as PoolStatsSink; see obs/pool_metrics.cc).
+class PoolTraceBridgeImpl final : public common::PoolTraceBridge {
+ public:
+  bool Enabled() const override { return TraceEnabled(); }
+
+  common::PoolTraceToken Capture() const override {
+    return common::PoolTraceToken{tls_current_trace, tls_current_span};
+  }
+
+  void Adopt(const common::PoolTraceToken& token) override {
+    tls_adopt_stack.emplace_back(tls_current_trace, tls_current_span);
+    tls_current_trace = token.trace_id;
+    tls_current_span = token.span_id;
+  }
+
+  void Release() override {
+    // Restoring (rather than leaving whatever the task set) is the fix for
+    // leaked unclosed spans corrupting every later task on this worker.
+    if (tls_adopt_stack.empty()) {
+      tls_current_trace = 0;
+      tls_current_span = 0;
+      return;
+    }
+    tls_current_trace = tls_adopt_stack.back().first;
+    tls_current_span = tls_adopt_stack.back().second;
+    tls_adopt_stack.pop_back();
+  }
+};
+
+struct PoolTraceInstaller {
+  PoolTraceInstaller() { common::SetPoolTraceBridge(&bridge); }
+  PoolTraceBridgeImpl bridge;
+};
+
+PoolTraceInstaller g_pool_trace_installer;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exports
+// ---------------------------------------------------------------------------
 
 bool WriteTraceJson(const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
   out << TraceBuffer::Global().ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+// Dense pid lane per serving route: Perfetto groups tracks by process, so
+// each route renders as its own swim-lane group. Route 0 (spans recorded
+// outside any serving route) gets pid 1.
+std::map<uint64_t, int> RoutePids(const std::vector<SpanRecord>& spans) {
+  std::map<uint64_t, int> pids;
+  pids[0] = 1;
+  for (const SpanRecord& s : spans) pids.emplace(s.route, 0);
+  int next = 1;
+  for (auto& entry : pids) entry.second = next++;
+  return pids;
+}
+
+}  // namespace
+
+bool WriteTraceEventJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const std::vector<SpanRecord> spans = TraceBuffer::Global().Snapshot();
+  const std::map<uint64_t, int> pids = RoutePids(spans);
+  // Root spans by trace id, for drawing follow-from flow arrows.
+  std::map<uint64_t, const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id != 0 && s.id == s.trace_id) roots[s.id] = &s;
+  }
+  std::ostringstream events;
+  bool first = true;
+  auto comma = [&events, &first]() {
+    if (!first) events << ",\n";
+    first = false;
+  };
+  // Process metadata: name each route lane.
+  for (const auto& [route, pid] : pids) {
+    comma();
+    const std::string label =
+        route == 0 ? std::string("qfcard (unrouted)")
+                   : "route 0x" + common::StrFormat(
+                         "%016llx", static_cast<unsigned long long>(route));
+    events << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\""
+           << internal::JsonEscape(label) << "\"}}";
+  }
+  // Thread metadata: one per (route lane, thread) pair that recorded spans.
+  std::set<std::pair<int, uint32_t>> named_threads;
+  for (const SpanRecord& s : spans) {
+    const int pid = pids.at(s.route);
+    if (!named_threads.insert({pid, s.thread_index}).second) continue;
+    comma();
+    events << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << s.thread_index << ",\"args\":{\"name\":\"thread "
+           << s.thread_index << "\"}}";
+  }
+  for (const SpanRecord& s : spans) {
+    const int pid = pids.at(s.route);
+    comma();
+    events << "{\"name\":\"" << internal::JsonEscape(s.name)
+           << "\",\"cat\":\"qfcard\",\"ph\":\"X\",\"ts\":"
+           << common::StrFormat("%.3f", s.start_s * 1e6)
+           << ",\"dur\":" << common::StrFormat("%.3f", s.duration_s * 1e6)
+           << ",\"pid\":" << pid << ",\"tid\":" << s.thread_index
+           << ",\"args\":{\"span\":" << s.id << ",\"parent\":" << s.parent_id
+           << ",\"trace\":" << s.trace_id
+           << ",\"error\":" << (s.error ? "true" : "false");
+    if (!s.links.empty()) {
+      events << ",\"links\":[";
+      for (size_t i = 0; i < s.links.size(); ++i) {
+        if (i > 0) events << ",";
+        events << s.links[i];
+      }
+      events << "]";
+    }
+    events << "}}";
+    // Follow-from links render as flow arrows: linked trace root -> here.
+    for (const uint64_t link : s.links) {
+      const auto root_it = roots.find(link);
+      if (root_it == roots.end()) continue;
+      const SpanRecord& r = *root_it->second;
+      comma();
+      events << "{\"name\":\"request\",\"cat\":\"qfcard.flow\",\"ph\":\"s\","
+             << "\"id\":" << link << ",\"pid\":" << pids.at(r.route)
+             << ",\"tid\":" << r.thread_index
+             << ",\"ts\":" << common::StrFormat("%.3f", r.start_s * 1e6)
+             << "}";
+      comma();
+      events << "{\"name\":\"request\",\"cat\":\"qfcard.flow\",\"ph\":\"f\","
+             << "\"bp\":\"e\",\"id\":" << link << ",\"pid\":" << pid
+             << ",\"tid\":" << s.thread_index
+             << ",\"ts\":" << common::StrFormat("%.3f", s.start_s * 1e6)
+             << "}";
+    }
+  }
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      << events.str() << "\n]}\n";
   return static_cast<bool>(out);
 }
 

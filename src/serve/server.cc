@@ -47,6 +47,14 @@ void EstimationServer::Start() {
     running_ = true;
     stop_ = false;
   }
+  // Arm tail sampling: keep the span trees of slow/errored requests out of
+  // the ring's eviction path (docs/observability.md).
+  if (obs::TraceEnabled() && opts_.trace_tail_threshold_seconds > 0.0) {
+    obs::TailSamplingOptions tail;
+    tail.enabled = true;
+    tail.latency_threshold_seconds = opts_.trace_tail_threshold_seconds;
+    obs::TraceBuffer::Global().SetTailSampling(tail);
+  }
   for (int i = 0; i < opts_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
@@ -119,38 +127,58 @@ uint64_t EstimationServer::BatchesFlushed() const {
 
 common::Status EstimationServer::Enqueue(const est::EstimateRequest& request,
                                          Slot* slot) {
-  obs::TraceSpan span("serve.submit");
+  // Mint the request's trace: the root span id is reserved now so every
+  // span of the request — on this thread or a worker — can attach to it,
+  // and the root itself (serve.request) is recorded at completion with the
+  // request's full latency (tail sampling evaluates that duration).
+  const obs::Clock::time_point submit_start = obs::Now();
+  const uint64_t trace_id = obs::MintTraceId();
+  const obs::TraceContext root_ctx{trace_id, trace_id};
+  obs::TraceSpan span("serve.submit", root_ctx);
+  uint64_t trace_route = 0;
+  // Requests rejected before queueing never reach a worker, so the root
+  // span closes here — errored, which tail sampling keeps.
+  auto reject = [&](common::Status status) {
+    span.MarkError();
+    span.End();
+    obs::RecordTraceRoot("serve.request", trace_id, submit_start, obs::Now(),
+                         trace_route, /*error=*/true);
+    return status;
+  };
   {
     common::MutexLock lock(&mu_);
     if (!running_ || stop_) {
       CountServerRejected("not-running");
-      return common::Status::FailedPrecondition(
-          "estimation server is not running");
+      return reject(common::Status::FailedPrecondition(
+          "estimation server is not running"));
     }
   }
   // Routing runs outside mu_: the router has its own lock, and an
   // intelligent-policy first sight may build a model.
-  QFCARD_ASSIGN_OR_RETURN(
-      ModelRouter::Resolution resolution,
-      router_->Resolve(request.query, request.options, request.route_hint));
+  common::StatusOr<ModelRouter::Resolution> resolution_or =
+      router_->Resolve(request.query, request.options, request.route_hint);
+  if (!resolution_or.ok()) return reject(resolution_or.status());
+  ModelRouter::Resolution resolution = std::move(resolution_or).value();
+  trace_route = resolution.route_id;
+  span.SetRoute(resolution.route_id);
 
   common::MutexLock lock(&mu_);
   if (!running_ || stop_) {
     CountServerRejected("not-running");
-    return common::Status::FailedPrecondition(
-        "estimation server is stopping");
+    return reject(common::Status::FailedPrecondition(
+        "estimation server is stopping"));
   }
   if (pending_total_ >= opts_.max_pending) {
     CountServerRejected("queue-full");
-    return common::Status::ResourceExhausted(
+    return reject(common::Status::ResourceExhausted(
         "estimation server queue is full (" +
-        std::to_string(opts_.max_pending) + " pending requests)");
+        std::to_string(opts_.max_pending) + " pending requests)"));
   }
   RouteQueue& queue = queues_[resolution.route_id];
   queue.serving = std::move(resolution.serving);
   const obs::Clock::time_point now = obs::Now();
   if (queue.pending.empty()) queue.oldest = now;
-  queue.pending.push_back(PendingRequest{request.query, now, slot});
+  queue.pending.push_back(PendingRequest{request.query, now, slot, root_ctx});
   ++pending_total_;
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry::Global()
@@ -231,15 +259,37 @@ bool EstimationServer::FlushOneBatch(bool drain) {
   // micro-batch featurizes and predicts.
   mu_.Unlock();
   const std::string route_label = "route=" + FormatFss(due_route);
+  const obs::Clock::time_point exec_start = obs::Now();
+  double exec_seconds = 0.0;
+  double featurize_seconds = 0.0;
+  double predict_seconds = 0.0;
   common::StatusOr<std::vector<est::EstimateResponse>> responses_or =
       [&]() -> common::StatusOr<std::vector<est::EstimateResponse>> {
-    obs::TraceSpan span("serve.batch");
+    // Re-attach to the first member's trace across the thread boundary;
+    // every other member joins as a follow-from link, and each member gets
+    // a serve.queue_wait span (admission -> execution) under its own root.
+    obs::TraceSpan span("serve.batch", batch.front().ctx);
+    span.SetRoute(due_route);
+    for (const PendingRequest& p : batch) {
+      obs::RecordSpan("serve.queue_wait", p.ctx, p.enqueued, exec_start,
+                      due_route);
+      span.AddLink(p.ctx.trace_id);
+    }
     obs::ScopedTimer exec_timer("serve.route.exec_seconds", route_label);
+    // Stage capture: the backend's featurize/predict blocks report their
+    // seconds here, giving every member its attribution split.
+    obs::StageCapture capture;
     std::vector<est::EstimateRequest> requests(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       requests[i].query = std::move(batch[i].query);
     }
-    return serving->EstimateRequests(requests);
+    common::StatusOr<std::vector<est::EstimateResponse>> result =
+        serving->EstimateRequests(requests);
+    if (!result.ok()) span.MarkError();
+    exec_seconds = exec_timer.Seconds();
+    featurize_seconds = capture.seconds(obs::Stage::kFeaturize);
+    predict_seconds = capture.seconds(obs::Stage::kPredict);
+    return result;
   }();
   obs::IncrementCounter("serve.route.batches", route_label);
 
@@ -252,9 +302,40 @@ bool EstimationServer::FlushOneBatch(bool drain) {
       responses[i].route_id = due_route;
       responses[i].latency_seconds =
           obs::SecondsBetween(batch[i].enqueued, completed);
+      responses[i].trace_id = batch[i].ctx.trace_id;
+      responses[i].stages.queue_wait_seconds =
+          obs::SecondsBetween(batch[i].enqueued, exec_start);
+      responses[i].stages.batch_exec_seconds = exec_seconds;
+      responses[i].stages.featurize_seconds = featurize_seconds;
+      responses[i].stages.predict_seconds = predict_seconds;
       obs::ObserveLatency("serve.route.latency_seconds",
                           responses[i].latency_seconds, route_label);
+      const est::StageBreakdown& stages = responses[i].stages;
+      obs::ObserveLatency("serve.request.stage_seconds",
+                          stages.queue_wait_seconds, "stage=queue_wait");
+      obs::ObserveLatency("serve.request.stage_seconds",
+                          stages.batch_exec_seconds, "stage=batch_exec");
+      obs::ObserveLatency("serve.request.stage_seconds",
+                          stages.featurize_seconds, "stage=featurize");
+      obs::ObserveLatency("serve.request.stage_seconds",
+                          stages.predict_seconds, "stage=predict");
     }
+  }
+  // Close out every member's trace root with its full latency — the
+  // duration the tail-sampling keep-policy evaluates. Recorded after the
+  // children, so a kept root protects a tree that is already in the ring.
+  for (const PendingRequest& p : batch) {
+    obs::RecordTraceRoot("serve.request", p.ctx.trace_id, p.enqueued,
+                         completed, due_route, !responses_or.ok());
+  }
+  if (obs::MetricsEnabled()) {
+    const obs::TraceBuffer& buffer = obs::TraceBuffer::Global();
+    obs::MetricsRegistry::Global()
+        .GaugeNamed("serve.trace.sampled")
+        ->Set(static_cast<int64_t>(buffer.TailSampledTraces()));
+    obs::MetricsRegistry::Global()
+        .GaugeNamed("serve.trace.dropped")
+        ->Set(static_cast<int64_t>(buffer.TailDroppedSpans()));
   }
 
   mu_.Lock();

@@ -12,6 +12,7 @@
 #include "common/thread_annotations.h"
 #include "estimators/request.h"
 #include "obs/clock.h"
+#include "obs/trace.h"
 #include "serve/router.h"
 
 namespace qfcard::serve {
@@ -32,6 +33,12 @@ struct EstimationServerOptions {
   /// Dispatcher threads executing flushed batches. 0 is a test hook: nothing
   /// flushes until Stop() drains synchronously.
   int num_workers = 2;
+  /// When QFCARD_TRACE is on, Start() arms the global TraceBuffer's
+  /// tail-sampling keep-policy with this latency threshold: any request
+  /// whose full latency (its serve.request root span) meets it — or that
+  /// errored — has its whole span tree protected from ring eviction
+  /// (docs/observability.md). <= 0 leaves tail sampling alone.
+  double trace_tail_threshold_seconds = 0.010;
 };
 
 /// Long-lived estimation front end (docs/serving.md): many client threads
@@ -56,7 +63,19 @@ struct EstimationServerOptions {
 ///
 /// Exports per-route serve.route.* metrics: requests/batches (counters,
 /// route=<fss> labels), latency_seconds/exec_seconds (histograms),
-/// queue_depth (gauge), plus the router's rejected{reason=...} counters.
+/// queue_depth (gauge), plus the router's rejected{reason=...} counters,
+/// per-request serve.request.stage_seconds{stage=...} attribution
+/// histograms, and the serve.trace.sampled/dropped tail-sampling gauges.
+///
+/// Tracing (docs/observability.md): each admitted request mints a
+/// TraceContext whose root span (serve.request) is recorded when the
+/// request completes, spanning its full latency. serve.submit and
+/// serve.queue_wait parent under the root on the client side; the worker
+/// re-attaches via TraceSpan("serve.batch", ctx) so the batch execution —
+/// and the estimate.featurize/estimate.predict spans inside it — joins the
+/// first member's trace, with every other member recorded as a follow-from
+/// link. The result: one causally connected tree per request, across the
+/// client->worker thread boundary.
 class EstimationServer {
  public:
   /// `router` is not owned and must outlive the server.
@@ -112,6 +131,10 @@ class EstimationServer {
     query::Query query;
     obs::Clock::time_point enqueued;
     Slot* slot = nullptr;
+    /// Trace identity minted at admission ({trace_id, trace_id}: children
+    /// recorded by the worker parent under the request's root span).
+    /// Invalid when tracing is off.
+    obs::TraceContext ctx;
   };
 
   /// Per-feature-space micro-batch accumulator.

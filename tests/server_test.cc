@@ -4,13 +4,17 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "estimators/registry.h"
 #include "estimators/request.h"
 #include "query/query.h"
@@ -406,6 +410,204 @@ TEST(EstimationServer, QueueFullRejectsAndStopDrains) {
   EXPECT_EQ(results[2].status().code(),
             common::StatusCode::kResourceExhausted);
   EXPECT_EQ(server.PendingRequests(), 0u);
+}
+
+// --- Request-scoped tracing ------------------------------------------------
+
+// Small trained GB model so the traced batch path exercises featurization
+// and inference (estimate.featurize / estimate.predict spans), not just
+// statistics lookups.
+std::shared_ptr<const est::CardinalityEstimator> TrainedGb(
+    const storage::Catalog& catalog) {
+  std::vector<query::Query> train;
+  for (int i = 0; i < 60; ++i) {
+    train.push_back(i % 2 == 0 ? ShapeA(i % 80, 4.0 + i % 9)
+                               : ShapeB(i % 11, i % 13));
+  }
+  const auto labeled =
+      workload::LabelOnTable(catalog.table(0), train, /*drop_empty=*/false)
+          .value();
+  est::EstimatorOptions eopts;
+  eopts.gbm.num_trees = 8;
+  auto gb = est::MakeEstimator("gb+complex", catalog, eopts).value();
+  std::vector<query::Query> qs;
+  std::vector<double> cards;
+  for (const auto& lq : labeled) {
+    qs.push_back(lq.query);
+    cards.push_back(lq.card);
+  }
+  QFCARD_CHECK_OK(gb->Train(qs, cards, 0.1, 5));
+  return std::shared_ptr<const est::CardinalityEstimator>(std::move(gb));
+}
+
+class TracedServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetTraceEnabled(true);
+    obs::TraceBuffer::Global().Reset();
+  }
+  void TearDown() override {
+    obs::SetTraceEnabled(false);
+    obs::TraceBuffer::Global().Reset();
+  }
+};
+
+// Follows child edges from `from` looking for a span named `name`.
+bool SubtreeContains(
+    const std::map<uint64_t, std::vector<const obs::SpanRecord*>>& children,
+    uint64_t from, const std::string& name) {
+  std::vector<uint64_t> frontier{from};
+  while (!frontier.empty()) {
+    const uint64_t id = frontier.back();
+    frontier.pop_back();
+    const auto it = children.find(id);
+    if (it == children.end()) continue;
+    for (const obs::SpanRecord* child : it->second) {
+      if (child->name == name) return true;
+      frontier.push_back(child->id);
+    }
+  }
+  return false;
+}
+
+// The tentpole guarantee for tracing: a 2-client micro-batched run yields
+// one fully connected span tree per request ACROSS the thread boundary —
+// serve.submit and serve.queue_wait on the client side, serve.batch and the
+// estimate.* spans on the worker side, all under the serve.request root,
+// with the batch span linking every member trace. No orphans.
+TEST_F(TracedServerTest, TwoClientMicroBatchedRunIsFullyConnected) {
+  const storage::Catalog catalog = ServerCatalog();
+  const auto model = TrainedGb(catalog);
+  ModelRouter router(SharedModelOptions(model));
+  EstimationServerOptions sopts;
+  sopts.max_batch = 4;  // force several micro-batches per client
+  EstimationServer server(&router, sopts);
+  server.Start();
+
+  constexpr int kClients = 2;
+  constexpr int kPerClient = 16;
+  std::vector<std::vector<common::StatusOr<est::EstimateResponse>>> results(
+      kClients);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      std::vector<est::EstimateRequest> requests;
+      for (int i = 0; i < kPerClient; ++i) {
+        est::EstimateRequest request;
+        request.query = i % 2 == 0 ? ShapeA(2.0 * i + t, 5.0 + t)
+                                   : ShapeB(i % 11, (i + t) % 13);
+        requests.push_back(std::move(request));
+      }
+      results[static_cast<size_t>(t)] = server.EstimateMany(requests);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  const std::vector<obs::SpanRecord> spans =
+      obs::TraceBuffer::Global().Snapshot();
+  std::map<uint64_t, const obs::SpanRecord*> by_id;
+  std::map<uint64_t, std::vector<const obs::SpanRecord*>> children;
+  for (const obs::SpanRecord& s : spans) by_id[s.id] = &s;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent_id != 0) {
+      // No orphans: every parent reference resolves inside the dump.
+      EXPECT_EQ(by_id.count(s.parent_id), 1u)
+          << "orphaned span " << s.id << " (" << s.name << ")";
+      children[s.parent_id].push_back(&s);
+    }
+  }
+  // serve.batch spans, indexed by every trace they served (own + links).
+  std::map<uint64_t, const obs::SpanRecord*> batch_by_trace;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name != "serve.batch") continue;
+    batch_by_trace[s.trace_id] = &s;
+    for (const uint64_t link : s.links) batch_by_trace[link] = &s;
+  }
+
+  for (const auto& client : results) {
+    ASSERT_EQ(client.size(), static_cast<size_t>(kPerClient));
+    for (const auto& response : client) {
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      const uint64_t trace = response->trace_id;
+      ASSERT_NE(trace, 0u);
+      // The request root exists, spans the full latency, and is clean.
+      const auto root_it = by_id.find(trace);
+      ASSERT_NE(root_it, by_id.end());
+      EXPECT_EQ(root_it->second->name, "serve.request");
+      EXPECT_FALSE(root_it->second->error);
+      // The worker-side batch span serves this trace and reaches the
+      // estimator: the tree is connected across the thread boundary.
+      const auto batch_it = batch_by_trace.find(trace);
+      ASSERT_NE(batch_it, batch_by_trace.end())
+          << "no serve.batch served trace " << trace;
+      EXPECT_TRUE(
+          SubtreeContains(children, batch_it->second->id, "estimate.batch"));
+      // Latency attribution came back with the response.
+      EXPECT_GE(response->stages.queue_wait_seconds, 0.0);
+      EXPECT_GT(response->stages.batch_exec_seconds, 0.0);
+      EXPECT_GT(response->stages.featurize_seconds, 0.0);
+      EXPECT_GT(response->stages.predict_seconds, 0.0);
+      EXPECT_GE(response->latency_seconds,
+                response->stages.batch_exec_seconds);
+    }
+  }
+  // Every request contributed a queue-wait span under its root.
+  int queue_waits = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "serve.queue_wait") ++queue_waits;
+  }
+  EXPECT_EQ(queue_waits, kClients * kPerClient);
+}
+
+// The span-tree SHAPE (multiset of parent-name -> child-name edges) must not
+// depend on the thread-pool size: parallelism inside featurize/predict moves
+// work between threads but never invents or drops spans.
+std::multiset<std::string> RunTracedWorkloadAndCollectShape(
+    const std::shared_ptr<const est::CardinalityEstimator>& model,
+    int pool_threads) {
+  common::SetGlobalThreads(pool_threads);
+  obs::TraceBuffer::Global().Reset();
+  ModelRouter router(SharedModelOptions(model));
+  EstimationServer server(&router);
+  server.Start();
+  for (int i = 0; i < 12; ++i) {
+    est::EstimateRequest request;
+    request.query = i % 2 == 0 ? ShapeA(3.0 * i, 6.0) : ShapeB(i % 7, i % 5);
+    QFCARD_CHECK_OK(server.Estimate(request).status());
+  }
+  server.Stop();
+  const std::vector<obs::SpanRecord> spans =
+      obs::TraceBuffer::Global().Snapshot();
+  std::map<uint64_t, std::string> names;
+  for (const obs::SpanRecord& s : spans) names[s.id] = s.name;
+  std::multiset<std::string> shape;
+  for (const obs::SpanRecord& s : spans) {
+    const auto parent = names.find(s.parent_id);
+    const std::string parent_name =
+        s.parent_id == 0 ? "(root)"
+        : parent != names.end() ? parent->second
+                                : "(missing)";
+    shape.insert(parent_name + " > " + s.name);
+  }
+  common::SetGlobalThreads(1);
+  return shape;
+}
+
+TEST_F(TracedServerTest, SpanTreeShapeIsIdenticalAcrossPoolSizes) {
+  const storage::Catalog catalog = ServerCatalog();
+  const auto model = TrainedGb(catalog);
+  const std::multiset<std::string> serial =
+      RunTracedWorkloadAndCollectShape(model, 1);
+  const std::multiset<std::string> parallel =
+      RunTracedWorkloadAndCollectShape(model, 8);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the canonical edges of the request tree are all present.
+  EXPECT_EQ(serial.count("(root) > serve.request"), 12u);
+  EXPECT_EQ(serial.count("serve.request > serve.submit"), 12u);
+  EXPECT_EQ(serial.count("serve.request > serve.queue_wait"), 12u);
+  EXPECT_EQ(serial.count("serve.request > serve.batch"), 12u);
+  EXPECT_GE(serial.count("serve.batch > estimate.batch"), 12u);
 }
 
 TEST(EstimationServer, DeadlineFlushesPartialBatches) {

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
+
 namespace qfcard::common {
 namespace {
 
@@ -199,6 +201,94 @@ TEST(ThreadPoolTest, SetGlobalThreadsRebuildsPool) {
   for (int64_t i = 0; i < 200; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
   SetGlobalThreads(1);
   EXPECT_EQ(GlobalPool().num_threads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Trace-context handoff (common::PoolTraceBridge, installed by obs/trace.cc)
+// ---------------------------------------------------------------------------
+
+class PoolTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetTraceEnabled(true);
+    obs::TraceBuffer::Global().Reset();
+  }
+  void TearDown() override {
+    obs::SetTraceEnabled(false);
+    obs::TraceBuffer::Global().Reset();
+  }
+};
+
+TEST_F(PoolTraceTest, TaskSpansJoinTheSubmittersTrace) {
+  ThreadPool pool(4);
+  uint64_t submit_id = 0;
+  uint64_t submit_trace = 0;
+  {
+    obs::TraceSpan submit("pool.submit");
+    submit_id = submit.id();
+    submit_trace = submit.context().trace_id;
+    pool.ParallelFor(64, [](int64_t) { obs::TraceSpan task("pool.task"); });
+  }
+  int tasks = 0;
+  for (const obs::SpanRecord& s : obs::TraceBuffer::Global().Snapshot()) {
+    if (s.name != "pool.task") continue;
+    ++tasks;
+    // Whether the index ran on a worker or inline on the submitter, the
+    // span parents under pool.submit and joins its trace.
+    EXPECT_EQ(s.parent_id, submit_id);
+    EXPECT_EQ(s.trace_id, submit_trace);
+  }
+  EXPECT_EQ(tasks, 64);
+}
+
+TEST_F(PoolTraceTest, LeakedTaskSpanDoesNotPoisonLaterTasks) {
+  ThreadPool pool(4);
+  // Round 1: one task "leaks" an unclosed span (heap-allocated, ended after
+  // the assertions). Without the Release() restore at the task boundary,
+  // the leaking thread's parent chain would still point at it, and every
+  // span a later task opens on that thread would silently parent under a
+  // span from a long-finished request.
+  std::atomic<obs::TraceSpan*> leaked{nullptr};
+  pool.ParallelFor(8, [&leaked](int64_t i) {
+    if (i == 0) {
+      leaked.store(new obs::TraceSpan("leaked"), std::memory_order_relaxed);
+    } else {
+      obs::TraceSpan task("round1");
+    }
+  });
+  obs::TraceSpan* leaked_span = leaked.load(std::memory_order_relaxed);
+  ASSERT_NE(leaked_span, nullptr);
+  // The submitting thread's chain is clean again even if it ran index 0.
+  EXPECT_FALSE(obs::CurrentTraceContext().valid());
+  // Round 2: no span is open on the submitter, so every task span must be
+  // a root of its own trace — never a child of the leaked span.
+  pool.ParallelFor(8, [](int64_t) { obs::TraceSpan task("round2"); });
+  int round2 = 0;
+  for (const obs::SpanRecord& s : obs::TraceBuffer::Global().Snapshot()) {
+    if (s.name != "round2") continue;
+    ++round2;
+    EXPECT_NE(s.parent_id, leaked_span->id());
+    EXPECT_EQ(s.parent_id, 0u);
+    EXPECT_EQ(s.trace_id, s.id);
+  }
+  EXPECT_EQ(round2, 8);
+  delete leaked_span;  // closes and records it; owned here, not leaked
+}
+
+TEST_F(PoolTraceTest, SerialPoolKeepsTheChainInline) {
+  ThreadPool pool(1);
+  obs::TraceSpan submit("pool.submit");
+  pool.ParallelFor(4, [](int64_t) { obs::TraceSpan task("inline.task"); });
+  // Inline execution nests naturally; the chain is intact afterwards.
+  EXPECT_EQ(obs::CurrentTraceContext().parent_span_id, submit.id());
+  submit.End();
+  int tasks = 0;
+  for (const obs::SpanRecord& s : obs::TraceBuffer::Global().Snapshot()) {
+    if (s.name != "inline.task") continue;
+    ++tasks;
+    EXPECT_EQ(s.parent_id, submit.id());
+  }
+  EXPECT_EQ(tasks, 4);
 }
 
 }  // namespace

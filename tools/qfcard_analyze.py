@@ -748,11 +748,14 @@ class Analyzer:
          re.compile(r"\bScopedTimer\s+\w+\s*[({]\s*\"([^\"]+)\"")),
         ("spans", re.compile(r"\bTraceSpan\s+\w+\s*[({]\s*\"([^\"]+)\"")),
         ("spans", re.compile(r"\bTraceSpan\s*\(\s*\"([^\"]+)\"")),
+        ("spans", re.compile(r"\bRecordSpan\s*\(\s*\"([^\"]+)\"")),
+        ("spans", re.compile(r"\bRecordTraceRoot\s*\(\s*\"([^\"]+)\"")),
     ]
     DYNAMIC_PATTERNS = [
         re.compile(r"\b(IncrementCounter|CounterNamed|GaugeNamed"
                    r"|HistogramNamed|ObserveLatency)\s*\((?!\s*[\")])"),
         re.compile(r"\b(ScopedTimer|TraceSpan)\s+\w+\s*\((?!\s*[\")&])"),
+        re.compile(r"\b(RecordSpan|RecordTraceRoot)\s*\((?!\s*\")"),
     ]
 
     def pass_telemetry(self) -> None:
