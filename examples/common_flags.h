@@ -24,6 +24,10 @@
 //                       registered workload family (workload::FamilyNames())
 //                       instead of a CSV or the synthetic forest; unknown
 //                       names fail with a did-you-mean suggestion
+//   --adaptive=MODE     put the adapt::AdaptiveEstimator front in front of
+//                       the served ML path (docs/adaptive.md). MODE is one
+//                       of off|knn|residual|auto; anything else fails with
+//                       the mode vocabulary
 
 #ifndef QFCARD_EXAMPLES_COMMON_FLAGS_H_
 #define QFCARD_EXAMPLES_COMMON_FLAGS_H_
@@ -46,6 +50,9 @@ struct CommonFlags {
   uint64_t load_version = 0;  ///< 0 = latest
   std::string workload;  ///< workload family name; resolved via
                          ///< workload::FamilyNamed at startup
+  /// --adaptive= mode; kOff (plain ML passthrough) unless the flag is given.
+  adapt::AdaptiveMode adaptive = adapt::AdaptiveMode::kOff;
+  bool adaptive_set = false;  ///< true when --adaptive= appeared
 };
 
 /// Consumes `arg` if it is one of the shared flags. Returns true when the
@@ -76,6 +83,12 @@ inline common::StatusOr<bool> TryParseCommonFlag(const std::string& arg,
           "--workload= wants a family name; registered: " +
           common::Join(workload::FamilyNames(), ", "));
     }
+    return true;
+  }
+  if (arg.rfind("--adaptive=", 0) == 0) {
+    QFCARD_ASSIGN_OR_RETURN(flags->adaptive,
+                            adapt::ParseAdaptiveMode(arg.substr(11)));
+    flags->adaptive_set = true;
     return true;
   }
   if (arg == "--save-model") {

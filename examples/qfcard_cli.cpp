@@ -20,13 +20,18 @@
 //                   labeler, so joined SQL works at the prompt too
 //
 // Telemetry and model-store flags (--metrics-out, --trace-out, --model-dir,
-// --save-model, --load-model[=N]) are shared across the example binaries;
-// see examples/common_flags.h for their documentation.
+// --save-model, --load-model[=N]) and --adaptive=<off|knn|residual|auto>
+// are shared across the example binaries; see examples/common_flags.h for
+// their documentation.
 //
 // The served model always sits behind a serve::ServingEstimator, so the
 // serve.swaps counter and serve.active_version gauge appear in every
 // telemetry snapshot and a retraining loop could hot-swap it live (see
-// examples/serving_loop.cpp).
+// examples/serving_loop.cpp). With --adaptive=MODE the adaptive front
+// (docs/adaptive.md) additionally sits in front of that serving path: every
+// truth-checked answer is published as execution feedback, the kNN and
+// residual tiers learn from it, and each answer line reports which tier
+// served it (tier=residual|knn|ml).
 //
 // Labeling, training featurization, and the held-out accuracy report all
 // run through the batch API; set QFCARD_THREADS to parallelize them. Every
@@ -96,6 +101,11 @@ common::StatusOr<CliOptions> ParseArgs(int argc, char** argv) {
     }
     opts.csv_path = positional[0];
     if (positional.size() > 1) opts.table_name = positional[1];
+  }
+  if (opts.common.adaptive != adapt::AdaptiveMode::kOff && !opts.truth) {
+    return common::Status::InvalidArgument(
+        "--adaptive= learns from the truth-checked answers; it cannot work "
+        "with --no-truth (no execution feedback to learn from)");
   }
   QFCARD_RETURN_IF_ERROR(examples::ValidateCommonFlags(opts.common));
   return opts;
@@ -338,13 +348,61 @@ int main(int argc, char** argv) {
 
   // Serve through the hot-swap front so the serve.* metric families are
   // always live (a retraining loop could swap this model without downtime).
-  const serve::ServingEstimator serving(
+  const auto serving = std::make_shared<serve::ServingEstimator>(
       std::shared_ptr<const est::CardinalityEstimator>(std::move(estimator)),
       served_version);
+
+  // --adaptive=MODE: put the online-learning front (docs/adaptive.md) in
+  // front of the served ML path. The stale-statistics base is a
+  // Postgres-style estimator over the live table, the kNN tier featurizes
+  // with the complex QFT, and every truth-checked answer below feeds the
+  // learners through the execution-feedback hook. Installed AFTER training
+  // and the held-out report, so only the interactive (serial) truth checks
+  // publish — that fixed feedback order keeps the learners deterministic.
+  std::unique_ptr<adapt::AdaptiveEstimator> adaptive;
+  std::optional<adapt::FeedbackBus> bus;
+  std::optional<adapt::ExecutionFeedbackConnection> feedback;
+  if (opts.common.adaptive != adapt::AdaptiveMode::kOff) {
+    if (family != nullptr && family->joins) {
+      std::fprintf(stderr,
+                   "--adaptive= fronts are single-table (featurizer + "
+                   "executor feedback); family '%s' has joins\n",
+                   family->name.c_str());
+      return 1;
+    }
+    est::EstimatorOptions base_opts;
+    base_opts.table = primary_table;
+    auto base_or = est::MakeEstimator("postgres", catalog, base_opts);
+    if (!base_or.ok()) {
+      std::fprintf(stderr, "building adaptive base: %s\n",
+                   base_or.status().ToString().c_str());
+      return 1;
+    }
+    const auto base = std::shared_ptr<const est::CardinalityEstimator>(
+        std::move(base_or).value());
+    const auto featurizer = std::shared_ptr<const featurize::Featurizer>(
+        featurize::MakeFeaturizer(featurize::QftKind::kComplex,
+                                  featurize::FeatureSchema::FromTable(table)));
+    adapt::AdaptiveOptions aopts;
+    aopts.mode = opts.common.adaptive;
+    adaptive = std::make_unique<adapt::AdaptiveEstimator>(base, serving,
+                                                          featurizer, aopts);
+    adaptive->TrackServingVersion(serving.get());
+    bus.emplace();
+    adaptive->ConnectTo(&*bus);
+    feedback.emplace(&*bus);
+    const est::EstimatorInfo info = adapt::AdaptiveEstimatorInfo();
+    std::fprintf(stderr,
+                 "adaptive front on: mode=%s, tiers=residual|knn|ml, "
+                 "learns_online=%s (every truth-checked answer is feedback)\n",
+                 adapt::AdaptiveModeName(opts.common.adaptive),
+                 info.learns_online ? "true" : "false");
+  }
+
   std::fprintf(stderr,
                "ready (%zu training queries, %zu byte model). Enter SQL "
                "count(*) queries, one per line.\n",
-               num_train, serving.SizeBytes());
+               num_train, serving->SizeBytes());
 
   obs::QErrorDriftMonitor& drift = obs::QErrorDriftMonitor::Global();
   bool was_degraded = drift.degraded();
@@ -363,7 +421,8 @@ int main(int argc, char** argv) {
     // version answered, and how long the call took).
     est::EstimateRequest request;
     request.query = q_or.value();
-    const auto resp_or = serving.Estimate(request);
+    const auto resp_or =
+        adaptive ? adaptive->Estimate(request) : serving->Estimate(request);
     if (!resp_or.ok()) {
       std::printf("error: %s\n", resp_or.status().ToString().c_str());
       continue;
@@ -387,9 +446,16 @@ int main(int argc, char** argv) {
       if (truth_or.ok()) {
         const double truth = truth_or.value();
         const double qerr = ml::QError(truth, resp.estimate);
-        std::printf("estimate=%.0f  true=%.0f  q-error=%.2f  [v%llu]\n",
-                    resp.estimate, truth, qerr,
-                    static_cast<unsigned long long>(resp.model_version));
+        if (resp.tier != est::ServedTier::kNone) {
+          std::printf(
+              "estimate=%.0f  true=%.0f  q-error=%.2f  tier=%s  [v%llu]\n",
+              resp.estimate, truth, qerr, est::ServedTierName(resp.tier),
+              static_cast<unsigned long long>(resp.model_version));
+        } else {
+          std::printf("estimate=%.0f  true=%.0f  q-error=%.2f  [v%llu]\n",
+                      resp.estimate, truth, qerr,
+                      static_cast<unsigned long long>(resp.model_version));
+        }
         // Every truth-checked query is labeled feedback for the drift
         // monitor; warn once per healthy->degraded flip.
         drift.Observe(qerr);
@@ -406,8 +472,27 @@ int main(int argc, char** argv) {
         continue;
       }
     }
-    std::printf("estimate=%.0f  [v%llu]\n", resp.estimate,
-                static_cast<unsigned long long>(resp.model_version));
+    if (resp.tier != est::ServedTier::kNone) {
+      std::printf("estimate=%.0f  tier=%s  [v%llu]\n", resp.estimate,
+                  est::ServedTierName(resp.tier),
+                  static_cast<unsigned long long>(resp.model_version));
+    } else {
+      std::printf("estimate=%.0f  [v%llu]\n", resp.estimate,
+                  static_cast<unsigned long long>(resp.model_version));
+    }
+  }
+
+  // Drop the execution-feedback hook and bus subscription before the
+  // learners (members of `adaptive`) go away.
+  feedback.reset();
+  if (adaptive) {
+    adaptive->Disconnect();
+    std::fprintf(stderr,
+                 "adaptive front: %llu feedback record(s), %zu route(s), "
+                 "%llu tier switch(es)\n",
+                 static_cast<unsigned long long>(adaptive->ingested()),
+                 adaptive->arbiter().RouteCount(),
+                 static_cast<unsigned long long>(adaptive->arbiter().switches()));
   }
 
   cli_span.End();

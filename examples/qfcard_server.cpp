@@ -21,10 +21,17 @@
 //                 range family and rejects the rest
 //   --clients=N   number of concurrent client threads (default 4)
 //
-// Telemetry flags (--metrics-out, --trace-out) are shared with the other
-// examples; see examples/common_flags.h. The snapshot carries the
-// serve.route.* families that tools/validate_metrics.py --profile=server
-// checks in CI.
+// Telemetry flags (--metrics-out, --trace-out) and
+// --adaptive=<off|knn|residual|auto> are shared with the other examples;
+// see examples/common_flags.h. The snapshot carries the serve.route.*
+// families that tools/validate_metrics.py --profile=server checks in CI.
+//
+// With --adaptive=MODE the demo appends a drift episode (docs/adaptive.md):
+// the forest regenerates with new correlations and 4x fewer rows, and the
+// busiest route's (now stale) model keeps serving — but behind an
+// adapt::AdaptiveEstimator front fed by the execution-feedback hook. The
+// greppable "tier hand-off" lines show the arbiter demoting the route from
+// the stale ML tier to the online learners as the feedback arrives.
 //
 // In intelligent mode the demo also trains a gradient-boosting model on the
 // busiest family and swaps it into that route while the clients are still
@@ -33,6 +40,7 @@
 // and the two result vectors must be byte-identical (the greppable
 // "server-vs-direct" line). Sized by QFCARD_SCALE like the benches.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -332,6 +340,96 @@ int main(int argc, char** argv) {
                  "error: controlled mode should have rejected the "
                  "unregistered families\n");
     return 1;
+  }
+
+  // --- Drift episode behind the adaptive front (--adaptive=MODE) -----------
+  // The route keeps serving the model it trained on the ORIGINAL table, but
+  // the data underneath drifts wholesale. The adaptive front watches the
+  // executed truths and hands the route off to whichever tier the feedback
+  // says is best — the online learners while the ML path is stale.
+  if (opts.common.adaptive != adapt::AdaptiveMode::kOff) {
+    const uint64_t episode_route_id =
+        opts.mode == serve::RoutePolicy::kForced ? 0 : range_fss;
+    const std::shared_ptr<serve::ServingEstimator> route =
+        router.FindRoute(episode_route_id);
+    if (route == nullptr) {
+      std::fprintf(stderr, "error: adaptive episode needs route %s\n",
+                   serve::FormatFss(episode_route_id).c_str());
+      return 1;
+    }
+
+    // Instantaneous drift: new latent correlations, 4x fewer rows. The
+    // route's model and the postgres synopses both describe the old table.
+    workload::ForestOptions drift_opts = fopts;
+    drift_opts.seed = 977;
+    drift_opts.num_rows = std::max<int64_t>(fopts.num_rows / 4, 500);
+    const storage::Table drifted = workload::MakeForestTable(drift_opts);
+
+    est::EstimatorOptions base_opts;
+    base_opts.table = table_name;
+    const auto base = std::shared_ptr<const est::CardinalityEstimator>(
+        est::MakeEstimator("postgres", catalog, base_opts).value());
+    const auto featurizer = std::shared_ptr<const featurize::Featurizer>(
+        featurize::MakeFeaturizer(featurize::QftKind::kComplex,
+                                  featurize::FeatureSchema::FromTable(table)));
+    adapt::AdaptiveOptions aopts;
+    aopts.mode = opts.common.adaptive;
+    aopts.arbiter.window = 32;
+    aopts.arbiter.min_samples = 6;
+    aopts.arbiter.hold_observations = 12;
+    adapt::AdaptiveEstimator adaptive(base, route, featurizer, aopts);
+    adaptive.TrackServingVersion(route.get());
+    adapt::FeedbackBus bus;
+    adaptive.ConnectTo(&bus);
+
+    const int ticks = static_cast<int>(common::ScalePick(160, 320, 1200));
+    // Served-tier counts per episode half, indexed by est::ServedTier.
+    int tiers_served[2][4] = {};
+    {
+      // The hook is live only for this serial tick loop, so the feedback
+      // order (and therefore the learner state) is reproducible.
+      adapt::ExecutionFeedbackConnection conn(&bus);
+      common::Rng rng(900);
+      for (int i = 0; i < ticks; ++i) {
+        est::EstimateRequest request;
+        request.query = RangeQuery(table_name, rng);
+        const auto resp_or = adaptive.Estimate(request);
+        QFCARD_CHECK_OK(resp_or.status());
+        ++tiers_served[i * 2 / ticks]
+                      [static_cast<int>(resp_or.value().tier) & 3];
+        // Executing the count on the drifted table publishes the truth into
+        // the bus — after the serve, so no tier is graded on a query it
+        // already absorbed.
+        QFCARD_CHECK_OK(
+            query::Executor::Count(drifted, request.query).status());
+      }
+    }
+    adaptive.Disconnect();
+
+    std::printf(
+        "adaptive drift episode (mode=%s): %d ticks against drifted '%s' "
+        "(%lld rows) behind route %s\n",
+        adapt::AdaptiveModeName(opts.common.adaptive), ticks,
+        table_name.c_str(), static_cast<long long>(drifted.num_rows()),
+        serve::FormatFss(episode_route_id).c_str());
+    for (int phase = 0; phase < 2; ++phase) {
+      std::printf("  served %s half: residual=%d knn=%d ml=%d\n",
+                  phase == 0 ? "first " : "second", tiers_served[phase][1],
+                  tiers_served[phase][2], tiers_served[phase][3]);
+    }
+    const std::vector<adapt::TierArbiter::TierSwitch> switches =
+        adaptive.arbiter().RecentSwitches();
+    for (const auto& sw : switches) {
+      std::printf(
+          "  tier hand-off: %s->%s (challenger p95 %.2f vs incumbent %.2f) "
+          "at observation %llu\n",
+          est::ServedTierName(sw.from), est::ServedTierName(sw.to), sw.to_p95,
+          sw.from_p95, static_cast<unsigned long long>(sw.at_observation));
+    }
+    if (switches.empty()) {
+      std::printf("  no tier hand-off (feedback never beat the incumbent "
+                  "by the switch margin)\n");
+    }
   }
 
   if (!examples::WriteTelemetryOutputs(opts.common)) return 1;

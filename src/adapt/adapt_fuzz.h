@@ -1,0 +1,19 @@
+#ifndef QFCARD_ADAPT_ADAPT_FUZZ_H_
+#define QFCARD_ADAPT_ADAPT_FUZZ_H_
+
+namespace qfcard::adapt {
+
+/// Installs the adapt/ online-adaptation fuzz round into the differential
+/// fuzzer (testing::SetAdaptiveRound). testing/ sits below adapt/ in the
+/// layer order (tools/layers.json), so the fuzzer cannot include adapt/
+/// itself; entry points that want adaptation coverage (qfcard_fuzz,
+/// fuzz_smoke_test) call this before testing::RunFuzzer. The round asserts
+/// the two safety contracts of docs/adaptive.md: executing queries with the
+/// execution-feedback loop live never changes the executor's counts, and
+/// two fronts fed the identical feedback stream produce byte-identical
+/// estimates. Idempotent; not thread-safe against a running fuzzer.
+void RegisterAdaptiveFuzzRound();
+
+}  // namespace qfcard::adapt
+
+#endif  // QFCARD_ADAPT_ADAPT_FUZZ_H_

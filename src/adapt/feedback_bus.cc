@@ -1,0 +1,107 @@
+#include "adapt/feedback_bus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/exec_feedback.h"
+#include "serve/fss.h"
+
+namespace qfcard::adapt {
+
+FeedbackBus::FeedbackBus(FeedbackBusOptions options) : opts_(options) {}
+
+uint64_t FeedbackBus::Subscribe(Subscriber fn) {
+  common::MutexLock lock(&subscribers_mu_);
+  const uint64_t id = next_subscriber_id_++;
+  subscribers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void FeedbackBus::Unsubscribe(uint64_t id) {
+  // Taking subscribers_mu_ waits out any fan-out in progress, so after this
+  // returns the removed subscriber can never be invoked again.
+  common::MutexLock lock(&subscribers_mu_);
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [id](const auto& entry) { return entry.first == id; }),
+      subscribers_.end());
+}
+
+void FeedbackBus::Publish(FeedbackRecord record) {
+  obs::TraceSpan span("adapt.feedback");
+  if (record.fss == 0) record.fss = serve::FeatureSpaceHash(record.query);
+  record.true_card = std::max(record.true_card, 1.0);
+  record.log_card = std::log2(record.true_card);
+
+  // Holding subscribers_mu_ across append + fan-out serializes publishes:
+  // subscribers always see records in sequence order, which is what makes a
+  // fixed feedback order reproduce identical learner state (the repo's
+  // byte-identical determinism contract, docs/adaptive.md).
+  common::MutexLock sub_lock(&subscribers_mu_);
+  {
+    common::MutexLock lock(&mu_);
+    record.sequence = ++published_;
+    if (ring_.size() < opts_.capacity) {
+      ring_.push_back(record);
+    } else if (!ring_.empty()) {
+      ring_[next_slot_] = record;
+      next_slot_ = (next_slot_ + 1) % ring_.size();
+      ++dropped_;
+    }
+  }
+  obs::IncrementCounter("adapt.feedback.published");
+  if (record.sequence > opts_.capacity) {
+    obs::IncrementCounter("adapt.feedback.dropped");
+  }
+  for (const auto& [id, subscriber] : subscribers_) {
+    (void)id;
+    subscriber(record);
+  }
+}
+
+uint64_t FeedbackBus::published() const {
+  common::MutexLock lock(&mu_);
+  return published_;
+}
+
+uint64_t FeedbackBus::dropped() const {
+  common::MutexLock lock(&mu_);
+  return dropped_;
+}
+
+size_t FeedbackBus::size() const {
+  common::MutexLock lock(&mu_);
+  return ring_.size();
+}
+
+std::vector<FeedbackRecord> FeedbackBus::Snapshot() const {
+  common::MutexLock lock(&mu_);
+  std::vector<FeedbackRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < opts_.capacity) {
+    out = ring_;  // insertion order is oldest-first until the ring wraps
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_slot_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+ExecutionFeedbackConnection::ExecutionFeedbackConnection(FeedbackBus* bus) {
+  query::SetExecutionFeedbackHook(
+      [bus](const query::Query& q, double true_card) {
+        FeedbackRecord record;
+        record.query = q;
+        record.true_card = true_card;
+        bus->Publish(std::move(record));
+      });
+}
+
+ExecutionFeedbackConnection::~ExecutionFeedbackConnection() {
+  query::SetExecutionFeedbackHook({});
+}
+
+}  // namespace qfcard::adapt

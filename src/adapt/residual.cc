@@ -1,0 +1,68 @@
+#include "adapt/residual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace qfcard::adapt {
+
+ResidualCorrector::ResidualCorrector(ResidualOptions options)
+    : opts_(options) {}
+
+void ResidualCorrector::Observe(uint64_t fss, double base_estimate,
+                                double true_card) {
+  const double residual = std::log2(std::max(true_card, 1.0)) -
+                          std::log2(std::max(base_estimate, 1.0));
+  common::MutexLock lock(&mu_);
+  const uint64_t seq = ++next_seq_;
+  auto it = routes_.find(fss);
+  if (it == routes_.end()) {
+    if (routes_.size() >= opts_.max_routes && !routes_.empty()) {
+      auto oldest = routes_.begin();
+      for (auto cand = routes_.begin(); cand != routes_.end(); ++cand) {
+        if (cand->second.last_seq < oldest->second.last_seq) oldest = cand;
+      }
+      routes_.erase(oldest);
+    }
+    it = routes_.emplace(fss, Entry{}).first;
+  }
+  Entry& entry = it->second;
+  entry.last_seq = seq;
+  RouteState& state = entry.state;
+  if (state.observed == 0) {
+    state.bias = residual;  // first observation seeds the EWMA
+  } else {
+    state.bias += opts_.alpha * (residual - state.bias);
+  }
+  state.bias = std::clamp(state.bias, -opts_.max_abs_bias, opts_.max_abs_bias);
+  ++state.observed;
+  obs::IncrementCounter("adapt.residual.observed");
+}
+
+double ResidualCorrector::Correct(uint64_t fss, double base_estimate) const {
+  common::MutexLock lock(&mu_);
+  const auto it = routes_.find(fss);
+  if (it == routes_.end() ||
+      it->second.state.observed < opts_.min_observations) {
+    return std::max(base_estimate, 1.0);
+  }
+  return std::max(std::max(base_estimate, 1.0) *
+                      std::exp2(it->second.state.bias),
+                  1.0);
+}
+
+std::optional<ResidualCorrector::RouteState> ResidualCorrector::StateFor(
+    uint64_t fss) const {
+  common::MutexLock lock(&mu_);
+  const auto it = routes_.find(fss);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+size_t ResidualCorrector::RouteCount() const {
+  common::MutexLock lock(&mu_);
+  return routes_.size();
+}
+
+}  // namespace qfcard::adapt

@@ -1,0 +1,79 @@
+#ifndef QFCARD_ADAPT_RESIDUAL_H_
+#define QFCARD_ADAPT_RESIDUAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace qfcard::adapt {
+
+/// Knobs for ResidualCorrector.
+struct ResidualOptions {
+  /// EWMA weight of a new residual observation.
+  double alpha = 0.25;
+  /// Observations required before Correct applies the learned bias (an
+  /// undertrained correction is worse than none).
+  size_t min_observations = 3;
+  /// Routes retained; beyond this the least recently observed route is
+  /// evicted.
+  size_t max_routes = 1024;
+  /// Clamp on the learned log2 bias, so one wild observation can never push
+  /// corrections past a factor of 2^max_abs_bias.
+  double max_abs_bias = 30.0;
+};
+
+/// Online corrector over the *error* of a cheap base estimator (the
+/// TiCard idea, PAPERS.md): per route (serve::FeatureSpaceHash) it keeps an
+/// EWMA of the log2 residual r = log2(true) - log2(base_estimate) observed
+/// on executed queries, and Correct multiplies the base estimate by 2^bias.
+/// The base estimator itself — PostgresStyleEstimator in the serving wiring
+/// — is never touched: stale synopses keep answering, and the learned bias
+/// absorbs their drift, which is why this tier recovers within a handful of
+/// feedback records where a full retrain needs thousands.
+///
+/// Thread-safe (one mutex); deterministic for a fixed observation order.
+class ResidualCorrector {
+ public:
+  explicit ResidualCorrector(ResidualOptions options = {});
+  ResidualCorrector(const ResidualCorrector&) = delete;
+  ResidualCorrector& operator=(const ResidualCorrector&) = delete;
+
+  /// Learns from one executed query: folds log2(true/base) into the
+  /// route's bias EWMA. Both inputs are clamped to >= 1.
+  void Observe(uint64_t fss, double base_estimate, double true_card);
+
+  /// Applies the learned bias: base_estimate * 2^bias, clamped to >= 1.
+  /// Routes with fewer than min_observations return base_estimate
+  /// unchanged.
+  double Correct(uint64_t fss, double base_estimate) const;
+
+  /// Learned per-route state, for tests and reports.
+  struct RouteState {
+    double bias = 0.0;       ///< EWMA of the log2 residual
+    uint64_t observed = 0;   ///< observations folded in
+  };
+  std::optional<RouteState> StateFor(uint64_t fss) const;
+
+  /// Routes currently tracked.
+  size_t RouteCount() const;
+
+ private:
+  struct Entry {
+    RouteState state;
+    uint64_t last_seq = 0;  ///< recency, for route eviction
+  };
+
+  const ResidualOptions opts_;
+
+  mutable common::Mutex mu_;
+  std::map<uint64_t, Entry> routes_ QFCARD_GUARDED_BY(mu_);
+  uint64_t next_seq_ QFCARD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace qfcard::adapt
+
+#endif  // QFCARD_ADAPT_RESIDUAL_H_

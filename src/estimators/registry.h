@@ -80,6 +80,12 @@ struct EstimatorInfo {
   /// counts); single-table QFTs and sampling ignore the clause and predict
   /// filtered row counts instead.
   bool group_aware = false;
+  /// True when the estimator improves from execution feedback at serving
+  /// time without an offline retrain (docs/adaptive.md). False for every
+  /// registry entry here — the online-learning front
+  /// (adapt::AdaptiveEstimator, see adapt::AdaptiveEstimatorInfo) is built
+  /// above this layer and cannot be constructed by MakeEstimator.
+  bool learns_online = false;
 };
 
 /// Metadata for every RegisteredEstimators() entry, in the same order.

@@ -2,10 +2,34 @@
 #define QFCARD_ESTIMATORS_REQUEST_H_
 
 #include <cstdint>
+#include <string>
 
 #include "query/query.h"
 
 namespace qfcard::est {
+
+/// Which estimation tier produced a response (docs/adaptive.md). Plain
+/// estimators leave kNone; the adaptive front (adapt::AdaptiveEstimator)
+/// stamps the tier its arbiter selected, and the serving layers pass the
+/// value through untouched so clients can see which path answered and why.
+enum class ServedTier : uint8_t {
+  kNone = 0,              ///< no tiering (direct estimator call)
+  kHistogramResidual = 1, ///< cheap synopses + online residual correction
+  kKnn = 2,               ///< per-feature-space online kNN over feedback
+  kMl = 3,                ///< the full trained ML path
+};
+
+/// Stable short label for a tier, as spelled in metrics labels, logs, and
+/// bench output ("none", "residual", "knn", "ml").
+inline const char* ServedTierName(ServedTier tier) {
+  switch (tier) {
+    case ServedTier::kHistogramResidual: return "residual";
+    case ServedTier::kKnn: return "knn";
+    case ServedTier::kMl: return "ml";
+    case ServedTier::kNone: break;
+  }
+  return "none";
+}
 
 /// Per-request knobs of the serving API (docs/serving.md). Kept separate
 /// from the query so transports and batching layers can pass requests around
@@ -74,6 +98,14 @@ struct EstimateResponse {
   uint64_t trace_id = 0;
   /// Per-stage latency attribution (server-filled; zeros elsewhere).
   StageBreakdown stages;
+  /// Estimation tier that answered (docs/adaptive.md); kNone outside the
+  /// adaptive front. Serving layers preserve whatever the inner estimator
+  /// stamped here.
+  ServedTier tier = ServedTier::kNone;
+  /// Human-readable arbitration note for the tier choice ("hold: ml p95
+  /// 2.1", "knn empty, fell back to ml", ...). Empty outside the adaptive
+  /// front.
+  std::string tier_reason;
 };
 
 }  // namespace qfcard::est

@@ -162,6 +162,7 @@ void RunCell(const MatrixOptions& options, const est::EstimatorInfo& info,
   cell->qerror_p99 = qhist.Quantile(0.99);
   cell->qerror_max = qhist.Max();
   cell->group_aware = !(family.group_by && !info.group_aware);
+  cell->learns_online = info.learns_online;
   if (options.include_timings && !inst.test.empty()) {
     cell->train_seconds = train_seconds;
     cell->usec_per_query =
@@ -304,6 +305,8 @@ std::string MatrixReport::ToJson() const {
       out += ",\"usec_per_query\":" + JNum(c.usec_per_query);
       out += std::string(",\"group_aware\":") +
              (c.group_aware ? "true" : "false");
+      out += std::string(",\"learns_online\":") +
+             (c.learns_online ? "true" : "false");
     }
     out += "}";
   }

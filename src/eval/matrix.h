@@ -64,6 +64,12 @@ struct MatrixCell {
   /// clause (predicts filtered row counts, not group counts) — the cell
   /// still runs, since ranking under misuse is part of the benchmark.
   bool group_aware = true;
+  /// Mirror of EstimatorInfo::learns_online for the cell's estimator: true
+  /// when it improves from execution feedback without an offline retrain
+  /// (docs/adaptive.md). False for every current registry entry; surfaced
+  /// here so report tooling can tell adaptive fronts apart when they join
+  /// the sweep.
+  bool learns_online = false;
 };
 
 /// A finished sweep, serializable to the versioned report format described

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/exec_feedback.h"
 #include "query/executor.h"
 
 namespace qfcard::opt {
@@ -177,6 +178,7 @@ common::StatusOr<ExecResult> ExecutePlan(const storage::Catalog& catalog,
   out.result_rows = static_cast<int64_t>(result.count());
   out.seconds = timer.Stop();
   out.intermediate_rows = ctx.intermediate_rows;
+  query::PublishExecutionFeedback(q, static_cast<double>(out.result_rows));
   return out;
 }
 

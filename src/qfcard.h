@@ -22,6 +22,10 @@
 ///                bundles on disk, hot-swap serving, drift-triggered
 ///                retraining, feature-space routing, cross-request
 ///                micro-batching (docs/serving.md)
+///  - adapt/    : online adaptive estimation — execution-feedback bus,
+///                per-route kNN and residual-correction tiers, and the
+///                q-error-driven tier arbiter in front of the ML path
+///                (docs/adaptive.md)
 ///
 /// Estimation is batch-first: prefer est::CardinalityEstimator::EstimateBatch
 /// and featurize::Featurizer::FeaturizeBatch over per-query calls; both fan
@@ -39,6 +43,11 @@
 ///
 /// This umbrella header pulls in the full public API.
 
+#include "adapt/adaptive_estimator.h"
+#include "adapt/arbiter.h"
+#include "adapt/feedback_bus.h"
+#include "adapt/online_knn.h"
+#include "adapt/residual.h"
 #include "common/env.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -84,6 +93,7 @@
 #include "optimizer/cost_model.h"
 #include "optimizer/join_order.h"
 #include "optimizer/plan_executor.h"
+#include "query/exec_feedback.h"
 #include "query/executor.h"
 #include "query/join_executor.h"
 #include "query/normalize.h"

@@ -1,0 +1,56 @@
+#include "query/exec_feedback.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace qfcard::query {
+
+namespace {
+
+common::Mutex& HookMutex() {
+  static common::Mutex mu;
+  return mu;
+}
+
+ExecutionFeedbackHook& HookSlot() {
+  static ExecutionFeedbackHook hook;
+  return hook;
+}
+
+// Lock-free fast path: executors check this flag on every Count, so the
+// common no-hook case must not take the mutex.
+std::atomic<bool>& HookInstalledFlag() {
+  static std::atomic<bool> installed{false};
+  return installed;
+}
+
+}  // namespace
+
+void SetExecutionFeedbackHook(ExecutionFeedbackHook hook) {
+  common::MutexLock lock(&HookMutex());
+  HookInstalledFlag().store(static_cast<bool>(hook),
+                            std::memory_order_release);
+  HookSlot() = std::move(hook);
+}
+
+bool ExecutionFeedbackHookInstalled() {
+  return HookInstalledFlag().load(std::memory_order_acquire);
+}
+
+void PublishExecutionFeedback(const Query& q, double true_card) {
+  if (!ExecutionFeedbackHookInstalled()) return;
+  // Copy under the lock, invoke outside it, so a slow subscriber (the
+  // feedback bus fanning out to learners) never serializes against
+  // SetExecutionFeedbackHook longer than the copy.
+  ExecutionFeedbackHook hook;
+  {
+    common::MutexLock lock(&HookMutex());
+    hook = HookSlot();
+  }
+  if (hook) hook(q, true_card);
+}
+
+}  // namespace qfcard::query

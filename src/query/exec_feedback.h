@@ -1,0 +1,37 @@
+#ifndef QFCARD_QUERY_EXEC_FEEDBACK_H_
+#define QFCARD_QUERY_EXEC_FEEDBACK_H_
+
+#include <functional>
+
+#include "query/query.h"
+
+namespace qfcard::query {
+
+/// Process-wide execution-feedback hook (docs/adaptive.md): when installed,
+/// every count(*) the engine executes — query::Executor::Count and the
+/// optimizer's plan executor — reports (query, true cardinality) through it,
+/// giving the online-learning subsystem one ingestion point without the
+/// executors knowing anything above their layer. The hook must be fast and
+/// const-thread-safe: executors run on worker threads, and labeling
+/// workloads (workload::LabelOnTable) execute counts in parallel, so a hook
+/// that needs a fixed feedback order should only be installed around
+/// serially-executed traffic (the CLI truth checks, the drift-stream bench
+/// ticks) — adapt::ExecutionFeedbackConnection does exactly that.
+using ExecutionFeedbackHook = std::function<void(const Query& q,
+                                                 double true_card)>;
+
+/// Installs (or, with an empty function, removes) the hook. Not intended to
+/// be raced with in-flight executions of the *previous* hook: swap while the
+/// engine is quiescent. Thread-safe against concurrent PublishExecutionFeedback.
+void SetExecutionFeedbackHook(ExecutionFeedbackHook hook);
+
+/// True when a hook is currently installed (cheap, lock-free).
+bool ExecutionFeedbackHookInstalled();
+
+/// Invokes the installed hook with one executed count; no-op when none is
+/// installed. Called by the executors after every successful Count.
+void PublishExecutionFeedback(const Query& q, double true_card);
+
+}  // namespace qfcard::query
+
+#endif  // QFCARD_QUERY_EXEC_FEEDBACK_H_

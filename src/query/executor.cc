@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "query/exec_feedback.h"
 
 namespace qfcard::query {
 
@@ -69,7 +70,11 @@ common::StatusOr<std::vector<int32_t>> Executor::Filter(
 common::StatusOr<int64_t> Executor::Count(const storage::Table& table,
                                           const Query& q) {
   QFCARD_ASSIGN_OR_RETURN(const std::vector<int32_t> rows, Filter(table, q));
-  if (q.group_by.empty()) return static_cast<int64_t>(rows.size());
+  if (q.group_by.empty()) {
+    const int64_t count = static_cast<int64_t>(rows.size());
+    PublishExecutionFeedback(q, static_cast<double>(count));
+    return count;
+  }
   // GROUP BY: the result size is the number of distinct grouping-key
   // combinations among qualifying rows (Section 6). Keys are compared
   // exactly — counting distinct 64-bit hashes instead undercounts whenever
@@ -86,7 +91,9 @@ common::StatusOr<int64_t> Executor::Count(const storage::Table& table,
   }
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return static_cast<int64_t>(keys.size());
+  const int64_t groups = static_cast<int64_t>(keys.size());
+  PublishExecutionFeedback(q, static_cast<double>(groups));
+  return groups;
 }
 
 }  // namespace qfcard::query

@@ -46,8 +46,12 @@ common::StatusOr<est::EstimateResponse> ServingEstimator::Estimate(
   const uint64_t version = version_.load(std::memory_order_relaxed);
   const std::shared_ptr<const est::CardinalityEstimator> model =
       active_.load(std::memory_order_acquire);
-  est::EstimateResponse response;
-  QFCARD_ASSIGN_OR_RETURN(response.estimate, model->EstimateCard(request.query));
+  // Delegate to the model's own request path so provenance it stamps (the
+  // adaptive front's tier/tier_reason, docs/adaptive.md) survives; the
+  // default implementation answers from EstimateCard, so estimates are
+  // byte-identical either way.
+  QFCARD_ASSIGN_OR_RETURN(est::EstimateResponse response,
+                          model->Estimate(request));
   response.model_version = version;
   response.latency_seconds = timer.Seconds();
   return response;
@@ -62,19 +66,16 @@ ServingEstimator::EstimateRequests(
   // concurrent Swap can never tear the batch across two models.
   const std::shared_ptr<const est::CardinalityEstimator> model =
       active_.load(std::memory_order_acquire);
-  std::vector<query::Query> queries;
-  queries.reserve(requests.size());
-  for (const est::EstimateRequest& request : requests) {
-    queries.push_back(request.query);
-  }
-  QFCARD_ASSIGN_OR_RETURN(const std::vector<double> estimates,
-                          model->EstimateBatch(queries));
+  // Delegate to the model's request path (not EstimateBatch directly) so
+  // inner-stamped provenance — the adaptive front's tier/tier_reason —
+  // reaches the client. The default implementation forwards the extracted
+  // queries to EstimateBatch, so estimates are byte-identical either way.
+  QFCARD_ASSIGN_OR_RETURN(std::vector<est::EstimateResponse> responses,
+                          model->EstimateRequests(requests));
   const double elapsed = timer.Seconds();
-  std::vector<est::EstimateResponse> responses(requests.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    responses[i].estimate = estimates[i];
-    responses[i].model_version = version;
-    responses[i].latency_seconds = elapsed;
+  for (est::EstimateResponse& response : responses) {
+    response.model_version = version;
+    response.latency_seconds = elapsed;
   }
   return responses;
 }

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <string>
 
+#include "adapt/adapt_fuzz.h"
 #include "serve/bundle_fuzz.h"
 #include "testing/query_fuzzer.h"
 
@@ -31,6 +32,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 
 int main(int argc, char** argv) {
   qfcard::serve::RegisterLoaderFuzzRound();
+  qfcard::adapt::RegisterAdaptiveFuzzRound();
   qfcard::testing::FuzzOptions options;
   std::string artifact;
   if (const char* env = std::getenv("QFCARD_FUZZ_ARTIFACT")) artifact = env;

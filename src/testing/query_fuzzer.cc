@@ -54,6 +54,9 @@ class Fuzzer {
       const bool loader_round =
           opts_.loader_round_every > 0 &&
           (r + 1) % opts_.loader_round_every == 0;
+      const bool adaptive_round =
+          opts_.adaptive_round_every > 0 &&
+          (r + 1) % opts_.adaptive_round_every == 0;
       const bool family_round =
           opts_.family_round_every > 0 &&
           (r + 1) % opts_.family_round_every == 0;
@@ -61,6 +64,8 @@ class Fuzzer {
         ImdbRound(r);
       } else if (loader_round) {
         LoaderRound(r);
+      } else if (adaptive_round) {
+        AdaptiveRound(r);
       } else if (family_round) {
         FamilyRound(r);
       } else {
@@ -439,6 +444,30 @@ class Fuzzer {
       RecordPlainFailure(check, detail, round);
     };
     ctx.count_check = [this] { ++report_.checks; };
+    ctx.count_query = [this] { ++report_.queries; };
+    ctx.full = [this] { return Full(); };
+    fn(ctx);
+  }
+
+  // The adapt/ online-adaptation round uses the same extension slot shape
+  // as the loader round (adapt/ is above testing/ in the layer order, so it
+  // registers itself through SetAdaptiveRound); unregistered, it falls back
+  // to the forest differential to keep round numbering stable.
+  void AdaptiveRound(int round) {
+    const FuzzRoundFn& fn = GetAdaptiveRound();
+    if (!fn) {
+      ForestRound(round);
+      return;
+    }
+    FuzzRoundContext ctx;
+    ctx.options = &opts_;
+    ctx.round = round;
+    ctx.record_failure = [this, round](const std::string& check,
+                                       const std::string& detail) {
+      RecordPlainFailure(check, detail, round);
+    };
+    ctx.count_check = [this] { ++report_.checks; };
+    ctx.count_query = [this] { ++report_.queries; };
     ctx.full = [this] { return Full(); };
     fn(ctx);
   }
@@ -601,6 +630,19 @@ FuzzRoundFn& LoaderRoundSlot() {
 void SetLoaderRound(FuzzRoundFn fn) { LoaderRoundSlot() = std::move(fn); }
 
 const FuzzRoundFn& GetLoaderRound() { return LoaderRoundSlot(); }
+
+namespace {
+
+FuzzRoundFn& AdaptiveRoundSlot() {
+  static FuzzRoundFn* slot = new FuzzRoundFn();  // leaked: outlives static dtors
+  return *slot;
+}
+
+}  // namespace
+
+void SetAdaptiveRound(FuzzRoundFn fn) { AdaptiveRoundSlot() = std::move(fn); }
+
+const FuzzRoundFn& GetAdaptiveRound() { return AdaptiveRoundSlot(); }
 
 std::string FuzzReport::Summary() const {
   std::ostringstream out;

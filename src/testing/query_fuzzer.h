@@ -55,7 +55,17 @@ struct FuzzOptions {
   /// checksum, and damaged payloads fed straight to the parsers must come
   /// back as clean Status errors, never crashes.
   int loader_round_every = 9;
-  /// Every family_round_every-th round (join/loader rounds take precedence)
+  /// Every adaptive_round_every-th round (join/loader rounds take
+  /// precedence) fuzzes the online-adaptation front (src/adapt/): queries
+  /// are executed once without and once with the execution-feedback hook
+  /// publishing into a live adapt::AdaptiveEstimator — the truths must be
+  /// identical (adaptation may never change what the executor computes) —
+  /// and two identically-fed fronts must produce byte-identical estimates
+  /// (learner determinism). Registered via adapt::RegisterAdaptiveFuzzRound
+  /// (src/adapt/adapt_fuzz.h); falls back to a forest round when absent.
+  int adaptive_round_every = 11;
+  /// Every family_round_every-th round (join/loader/adaptive rounds take
+  /// precedence)
   /// builds a registered workload family (workload/families.h) at tiny sizes
   /// — the generator paths behind the benchmark matrix (prefix-LIKE ranges,
   /// IN-heavy, Zipf skew, GROUP BY, correlated joins, drift splits) — and
@@ -109,6 +119,10 @@ struct FuzzRoundContext {
       record_failure;
   /// Counts one comparison toward FuzzReport::checks.
   std::function<void()> count_check;
+  /// Counts one fuzzed query toward FuzzReport::queries — call it once per
+  /// query that went through the round's per-query checks, so extension
+  /// rounds contribute to the smoke test's query budget like built-in ones.
+  std::function<void()> count_query;
   /// True when the failure budget is exhausted; rounds should return early.
   std::function<bool()> full;
 };
@@ -125,6 +139,18 @@ void SetLoaderRound(FuzzRoundFn fn);
 
 /// The currently registered loader round (empty when none).
 const FuzzRoundFn& GetLoaderRound();
+
+/// Same extension slot for the adapt/ online-adaptation round: the round
+/// lives in src/adapt/adapt_fuzz.cc (adapt/ is above testing/ in the layer
+/// order) and asserts that running the execution-feedback loop never
+/// changes executor truth and that identically-fed learners are
+/// byte-deterministic. Entry points call adapt::RegisterAdaptiveFuzzRound()
+/// before RunFuzzer; unregistered adaptive rounds run forest rounds so the
+/// RNG stream of other rounds is unchanged.
+void SetAdaptiveRound(FuzzRoundFn fn);
+
+/// The currently registered adaptive round (empty when none).
+const FuzzRoundFn& GetAdaptiveRound();
 
 }  // namespace qfcard::testing
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/adapt_fuzz.h"
 #include "estimators/registry.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
@@ -23,12 +24,13 @@
 namespace qfcard::testing {
 namespace {
 
-// The loader round lives above testing/ in the layer order, so fuzz
-// binaries opt in explicitly (serve/bundle_fuzz.h). Without this the
-// fuzzer would silently substitute forest rounds and the loader checks
-// would never run.
-const bool kLoaderRoundInstalled = [] {
+// The loader and adaptive rounds live above testing/ in the layer order, so
+// fuzz binaries opt in explicitly (serve/bundle_fuzz.h,
+// adapt/adapt_fuzz.h). Without this the fuzzer would silently substitute
+// forest rounds and those checks would never run.
+const bool kExtensionRoundsInstalled = [] {
   serve::RegisterLoaderFuzzRound();
+  adapt::RegisterAdaptiveFuzzRound();
   return true;
 }();
 

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "adapt/adaptive_estimator.h"
+#include "adapt/feedback_bus.h"
 #include "common/thread_pool.h"
 #include "estimators/registry.h"
 #include "featurize/extensions.h"
@@ -350,6 +352,83 @@ TEST_F(RaceStressTest, ServerHotSwapUnderConcurrentClientTraffic) {
   // answers with it.
   EXPECT_EQ(route->EstimateBatch(queries).value(), ref_a);
   EXPECT_GE(server.BatchesFlushed(), 1u);
+}
+
+TEST_F(RaceStressTest, FeedbackBusPublishVersusPredictOnAdaptiveFront) {
+  const storage::Catalog catalog = StressCatalog();
+  const std::vector<query::Query> queries = StressQueries(kBatch);
+
+  auto built_base = est::MakeEstimator("postgres", catalog);
+  auto built_ml = est::MakeEstimator("true", catalog);
+  ASSERT_TRUE(built_base.ok() && built_ml.ok());
+  const std::shared_ptr<const est::CardinalityEstimator> base =
+      std::move(built_base).value();
+  const std::shared_ptr<const est::CardinalityEstimator> model =
+      std::move(built_ml).value();
+  // The ML tier answers with executor truth, so truths double as feedback.
+  const std::vector<double> truths = model->EstimateBatch(queries).value();
+
+  const auto serving = std::make_shared<serve::ServingEstimator>(model, 1);
+  const std::shared_ptr<const featurize::Featurizer> featurizer =
+      featurize::MakeFeaturizer(
+          featurize::QftKind::kComplex,
+          featurize::FeatureSchema::FromTable(StressTable()), {});
+
+  adapt::AdaptiveOptions aopts;
+  aopts.mode = adapt::AdaptiveMode::kAuto;
+  adapt::AdaptiveEstimator adaptive(base, serving, featurizer, aopts);
+  adaptive.TrackServingVersion(serving.get());
+  adapt::FeedbackBus bus;
+  adaptive.ConnectTo(&bus);
+
+  // Thread 0 hot-swaps the serving model (same model, fresh versions) so the
+  // arbiter's reset-on-swap path races the learners; even threads publish
+  // feedback into the bus; odd threads predict on the shared front. With
+  // concurrent publishers the feedback order — and therefore the estimates —
+  // is unordered; the claims under TSan are no data races, every estimate
+  // ok and tier-stamped, and no record lost between bus and learners.
+  constexpr int kSwaps = 60;
+  RunConcurrently([&](int t) {
+    if (t == 0) {
+      for (int i = 0; i < kSwaps; ++i) {
+        serving->Swap(model, static_cast<uint64_t>(2 + i));
+      }
+      return;
+    }
+    if (t % 2 == 0) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        adapt::FeedbackRecord record;
+        record.query = queries[i];
+        record.true_card = truths[i];
+        bus.Publish(std::move(record));
+      }
+      return;
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      est::EstimateRequest request;
+      request.query = queries[i];
+      auto response = adaptive.Estimate(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_GE(response.value().estimate, 1.0);
+      EXPECT_NE(response.value().tier, est::ServedTier::kNone);
+      EXPECT_FALSE(response.value().tier_reason.empty());
+    }
+  });
+  adaptive.Disconnect();
+
+  // Synchronous fan-out: every published record reached the learners, from
+  // exactly the publisher threads (1 swapper, 3 publishers, 4 predictors).
+  const uint64_t expected =
+      static_cast<uint64_t>(kOsThreads / 2 - 1) * queries.size();
+  EXPECT_EQ(bus.published(), expected);
+  EXPECT_EQ(adaptive.ingested(), expected);
+
+  // A post-disconnect publish is invisible to the front.
+  adapt::FeedbackRecord late;
+  late.query = queries[0];
+  late.true_card = truths[0];
+  bus.Publish(std::move(late));
+  EXPECT_EQ(adaptive.ingested(), expected);
 }
 
 TEST_F(RaceStressTest, ParallelForExceptionSmallestIndexWinsUnderContention) {
